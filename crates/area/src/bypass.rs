@@ -1,0 +1,168 @@
+//! Bypass-network cost model.
+//!
+//! The paper's §2 argues that a multi-cycle register file either needs
+//! *multiple levels* of bypass — "each bypass level requires a connection
+//! from each result bus to each functional unit input … this incurs
+//! significant complexity" — or loses IPC with a single level. This module
+//! quantifies that argument with the same style of analytical model as the
+//! register banks: wire tracks for the result buses, a multiplexer per
+//! functional-unit input whose fan-in grows with the number of levels.
+//!
+//! The constants reuse the λ-normalized track pitch calibrated for the
+//! register cells, so bypass and register-file areas are comparable.
+
+use std::fmt;
+
+/// Track pitch in λ, matching the register-cell calibration (≈ √351.9).
+const TRACK_LAMBDA: f64 = 18.76;
+/// Multiplexer area per input per bit, λ² (two transistor pairs plus
+/// local routing at the calibrated pitch).
+const MUX_AREA_PER_INPUT: f64 = 2.0 * TRACK_LAMBDA * TRACK_LAMBDA;
+/// Delay added per multiplexer fan-in doubling, ns (λ = 0.5 µm class).
+const MUX_DELAY_PER_LEVEL_NS: f64 = 0.12;
+/// Wire delay per result-bus span across one functional unit's pitch, ns.
+const WIRE_DELAY_PER_FU_NS: f64 = 0.018;
+
+/// Geometry of a bypass network.
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_area::BypassModel;
+///
+/// // The paper's machine: 8-wide, ~19 FU inputs, one bypass level.
+/// let single = BypassModel::new(1, 19, 8, 64);
+/// let double = BypassModel::new(2, 19, 8, 64);
+/// assert!(double.area_lambda2() > 1.9 * single.area_lambda2());
+/// assert!(double.delay_ns() > single.delay_ns());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BypassModel {
+    levels: u32,
+    fu_inputs: u32,
+    result_buses: u32,
+    width_bits: u32,
+}
+
+impl BypassModel {
+    /// Creates a bypass-network model.
+    ///
+    /// * `levels` — bypass levels (1 for a 1-cycle file or the register
+    ///   file cache; `read_latency` for full bypass on a pipelined file).
+    /// * `fu_inputs` — operand inputs across all functional units.
+    /// * `result_buses` — results broadcast per cycle.
+    /// * `width_bits` — datapath width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(levels: u32, fu_inputs: u32, result_buses: u32, width_bits: u32) -> Self {
+        assert!(levels > 0 && fu_inputs > 0 && result_buses > 0 && width_bits > 0);
+        BypassModel { levels, fu_inputs, result_buses, width_bits }
+    }
+
+    /// The paper's machine (Table 1): 6 simple int + 3 mul/div + 4 FP +
+    /// 2 FP div + 4 load/store units ≈ 19 two-input ports feeding 38
+    /// operand inputs; 8 results broadcast per cycle; 64-bit datapath.
+    pub fn paper_machine(levels: u32) -> Self {
+        BypassModel::new(levels, 38, 8, 64)
+    }
+
+    /// Bypass levels modelled.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Total multiplexer fan-in per functional-unit input: one leg per
+    /// result bus per level, plus the register-file leg.
+    pub fn mux_fanin(&self) -> u32 {
+        self.levels * self.result_buses + 1
+    }
+
+    /// Silicon area of the network in λ²: per-level broadcast wiring
+    /// (result buses spanning every FU input's pitch) plus the operand
+    /// multiplexers.
+    pub fn area_lambda2(&self) -> f64 {
+        let bits = f64::from(self.width_bits);
+        // Wiring: each level routes `result_buses` × `bits` wires across
+        // `fu_inputs` landing pads at one track pitch each.
+        let wires = f64::from(self.levels)
+            * f64::from(self.result_buses)
+            * bits
+            * f64::from(self.fu_inputs)
+            * TRACK_LAMBDA
+            * TRACK_LAMBDA;
+        // Muxes: one per FU input per bit, area linear in fan-in.
+        let muxes =
+            f64::from(self.fu_inputs) * bits * f64::from(self.mux_fanin()) * MUX_AREA_PER_INPUT;
+        wires + muxes
+    }
+
+    /// Delay the network adds in front of the functional units, ns:
+    /// logarithmic in mux fan-in plus the broadcast wire flight.
+    pub fn delay_ns(&self) -> f64 {
+        let fanin = f64::from(self.mux_fanin());
+        MUX_DELAY_PER_LEVEL_NS * fanin.log2().max(1.0)
+            + WIRE_DELAY_PER_FU_NS * f64::from(self.fu_inputs) * f64::from(self.levels).sqrt()
+    }
+}
+
+impl fmt::Display for BypassModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bypass[{} level(s), {} inputs x {} buses, fan-in {}]",
+            self.levels,
+            self.fu_inputs,
+            self.result_buses,
+            self.mux_fanin()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_level_roughly_doubles_wiring() {
+        let one = BypassModel::paper_machine(1);
+        let two = BypassModel::paper_machine(2);
+        let ratio = two.area_lambda2() / one.area_lambda2();
+        assert!((1.7..=2.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn delay_grows_with_levels_and_fanin() {
+        let one = BypassModel::paper_machine(1);
+        let two = BypassModel::paper_machine(2);
+        assert!(two.delay_ns() > one.delay_ns());
+        assert_eq!(one.mux_fanin(), 9);
+        assert_eq!(two.mux_fanin(), 17);
+    }
+
+    #[test]
+    fn bypass_area_is_significant_relative_to_upper_bank() {
+        // The paper's complexity argument: a second bypass level costs on
+        // the order of the register file cache's whole upper bank.
+        use crate::geometry::BankGeometry;
+        let upper = BankGeometry::new(16, 64, 4, 5).area_lambda2();
+        let extra_level = BypassModel::paper_machine(2).area_lambda2()
+            - BypassModel::paper_machine(1).area_lambda2();
+        assert!(
+            extra_level > 0.3 * upper,
+            "extra bypass level {extra_level} vs upper bank {upper}"
+        );
+    }
+
+    #[test]
+    fn display_mentions_levels() {
+        assert!(BypassModel::paper_machine(2).to_string().contains("2 level(s)"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_parameters_rejected() {
+        let _ = BypassModel::new(0, 1, 1, 64);
+    }
+}

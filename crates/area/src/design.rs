@@ -1,0 +1,309 @@
+//! Complete register-file designs: one bank (optionally pipelined) or the
+//! two-level register file cache, with derived area, cycle time, and
+//! latency-in-cycles figures.
+
+use crate::geometry::BankGeometry;
+use std::fmt;
+
+/// A conventional single-banked register file, optionally pipelined over
+/// multiple stages.
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_area::SingleBankDesign;
+/// let one_cycle = SingleBankDesign::new(128, 64, 3, 2, 1);
+/// let two_cycle = SingleBankDesign::new(128, 64, 3, 2, 2);
+/// assert_eq!(one_cycle.area_lambda2(), two_cycle.area_lambda2());
+/// // Pipelining halves the cycle time (optimistically, as the paper notes).
+/// assert!((two_cycle.cycle_time_ns() - one_cycle.cycle_time_ns() / 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleBankDesign {
+    bank: BankGeometry,
+    stages: u32,
+}
+
+impl SingleBankDesign {
+    /// Creates a single-banked design with `stages` pipeline stages
+    /// (1 = non-pipelined, 2 = the paper's "two-cycle" file).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages == 0` or the bank geometry is invalid.
+    pub fn new(registers: u32, width_bits: u32, read_ports: u32, write_ports: u32, stages: u32) -> Self {
+        assert!(stages > 0, "a register file needs at least one pipeline stage");
+        SingleBankDesign {
+            bank: BankGeometry::new(registers, width_bits, read_ports, write_ports),
+            stages,
+        }
+    }
+
+    /// The underlying bank geometry.
+    pub fn bank(&self) -> BankGeometry {
+        self.bank
+    }
+
+    /// Number of pipeline stages the access is divided into.
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Total silicon area in λ².
+    pub fn area_lambda2(&self) -> f64 {
+        self.bank.area_lambda2()
+    }
+
+    /// Processor cycle time if this register file is the critical path.
+    ///
+    /// The paper's (self-described optimistic) assumption: the access
+    /// pipelines into `stages` equal stages with no inter-stage overhead.
+    pub fn cycle_time_ns(&self) -> f64 {
+        self.bank.access_time_ns() / f64::from(self.stages)
+    }
+
+    /// Register read latency in processor cycles (= pipeline stages).
+    pub fn read_latency_cycles(&self) -> u64 {
+        u64::from(self.stages)
+    }
+}
+
+impl fmt::Display for SingleBankDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "single[{} x{}]", self.bank, self.stages)
+    }
+}
+
+/// The two-level register file cache design of the paper.
+///
+/// The upper level is a small fully-associative bank read by the functional
+/// units; the lower level holds all physical registers. `buses` transfer
+/// values upward: each bus adds one read port to the lower bank and one
+/// write port to the upper bank (Table 2 caption).
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_area::TwoLevelDesign;
+/// // The paper's C1 register-file-cache configuration.
+/// let c1 = TwoLevelDesign::new(128, 16, 64, 3, 2, 2, 2);
+/// assert!((c1.cycle_time_ns() - 2.45).abs() < 0.05);
+/// assert_eq!(c1.lower_latency_cycles(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoLevelDesign {
+    upper: BankGeometry,
+    lower: BankGeometry,
+    buses: u32,
+}
+
+impl TwoLevelDesign {
+    /// Creates a two-level design.
+    ///
+    /// * `lower_registers` — physical registers in the lower level.
+    /// * `upper_registers` — entries in the upper-level cache bank.
+    /// * `upper_read_ports`/`upper_write_ports` — ports serving the
+    ///   functional units and result buses, respectively.
+    /// * `lower_write_ports` — result write ports of the lower level.
+    /// * `buses` — inter-level transfer buses (each adds a lower read port
+    ///   and an upper write port on top of the counts above).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bank geometry is invalid or
+    /// `upper_registers >= lower_registers`.
+    pub fn new(
+        lower_registers: u32,
+        upper_registers: u32,
+        width_bits: u32,
+        upper_read_ports: u32,
+        upper_write_ports: u32,
+        lower_write_ports: u32,
+        buses: u32,
+    ) -> Self {
+        assert!(
+            upper_registers < lower_registers,
+            "the cache bank must be smaller than the backing bank"
+        );
+        TwoLevelDesign {
+            upper: BankGeometry::new(
+                upper_registers,
+                width_bits,
+                upper_read_ports,
+                upper_write_ports + buses,
+            ),
+            lower: BankGeometry::new(lower_registers, width_bits, buses, lower_write_ports),
+            buses,
+        }
+    }
+
+    /// Geometry of the upper (cache) bank, bus write ports included.
+    pub fn upper(&self) -> BankGeometry {
+        self.upper
+    }
+
+    /// Geometry of the lower bank, bus read ports included.
+    pub fn lower(&self) -> BankGeometry {
+        self.lower
+    }
+
+    /// Number of inter-level transfer buses.
+    pub fn buses(&self) -> u32 {
+        self.buses
+    }
+
+    /// Total silicon area (both banks) in λ².
+    pub fn area_lambda2(&self) -> f64 {
+        self.upper.area_lambda2() + self.lower.area_lambda2()
+    }
+
+    /// Processor cycle time: the upper bank must be readable in one cycle,
+    /// and the lower bank access (pipelined over
+    /// [`lower_latency_cycles`](Self::lower_latency_cycles) stages) must fit
+    /// the same clock.
+    pub fn cycle_time_ns(&self) -> f64 {
+        let upper = self.upper.access_time_ns();
+        let lower = self.lower.access_time_ns() / 2.0;
+        upper.max(lower)
+    }
+
+    /// Lower-level access latency in processor cycles at the cycle time
+    /// from [`cycle_time_ns`](Self::cycle_time_ns).
+    pub fn lower_latency_cycles(&self) -> u64 {
+        let cycles = self.lower.access_time_ns() / self.cycle_time_ns();
+        cycles.ceil() as u64
+    }
+}
+
+impl fmt::Display for TwoLevelDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rfc[upper {} | lower {} | {} buses]", self.upper, self.lower, self.buses)
+    }
+}
+
+/// Either register-file design, for code that sweeps both kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RegFileDesign {
+    /// A conventional single-banked file.
+    Single(SingleBankDesign),
+    /// The two-level register file cache.
+    TwoLevel(TwoLevelDesign),
+}
+
+impl RegFileDesign {
+    /// Total silicon area in λ².
+    pub fn area_lambda2(&self) -> f64 {
+        match self {
+            RegFileDesign::Single(d) => d.area_lambda2(),
+            RegFileDesign::TwoLevel(d) => d.area_lambda2(),
+        }
+    }
+
+    /// Processor cycle time in ns if this design sets the clock.
+    pub fn cycle_time_ns(&self) -> f64 {
+        match self {
+            RegFileDesign::Single(d) => d.cycle_time_ns(),
+            RegFileDesign::TwoLevel(d) => d.cycle_time_ns(),
+        }
+    }
+}
+
+impl From<SingleBankDesign> for RegFileDesign {
+    fn from(d: SingleBankDesign) -> Self {
+        RegFileDesign::Single(d)
+    }
+}
+
+impl From<TwoLevelDesign> for RegFileDesign {
+    fn from(d: TwoLevelDesign) -> Self {
+        RegFileDesign::TwoLevel(d)
+    }
+}
+
+impl fmt::Display for RegFileDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegFileDesign::Single(d) => d.fmt(f),
+            RegFileDesign::TwoLevel(d) => d.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(model: f64, paper: f64) -> f64 {
+        (model - paper).abs() / paper
+    }
+
+    /// Table 2 register-file-cache rows:
+    /// (upper R, upper W, buses, lower W, area 10Kλ², cycle ns).
+    const RFC_ANCHORS: [(u32, u32, u32, u32, f64, f64); 4] = [
+        (3, 2, 2, 2, 10593.0, 2.45),
+        (4, 3, 3, 2, 15487.0, 2.55),
+        (4, 4, 4, 2, 20529.0, 2.61),
+        (4, 4, 4, 3, 25296.0, 2.67),
+    ];
+
+    #[test]
+    fn rfc_area_matches_table2_within_6pct() {
+        for (r, w, b, lw, area, _) in RFC_ANCHORS {
+            let d = TwoLevelDesign::new(128, 16, 64, r, w, lw, b);
+            assert!(
+                rel_err(d.area_lambda2() / 1e4, area) < 0.06,
+                "{d}: {} vs {area}",
+                d.area_lambda2() / 1e4
+            );
+        }
+    }
+
+    #[test]
+    fn rfc_cycle_time_matches_table2_within_3pct() {
+        for (r, w, b, lw, _, t) in RFC_ANCHORS {
+            let d = TwoLevelDesign::new(128, 16, 64, r, w, lw, b);
+            assert!(rel_err(d.cycle_time_ns(), t) < 0.03, "{d}: {} vs {t}", d.cycle_time_ns());
+        }
+    }
+
+    #[test]
+    fn rfc_lower_latency_is_two_cycles_for_paper_configs() {
+        for (r, w, b, lw, _, _) in RFC_ANCHORS {
+            let d = TwoLevelDesign::new(128, 16, 64, r, w, lw, b);
+            assert_eq!(d.lower_latency_cycles(), 2, "{d}");
+        }
+    }
+
+    #[test]
+    fn pipelining_halves_cycle_time_but_not_area() {
+        let one = SingleBankDesign::new(128, 64, 4, 4, 1);
+        let two = SingleBankDesign::new(128, 64, 4, 4, 2);
+        assert_eq!(one.area_lambda2(), two.area_lambda2());
+        assert!(two.cycle_time_ns() < one.cycle_time_ns());
+        assert_eq!(two.read_latency_cycles(), 2);
+    }
+
+    #[test]
+    fn rfc_cycle_time_beats_non_pipelined_single_bank() {
+        // The headline motivation: same-area register file cache clocks far
+        // faster than a monolithic one-cycle file.
+        let single = SingleBankDesign::new(128, 64, 3, 2, 1);
+        let rfc = TwoLevelDesign::new(128, 16, 64, 3, 2, 2, 2);
+        assert!(rfc.cycle_time_ns() < 0.6 * single.cycle_time_ns());
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the backing bank")]
+    fn upper_must_be_smaller_than_lower() {
+        let _ = TwoLevelDesign::new(16, 16, 64, 2, 2, 2, 1);
+    }
+
+    #[test]
+    fn design_enum_dispatches() {
+        let d: RegFileDesign = SingleBankDesign::new(128, 64, 3, 2, 1).into();
+        assert!(d.area_lambda2() > 0.0);
+        let d: RegFileDesign = TwoLevelDesign::new(128, 16, 64, 3, 2, 2, 2).into();
+        assert!(d.cycle_time_ns() > 0.0);
+        assert!(d.to_string().contains("rfc"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Geometry of a single register bank and the calibrated analytical models.
+
+use std::fmt;
+
+/// Calibrated model constants (λ = 0.5 µm process, fitted to Table 2 of the
+/// paper — see the crate-level documentation).
+mod consts {
+    /// Area per bit-cell track², λ² (`K` in `area = K·regs·bits·(p+C)²`).
+    pub const AREA_K: f64 = 351.9;
+    /// Fixed per-cell track overhead added to the port count (`C` above):
+    /// power rails and the cell transistors themselves.
+    pub const AREA_C: f64 = 1.155;
+    /// Access time intercept, ns.
+    pub const T_ALPHA: f64 = 0.627;
+    /// Access time per log2(registers), ns (decoder + wordline length).
+    pub const T_BETA: f64 = 0.3997;
+    /// Port slope intercept, ns per port.
+    pub const T_GAMMA: f64 = -0.2676;
+    /// Port slope growth per log2(registers), ns per port (bitline loading
+    /// grows with both the number of ports and the column height).
+    pub const T_DELTA: f64 = 0.0749;
+    /// Lower bound on the per-port slope, ns per port. For very small banks
+    /// the fitted slope would go non-positive; physically each port always
+    /// adds some wire load.
+    pub const T_SLOPE_MIN: f64 = 0.02;
+}
+
+/// Physical geometry of one register bank: storage size and port counts.
+///
+/// This is the unit the analytical models operate on. A conventional
+/// register file is one bank; the register file cache is two banks (plus
+/// buses, each of which adds a read port to the lower bank and a write port
+/// to the upper bank — see [`TwoLevelDesign`](crate::TwoLevelDesign)).
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_area::BankGeometry;
+/// let bank = BankGeometry::new(128, 64, 16, 8);
+/// assert_eq!(bank.total_ports(), 24);
+/// assert!(bank.area_lambda2() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankGeometry {
+    registers: u32,
+    width_bits: u32,
+    read_ports: u32,
+    write_ports: u32,
+}
+
+impl BankGeometry {
+    /// Creates a bank geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` or `width_bits` is zero, or if the bank has no
+    /// ports at all.
+    pub fn new(registers: u32, width_bits: u32, read_ports: u32, write_ports: u32) -> Self {
+        assert!(registers > 0, "bank must hold at least one register");
+        assert!(width_bits > 0, "bank width must be positive");
+        assert!(read_ports + write_ports > 0, "bank must have at least one port");
+        BankGeometry { registers, width_bits, read_ports, write_ports }
+    }
+
+    /// Number of registers in the bank.
+    pub fn registers(&self) -> u32 {
+        self.registers
+    }
+
+    /// Width of each register in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// Number of read ports.
+    pub fn read_ports(&self) -> u32 {
+        self.read_ports
+    }
+
+    /// Number of write ports.
+    pub fn write_ports(&self) -> u32 {
+        self.write_ports
+    }
+
+    /// Total port count (read + write); the quantity both models depend on.
+    pub fn total_ports(&self) -> u32 {
+        self.read_ports + self.write_ports
+    }
+
+    /// Silicon area of the bank in λ².
+    ///
+    /// Model: each port adds one wordline track to the cell height and one
+    /// bitline track to the cell width, so cell area grows quadratically
+    /// with the port count: `area = K · registers · width · (ports + C)²`.
+    pub fn area_lambda2(&self) -> f64 {
+        let p = f64::from(self.total_ports());
+        let cells = f64::from(self.registers) * f64::from(self.width_bits);
+        consts::AREA_K * cells * (p + consts::AREA_C).powi(2)
+    }
+
+    /// Access time of the bank in nanoseconds (λ = 0.5 µm process).
+    ///
+    /// Model: `t = α + β·log2(registers) + max(γ + δ·log2(registers), s_min)·ports`.
+    /// The log term models decoder depth and wordline length; the per-port
+    /// slope grows with bank height because every added port lengthens the
+    /// bitlines of every cell in a column.
+    pub fn access_time_ns(&self) -> f64 {
+        let lg = f64::from(self.registers).log2();
+        let slope = (consts::T_GAMMA + consts::T_DELTA * lg).max(consts::T_SLOPE_MIN);
+        consts::T_ALPHA + consts::T_BETA * lg + slope * f64::from(self.total_ports())
+    }
+}
+
+impl fmt::Display for BankGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}b {}R/{}W",
+            self.registers, self.width_bits, self.read_ports, self.write_ports
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(model: f64, paper: f64) -> f64 {
+        (model - paper).abs() / paper
+    }
+
+    /// Table 2 anchor points, single-banked column: (R, W, area 10Kλ², ns).
+    const SINGLE_BANK_ANCHORS: [(u32, u32, f64, f64); 4] = [
+        (3, 2, 10921.0, 4.71),
+        (3, 3, 15070.0, 4.98),
+        (4, 3, 18855.0, 5.22),
+        (4, 4, 24163.0, 5.48),
+    ];
+
+    #[test]
+    fn area_matches_table2_single_bank_anchors() {
+        for (r, w, area, _) in SINGLE_BANK_ANCHORS {
+            let g = BankGeometry::new(128, 64, r, w);
+            assert!(
+                rel_err(g.area_lambda2() / 1e4, area) < 0.025,
+                "{g}: {} vs {area}",
+                g.area_lambda2() / 1e4
+            );
+        }
+    }
+
+    #[test]
+    fn access_time_matches_table2_single_bank_anchors() {
+        for (r, w, _, t) in SINGLE_BANK_ANCHORS {
+            let g = BankGeometry::new(128, 64, r, w);
+            assert!(rel_err(g.access_time_ns(), t) < 0.01, "{g}: {} vs {t}", g.access_time_ns());
+        }
+    }
+
+    /// Upper-level anchors: 16 registers, ports = R + W + B, cycle time ns.
+    #[test]
+    fn access_time_matches_table2_upper_bank_anchors() {
+        for (ports, t) in [(7u32, 2.45), (10, 2.55), (12, 2.61)] {
+            let g = BankGeometry::new(16, 64, ports - 2, 2);
+            assert!(rel_err(g.access_time_ns(), t) < 0.01, "{}: {} vs {t}", ports, g.access_time_ns());
+        }
+    }
+
+    #[test]
+    fn area_monotonic_in_every_dimension() {
+        let base = BankGeometry::new(128, 64, 4, 4);
+        assert!(BankGeometry::new(256, 64, 4, 4).area_lambda2() > base.area_lambda2());
+        assert!(BankGeometry::new(128, 128, 4, 4).area_lambda2() > base.area_lambda2());
+        assert!(BankGeometry::new(128, 64, 5, 4).area_lambda2() > base.area_lambda2());
+        assert!(BankGeometry::new(128, 64, 4, 5).area_lambda2() > base.area_lambda2());
+    }
+
+    #[test]
+    fn access_time_monotonic_in_ports_even_for_tiny_banks() {
+        for regs in [8u32, 16, 32, 64, 128, 256] {
+            let mut prev = 0.0;
+            for p in 2..32 {
+                let g = BankGeometry::new(regs, 64, p, 2);
+                let t = g.access_time_ns();
+                assert!(t > prev, "regs={regs} ports={p}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_registers_rejected() {
+        let _ = BankGeometry::new(0, 64, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_rejected() {
+        let _ = BankGeometry::new(16, 64, 0, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Pareto-frontier selection used by the paper's Figure 8: among all port
+//! configurations of one architecture, keep only those for which no other
+//! configuration has both lower area and higher performance.
+
+/// A candidate point in the area/performance plane.
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_area::{pareto_frontier, ParetoPoint};
+///
+/// let points = vec![
+///     ParetoPoint { area: 1.0, perf: 1.0, payload: "a" },
+///     ParetoPoint { area: 2.0, perf: 3.0, payload: "b" },
+///     ParetoPoint { area: 3.0, perf: 2.0, payload: "c" }, // dominated by "b"
+/// ];
+/// let frontier = pareto_frontier(points);
+/// let names: Vec<_> = frontier.iter().map(|p| p.payload).collect();
+/// assert_eq!(names, vec!["a", "b"]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint<T> {
+    /// Cost axis (silicon area, λ²).
+    pub area: f64,
+    /// Benefit axis (IPC or relative performance).
+    pub perf: f64,
+    /// The configuration this point describes.
+    pub payload: T,
+}
+
+/// Returns the subset of `points` not dominated by any other point, sorted
+/// by increasing area.
+///
+/// A point is *dominated* when another point has area ≤ its area **and**
+/// perf ≥ its perf, with at least one strict inequality. Ties on both axes
+/// keep the first occurrence.
+pub fn pareto_frontier<T>(mut points: Vec<ParetoPoint<T>>) -> Vec<ParetoPoint<T>> {
+    // Sort by area ascending; break ties by perf descending so the best
+    // config at a given area comes first and suppresses the rest.
+    points.sort_by(|a, b| {
+        a.area
+            .total_cmp(&b.area)
+            .then_with(|| b.perf.total_cmp(&a.perf))
+    });
+    let mut frontier: Vec<ParetoPoint<T>> = Vec::new();
+    let mut best_perf = f64::NEG_INFINITY;
+    for p in points {
+        if p.perf > best_perf {
+            best_perf = p.perf;
+            frontier.push(p);
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(area: f64, perf: f64, id: u32) -> ParetoPoint<u32> {
+        ParetoPoint { area, perf, payload: id }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_frontier() {
+        assert!(pareto_frontier(Vec::<ParetoPoint<u32>>::new()).is_empty());
+    }
+
+    #[test]
+    fn single_point_survives() {
+        let f = pareto_frontier(vec![pt(5.0, 1.0, 7)]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].payload, 7);
+    }
+
+    #[test]
+    fn dominated_points_removed() {
+        let f = pareto_frontier(vec![
+            pt(1.0, 1.0, 0),
+            pt(2.0, 2.0, 1),
+            pt(2.5, 1.5, 2), // dominated by 1
+            pt(3.0, 3.0, 3),
+            pt(3.0, 2.9, 4), // dominated by 3 (same area, lower perf)
+        ]);
+        let ids: Vec<_> = f.iter().map(|p| p.payload).collect();
+        assert_eq!(ids, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn frontier_is_sorted_and_strictly_improving() {
+        let f = pareto_frontier(vec![
+            pt(4.0, 4.0, 0),
+            pt(1.0, 1.0, 1),
+            pt(3.0, 3.0, 2),
+            pt(2.0, 2.0, 3),
+        ]);
+        for w in f.windows(2) {
+            assert!(w[0].area <= w[1].area);
+            assert!(w[0].perf < w[1].perf);
+        }
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn equal_points_keep_one() {
+        let f = pareto_frontier(vec![pt(1.0, 1.0, 0), pt(1.0, 1.0, 1)]);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn cheaper_but_worse_point_kept() {
+        // A smaller, slower configuration is still Pareto-optimal.
+        let f = pareto_frontier(vec![pt(1.0, 0.5, 0), pt(10.0, 2.0, 1)]);
+        assert_eq!(f.len(), 2);
+    }
+}

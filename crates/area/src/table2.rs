@@ -1,0 +1,222 @@
+//! The paper's Table 2: four cost-equivalent configurations (C1–C4) of the
+//! three register file architectures, with the paper's reported values for
+//! comparison against this crate's model.
+
+use crate::design::{SingleBankDesign, TwoLevelDesign};
+use std::fmt;
+
+/// Port counts of one Table 2 configuration (C1..C4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Config {
+    /// Configuration name ("C1".."C4").
+    pub name: &'static str,
+    /// Single-banked read ports.
+    pub single_read: u32,
+    /// Single-banked write ports.
+    pub single_write: u32,
+    /// Register-file-cache upper-level read ports.
+    pub rfc_upper_read: u32,
+    /// Register-file-cache upper-level write ports (result writes; bus
+    /// write ports come on top, one per bus).
+    pub rfc_upper_write: u32,
+    /// Register-file-cache lower-level write ports.
+    pub rfc_lower_write: u32,
+    /// Inter-level buses.
+    pub rfc_buses: u32,
+    /// Paper-reported single-banked area, 10K λ² units.
+    pub paper_single_area: f64,
+    /// Paper-reported non-pipelined single-banked cycle time, ns.
+    pub paper_single_cycle_1s: f64,
+    /// Paper-reported two-stage pipelined single-banked cycle time, ns.
+    pub paper_single_cycle_2s: f64,
+    /// Paper-reported register-file-cache area, 10K λ² units.
+    pub paper_rfc_area: f64,
+    /// Paper-reported register-file-cache cycle time, ns.
+    pub paper_rfc_cycle: f64,
+}
+
+impl Table2Config {
+    /// The non-pipelined ("one-cycle") single-banked design of this row.
+    pub fn single_bank_1stage(&self, registers: u32) -> SingleBankDesign {
+        SingleBankDesign::new(registers, 64, self.single_read, self.single_write, 1)
+    }
+
+    /// The two-stage pipelined ("two-cycle") single-banked design.
+    pub fn single_bank_2stage(&self, registers: u32) -> SingleBankDesign {
+        SingleBankDesign::new(registers, 64, self.single_read, self.single_write, 2)
+    }
+
+    /// The register-file-cache design of this row.
+    pub fn register_file_cache(&self, lower_registers: u32, upper_registers: u32) -> TwoLevelDesign {
+        TwoLevelDesign::new(
+            lower_registers,
+            upper_registers,
+            64,
+            self.rfc_upper_read,
+            self.rfc_upper_write,
+            self.rfc_lower_write,
+            self.rfc_buses,
+        )
+    }
+}
+
+/// The four configurations of Table 2.
+pub fn table2_configs() -> [Table2Config; 4] {
+    [
+        Table2Config {
+            name: "C1",
+            single_read: 3,
+            single_write: 2,
+            rfc_upper_read: 3,
+            rfc_upper_write: 2,
+            rfc_lower_write: 2,
+            rfc_buses: 2,
+            paper_single_area: 10921.0,
+            paper_single_cycle_1s: 4.71,
+            paper_single_cycle_2s: 2.35,
+            paper_rfc_area: 10593.0,
+            paper_rfc_cycle: 2.45,
+        },
+        Table2Config {
+            name: "C2",
+            single_read: 3,
+            single_write: 3,
+            rfc_upper_read: 4,
+            rfc_upper_write: 3,
+            rfc_lower_write: 2,
+            rfc_buses: 3,
+            paper_single_area: 15070.0,
+            paper_single_cycle_1s: 4.98,
+            paper_single_cycle_2s: 2.49,
+            paper_rfc_area: 15487.0,
+            paper_rfc_cycle: 2.55,
+        },
+        Table2Config {
+            name: "C3",
+            single_read: 4,
+            single_write: 3,
+            rfc_upper_read: 4,
+            rfc_upper_write: 4,
+            rfc_lower_write: 2,
+            rfc_buses: 4,
+            paper_single_area: 18855.0,
+            paper_single_cycle_1s: 5.22,
+            paper_single_cycle_2s: 2.61,
+            paper_rfc_area: 20529.0,
+            paper_rfc_cycle: 2.61,
+        },
+        Table2Config {
+            name: "C4",
+            single_read: 4,
+            single_write: 4,
+            rfc_upper_read: 4,
+            rfc_upper_write: 4,
+            rfc_lower_write: 3,
+            rfc_buses: 4,
+            paper_single_area: 24163.0,
+            paper_single_cycle_1s: 5.48,
+            paper_single_cycle_2s: 2.74,
+            paper_rfc_area: 25296.0,
+            paper_rfc_cycle: 2.67,
+        },
+    ]
+}
+
+/// One fully evaluated Table 2 row: this crate's model values next to the
+/// paper's, for the standard 128-register / 16-entry machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// The configuration evaluated.
+    pub config: Table2Config,
+    /// Model area of the single-banked file, 10K λ².
+    pub model_single_area: f64,
+    /// Model cycle time of the non-pipelined single-banked file, ns.
+    pub model_single_cycle_1s: f64,
+    /// Model cycle time of the two-stage single-banked file, ns.
+    pub model_single_cycle_2s: f64,
+    /// Model area of the register file cache, 10K λ².
+    pub model_rfc_area: f64,
+    /// Model cycle time of the register file cache, ns.
+    pub model_rfc_cycle: f64,
+}
+
+impl Table2Row {
+    /// Evaluates one configuration with the calibrated model.
+    pub fn evaluate(config: Table2Config) -> Self {
+        let s1 = config.single_bank_1stage(128);
+        let s2 = config.single_bank_2stage(128);
+        let rfc = config.register_file_cache(128, 16);
+        Table2Row {
+            config,
+            model_single_area: s1.area_lambda2() / 1e4,
+            model_single_cycle_1s: s1.cycle_time_ns(),
+            model_single_cycle_2s: s2.cycle_time_ns(),
+            model_rfc_area: rfc.area_lambda2() / 1e4,
+            model_rfc_cycle: rfc.cycle_time_ns(),
+        }
+    }
+}
+
+impl fmt::Display for Table2Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: single area {:>7.0} (paper {:>7.0})  1-cycle {:.2}ns ({:.2})  2-cycle {:.2}ns ({:.2})  rfc area {:>7.0} ({:>7.0})  rfc cycle {:.2}ns ({:.2})",
+            self.config.name,
+            self.model_single_area,
+            self.config.paper_single_area,
+            self.model_single_cycle_1s,
+            self.config.paper_single_cycle_1s,
+            self.model_single_cycle_2s,
+            self.config.paper_single_cycle_2s,
+            self.model_rfc_area,
+            self.config.paper_rfc_area,
+            self.model_rfc_cycle,
+            self.config.paper_rfc_cycle,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_named_configs() {
+        let names: Vec<_> = table2_configs().iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["C1", "C2", "C3", "C4"]);
+    }
+
+    #[test]
+    fn model_reproduces_every_table2_entry_within_6pct() {
+        for cfg in table2_configs() {
+            let row = Table2Row::evaluate(cfg);
+            let checks = [
+                (row.model_single_area, cfg.paper_single_area),
+                (row.model_single_cycle_1s, cfg.paper_single_cycle_1s),
+                (row.model_single_cycle_2s, cfg.paper_single_cycle_2s),
+                (row.model_rfc_area, cfg.paper_rfc_area),
+                (row.model_rfc_cycle, cfg.paper_rfc_cycle),
+            ];
+            for (model, paper) in checks {
+                let err = (model - paper).abs() / paper;
+                assert!(err < 0.06, "{}: model {model} vs paper {paper}", cfg.name);
+            }
+        }
+    }
+
+    #[test]
+    fn areas_increase_from_c1_to_c4() {
+        let rows: Vec<_> = table2_configs().map(Table2Row::evaluate).into_iter().collect();
+        for w in rows.windows(2) {
+            assert!(w[0].model_single_area < w[1].model_single_area);
+            assert!(w[0].model_rfc_area < w[1].model_rfc_area);
+        }
+    }
+
+    #[test]
+    fn display_includes_config_name() {
+        let row = Table2Row::evaluate(table2_configs()[0]);
+        assert!(row.to_string().starts_with("C1:"));
+    }
+}

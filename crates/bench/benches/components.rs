@@ -1,0 +1,151 @@
+//! Component micro-benchmarks: the kernels the cycle-level simulator
+//! spends its time in. These guard the simulator's own performance (the
+//! figures sweep hundreds of configurations, so regressions here multiply).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rfcache_core::{
+    NullWindow, RegFileCacheConfig, RegFileCacheModel, RegFileModel, SingleBankConfig,
+    SingleBankModel,
+};
+use rfcache_frontend::Gshare;
+use rfcache_isa::PhysReg;
+use rfcache_mem::{CacheConfig, SetAssocCache};
+use rfcache_workload::{BenchProfile, TraceGenerator};
+
+fn bench_gshare(c: &mut Criterion) {
+    c.bench_function("gshare_predict_update_1k", |b| {
+        let mut bp = Gshare::new(16);
+        let mut pc = 0x1000u64;
+        b.iter(|| {
+            for i in 0..1000u64 {
+                pc = pc.wrapping_add(16);
+                bp.predict_and_update(pc, i % 3 == 0);
+            }
+        });
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("dcache_access_1k", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::spec_dcache());
+        let mut addr = 0u64;
+        b.iter(|| {
+            for _ in 0..1000 {
+                addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                cache.access(addr % (1 << 20), addr & 4 == 0);
+            }
+        });
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("trace_generate_10k_gcc", |b| {
+        let profile = BenchProfile::by_name("gcc").expect("gcc exists");
+        b.iter_batched(
+            || TraceGenerator::new(profile, 7),
+            |generator| generator.take(10_000).count(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_single_bank_protocol(c: &mut Criterion) {
+    c.bench_function("single_bank_issue_protocol_1k", |b| {
+        let mut rf = SingleBankModel::new(SingleBankConfig::one_cycle(), 128);
+        for i in 0..128u16 {
+            rf.seed_initial(PhysReg::new(i));
+        }
+        b.iter(|| {
+            for cycle in 0..1000u64 {
+                rf.begin_cycle(cycle);
+                let preg = PhysReg::new((cycle % 96) as u16 + 32);
+                rf.on_alloc(preg);
+                rf.schedule_result(preg, cycle);
+                let _ = rf.try_writeback(preg, cycle, &NullWindow);
+                if let Ok(plan) = rf.plan_read(&[preg], cycle) {
+                    rf.commit_read(&plan, cycle);
+                }
+                rf.on_free(preg);
+            }
+        });
+    });
+}
+
+fn bench_rfc_protocol(c: &mut Criterion) {
+    c.bench_function("rfc_issue_protocol_1k", |b| {
+        let mut rf = RegFileCacheModel::new(RegFileCacheConfig::paper_default(), 128);
+        for i in 0..128u16 {
+            rf.seed_initial(PhysReg::new(i));
+        }
+        b.iter(|| {
+            for cycle in 0..1000u64 {
+                rf.begin_cycle(cycle);
+                let preg = PhysReg::new((cycle % 96) as u16 + 32);
+                rf.on_alloc(preg);
+                rf.schedule_result(preg, cycle);
+                let _ = rf.try_writeback(preg, cycle, &NullWindow);
+                if let Ok(plan) = rf.plan_read(&[preg], cycle) {
+                    rf.commit_read(&plan, cycle);
+                }
+                rf.request_prefetch(preg, cycle);
+                rf.on_free(preg);
+            }
+        });
+    });
+}
+
+fn bench_area_model(c: &mut Criterion) {
+    c.bench_function("area_model_table2", |b| {
+        b.iter(|| {
+            rfcache_area::table2_configs()
+                .map(rfcache_area::Table2Row::evaluate)
+                .iter()
+                .map(|r| r.model_rfc_area)
+                .sum::<f64>()
+        });
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("cpu_20k_insts_li_1cycle", |b| {
+        b.iter(|| {
+            rfcache_sim::RunSpec::new(
+                "li",
+                rfcache_core::RegFileConfig::Single(SingleBankConfig::one_cycle()),
+            )
+            .insts(20_000)
+            .warmup(0)
+            .run()
+            .metrics
+            .committed
+        });
+    });
+    group.bench_function("cpu_20k_insts_li_rfc", |b| {
+        b.iter(|| {
+            rfcache_sim::RunSpec::new(
+                "li",
+                rfcache_core::RegFileConfig::Cache(RegFileCacheConfig::paper_default()),
+            )
+            .insts(20_000)
+            .warmup(0)
+            .run()
+            .metrics
+            .committed
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gshare,
+    bench_cache,
+    bench_trace_generation,
+    bench_single_bank_protocol,
+    bench_rfc_protocol,
+    bench_area_model,
+    bench_end_to_end,
+);
+criterion_main!(benches);

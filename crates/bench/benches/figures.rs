@@ -1,0 +1,37 @@
+//! One reduced-scale Criterion benchmark per paper table/figure.
+//!
+//! Each benchmark executes the same code path as the corresponding
+//! `experiments <figN>` invocation at smoke scale, so `cargo bench`
+//! exercises every experiment end-to-end and tracks its cost. The
+//! full-scale series (the numbers recorded in EXPERIMENTS.md) come from
+//! the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfcache_sim::experiments::{
+    ablation, onelevel, fig1, fig2, fig3, fig5, fig6, fig7, fig8, fig9, readstats, table2, ExperimentOpts,
+};
+
+fn smoke() -> ExperimentOpts {
+    ExperimentOpts::smoke()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("table2", |b| b.iter(|| table2::run().max_relative_error()));
+    group.bench_function("fig1", |b| b.iter(|| fig1::run(&smoke()).saturation_gain()));
+    group.bench_function("fig2", |b| b.iter(|| fig2::run(&smoke()).int_hmean.len()));
+    group.bench_function("fig3", |b| b.iter(|| fig3::run(&smoke()).int_ready.percentile(0.9)));
+    group.bench_function("readstats", |b| b.iter(|| readstats::run(&smoke()).int_avg));
+    group.bench_function("fig5", |b| b.iter(|| fig5::run(&smoke()).int_hmean.len()));
+    group.bench_function("fig6", |b| b.iter(|| fig6::run(&smoke()).int_hmean.len()));
+    group.bench_function("fig7", |b| b.iter(|| fig7::run(&smoke()).int_hmean.len()));
+    group.bench_function("fig8", |b| b.iter(|| fig8::run(&smoke()).archs.len()));
+    group.bench_function("fig9", |b| b.iter(|| fig9::run(&smoke()).rfc_speedup(0)));
+    group.bench_function("ablation", |b| b.iter(|| ablation::run(&smoke()).rows.len()));
+    group.bench_function("onelevel", |b| b.iter(|| onelevel::run(&smoke()).rows.len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments <fig1|fig2|fig3|readstats|fig5|fig6|fig7|fig8|table2|fig9|ablation|all>
+//!             [--insts N] [--warmup N] [--seed N] [--quick]
+//! ```
+//!
+//! Defaults: 200k measured instructions per benchmark after 60k warmup
+//! (the paper simulates 100M after skipping initialization; see
+//! EXPERIMENTS.md for the scaling discussion).
+
+use rfcache_sim::experiments::{
+    ablation, onelevel, sources, fig1, fig2, fig3, fig5, fig6, fig7, fig8, fig9, readstats, table2, ExperimentOpts,
+};
+use std::time::Instant;
+
+const USAGE: &str = "usage: experiments <fig1|fig2|fig3|readstats|fig5|fig6|fig7|fig8|table2|fig9|ablation|onelevel|sources|all> \
+     [--insts N] [--warmup N] [--seed N] [--quick]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first().cloned() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+
+    let mut opts = ExperimentOpts::default();
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--insts" => opts.insts = parse_num(it.next()),
+            "--warmup" => opts.warmup = parse_num(it.next()),
+            "--seed" => opts.seed = parse_num(it.next()),
+            "--quick" => opts.quick = true,
+            other => {
+                eprintln!("unknown option {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let all = [
+        "table2", "fig1", "fig2", "fig3", "readstats", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "ablation", "onelevel", "sources",
+    ];
+    let selected: Vec<&str> = if which == "all" {
+        all.to_vec()
+    } else if all.contains(&which.as_str()) {
+        vec![which.as_str()]
+    } else {
+        eprintln!("unknown experiment {which}\n{USAGE}");
+        std::process::exit(2);
+    };
+
+    for name in selected {
+        let start = Instant::now();
+        match name {
+            "fig1" => println!("{}", fig1::run(&opts)),
+            "fig2" => println!("{}", fig2::run(&opts)),
+            "fig3" => println!("{}", fig3::run(&opts)),
+            "readstats" => println!("{}", readstats::run(&opts)),
+            "fig5" => println!("{}", fig5::run(&opts)),
+            "fig6" => println!("{}", fig6::run(&opts)),
+            "fig7" => println!("{}", fig7::run(&opts)),
+            "fig8" => println!("{}", fig8::run(&opts)),
+            "table2" => println!("{}", table2::run()),
+            "fig9" => println!("{}", fig9::run(&opts)),
+            "ablation" => println!("{}", ablation::run(&opts)),
+            "onelevel" => println!("{}", onelevel::run(&opts)),
+            "sources" => println!("{}", sources::run(&opts)),
+            _ => unreachable!("validated above"),
+        }
+        eprintln!("[{name}: {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+}
+
+fn parse_num(arg: Option<&String>) -> u64 {
+    arg.and_then(|s| s.replace('_', "").parse().ok()).unwrap_or_else(|| {
+        eprintln!("expected a number\n{USAGE}");
+        std::process::exit(2);
+    })
+}

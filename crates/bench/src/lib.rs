@@ -1,0 +1,7 @@
+//! Benchmark and experiment harness for the rfcache reproduction.
+//!
+//! * `src/bin/experiments.rs` — regenerates every table and figure of the
+//!   paper (see EXPERIMENTS.md at the workspace root).
+//! * `benches/` — Criterion benchmarks: component micro-benchmarks
+//!   (predictor, caches, trace generation, register file models) and one
+//!   reduced-scale end-to-end benchmark per paper experiment.

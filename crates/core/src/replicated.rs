@@ -1,0 +1,270 @@
+//! One-level replicated multiple-banked organization (Alpha 21264 style),
+//! included as the related-work baseline of §5: every bank holds a full
+//! copy of the register file with fewer read ports; results are written to
+//! every bank, reaching remote banks one cycle later; each functional-unit
+//! cluster reads its local bank.
+
+use crate::config::ReplicatedBankConfig;
+use crate::model::{
+    PlanError, PregState, ReadPath, RegFileModel, RegFileStats, SourceRead, WindowQuery,
+};
+use rfcache_isa::{Cycle, PhysReg};
+
+/// Timing model of a replicated-bank register file.
+///
+/// Instructions are assigned to clusters round-robin at issue. An operand
+/// is readable in a cluster once the value has been written to that
+/// cluster's bank: the producing cluster's bank at write-back, remote
+/// banks [`ReplicatedBankConfig::remote_write_delay`] cycles later. The
+/// bypass network forwards within a cluster only.
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_core::{RegFileModel, ReplicatedBankConfig, ReplicatedBankModel};
+///
+/// let rf = ReplicatedBankModel::new(ReplicatedBankConfig::default(), 128);
+/// assert_eq!(rf.read_latency(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ReplicatedBankModel {
+    config: ReplicatedBankConfig,
+    states: Vec<PregState>,
+    /// Cluster that produced each register's value.
+    producer_cluster: Vec<u32>,
+    /// Cluster the next issuing instruction is assigned to.
+    next_cluster: u32,
+    /// Read ports consumed this cycle, per cluster.
+    reads_used: Vec<u32>,
+    stats: RegFileStats,
+}
+
+impl ReplicatedBankModel {
+    /// Creates a model for `phys_regs` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys_regs == 0` or `config.banks == 0`.
+    pub fn new(config: ReplicatedBankConfig, phys_regs: usize) -> Self {
+        assert!(phys_regs > 0, "need at least one physical register");
+        assert!(config.banks >= 1, "need at least one bank");
+        ReplicatedBankModel {
+            states: vec![PregState::default(); phys_regs],
+            producer_cluster: vec![0; phys_regs],
+            next_cluster: 0,
+            reads_used: vec![0; config.banks as usize],
+            stats: RegFileStats::default(),
+            config,
+        }
+    }
+
+    /// The cluster the next issuing instruction will use.
+    pub fn current_cluster(&self) -> u32 {
+        self.next_cluster
+    }
+
+    fn readable_in(&self, preg: PhysReg, cluster: u32, now: Cycle) -> bool {
+        let st = &self.states[preg.index()];
+        match st.written_at {
+            Some(w) => {
+                let effective = if self.producer_cluster[preg.index()] == cluster {
+                    w
+                } else {
+                    w + self.config.remote_write_delay
+                };
+                now >= effective
+            }
+            None => false,
+        }
+    }
+}
+
+impl RegFileModel for ReplicatedBankModel {
+    fn read_latency(&self) -> u64 {
+        1
+    }
+
+    fn begin_cycle(&mut self, _now: Cycle) {
+        self.reads_used.fill(0);
+    }
+
+    fn on_alloc(&mut self, preg: PhysReg) {
+        self.states[preg.index()].reset_for_alloc();
+    }
+
+    fn seed_initial(&mut self, preg: PhysReg) {
+        let st = &mut self.states[preg.index()];
+        st.reset_for_alloc();
+        st.produced_at = Some(0);
+        st.written_at = Some(0);
+    }
+
+    fn schedule_result(&mut self, preg: PhysReg, produced_at: Cycle) {
+        self.states[preg.index()].produced_at = Some(produced_at);
+        // The producing instruction itself ran in some cluster; attribute
+        // round-robin like every other issue.
+        self.producer_cluster[preg.index()] = self.next_cluster;
+    }
+
+    fn try_writeback(&mut self, preg: PhysReg, now: Cycle, _window: &dyn WindowQuery) -> bool {
+        // Every bank has a dedicated write port per result bus (full
+        // replication); write-back never stalls on ports in this model.
+        self.states[preg.index()].written_at = Some(now);
+        self.stats.writebacks += 1;
+        true
+    }
+
+    fn is_written(&self, preg: PhysReg) -> bool {
+        self.states[preg.index()].written_at.is_some()
+    }
+
+    fn is_produced(&self, preg: PhysReg, now: Cycle) -> bool {
+        matches!(self.states[preg.index()].produced_at, Some(p) if p <= now)
+    }
+
+    fn operand_obtainable(&self, preg: PhysReg, now: Cycle) -> bool {
+        // Conservative pre-check: readability depends on the consuming
+        // cluster, which is not known here; report the most permissive
+        // answer (plan_read settles it).
+        match self.states[preg.index()].produced_at {
+            Some(p) if now == p => true,
+            Some(p) if now > p => self.states[preg.index()].written_at.is_some(),
+            _ => false,
+        }
+    }
+
+    fn plan_read(&mut self, srcs: &[PhysReg], now: Cycle) -> Result<Vec<SourceRead>, PlanError> {
+        let cluster = self.next_cluster;
+        let mut plan = Vec::with_capacity(srcs.len());
+        let mut ports_needed = 0;
+        for &preg in srcs {
+            let st = &self.states[preg.index()];
+            let Some(produced) = st.produced_at else { return Err(PlanError::NotReady) };
+            let local = self.producer_cluster[preg.index()] == cluster;
+            if now == produced && local {
+                plan.push(SourceRead { preg, path: ReadPath::Bypass });
+            } else if self.readable_in(preg, cluster, now) {
+                ports_needed += 1;
+                plan.push(SourceRead { preg, path: ReadPath::RegFile });
+            } else {
+                return Err(PlanError::NotReady);
+            }
+        }
+        if let Some(limit) = self.config.read_ports_per_bank {
+            if self.reads_used[cluster as usize] + ports_needed > limit {
+                self.stats.read_port_stalls += 1;
+                return Err(PlanError::NoReadPort);
+            }
+        }
+        Ok(plan)
+    }
+
+    fn commit_read(&mut self, plan: &[SourceRead], _now: Cycle) {
+        let cluster = self.next_cluster;
+        for read in plan {
+            let st = &mut self.states[read.preg.index()];
+            st.reads += 1;
+            match read.path {
+                ReadPath::Bypass => {
+                    st.bypass_consumed = true;
+                    self.stats.bypass_reads += 1;
+                }
+                ReadPath::RegFile => {
+                    self.reads_used[cluster as usize] += 1;
+                    self.stats.regfile_reads += 1;
+                }
+            }
+        }
+        self.next_cluster = (self.next_cluster + 1) % self.config.banks;
+    }
+
+    fn request_demand(&mut self, _preg: PhysReg, _now: Cycle) {}
+
+    fn request_prefetch(&mut self, _preg: PhysReg, _now: Cycle) {}
+
+    fn on_free(&mut self, preg: PhysReg) {
+        let st = &mut self.states[preg.index()];
+        if st.live {
+            let snapshot = *st;
+            snapshot.account_reads(&mut self.stats);
+        }
+        *st = PregState::default();
+    }
+
+    fn stats(&self) -> &RegFileStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NullWindow;
+
+    fn two_banks() -> ReplicatedBankModel {
+        ReplicatedBankModel::new(ReplicatedBankConfig::default(), 16)
+    }
+
+    #[test]
+    fn remote_reads_wait_an_extra_cycle() {
+        let mut rf = two_banks();
+        let r = PhysReg::new(0);
+        rf.begin_cycle(0);
+        rf.on_alloc(r);
+        rf.schedule_result(r, 2); // produced by cluster 0
+        rf.begin_cycle(3);
+        assert!(rf.try_writeback(r, 3, &NullWindow));
+        // Cluster 0 (local): readable at 3.
+        assert_eq!(rf.current_cluster(), 0);
+        let plan = rf.plan_read(&[r], 3).unwrap();
+        rf.commit_read(&plan, 3); // advances to cluster 1
+        // Cluster 1 (remote): not readable until 4.
+        assert_eq!(rf.current_cluster(), 1);
+        assert_eq!(rf.plan_read(&[r], 3), Err(PlanError::NotReady));
+        rf.begin_cycle(4);
+        assert!(rf.plan_read(&[r], 4).is_ok());
+    }
+
+    #[test]
+    fn per_bank_read_ports() {
+        let cfg = ReplicatedBankConfig {
+            banks: 2,
+            read_ports_per_bank: Some(1),
+            remote_write_delay: 1,
+        };
+        let mut rf = ReplicatedBankModel::new(cfg, 16);
+        let (a, b) = (PhysReg::new(0), PhysReg::new(1));
+        rf.begin_cycle(0);
+        for r in [a, b] {
+            rf.on_alloc(r);
+            rf.schedule_result(r, 0);
+        }
+        rf.begin_cycle(1);
+        assert!(rf.try_writeback(a, 1, &NullWindow));
+        assert!(rf.try_writeback(b, 1, &NullWindow));
+        rf.begin_cycle(2);
+        // Two operands need two ports in cluster 0: rejected.
+        assert_eq!(rf.plan_read(&[a, b], 2), Err(PlanError::NoReadPort));
+        // One operand fits.
+        let plan = rf.plan_read(&[a], 2).unwrap();
+        rf.commit_read(&plan, 2);
+        // The next instruction runs in cluster 1 with a fresh port budget.
+        assert!(rf.plan_read(&[b], 2).is_ok());
+    }
+
+    #[test]
+    fn bypass_only_within_producing_cluster() {
+        let mut rf = two_banks();
+        let r = PhysReg::new(0);
+        rf.begin_cycle(0);
+        rf.on_alloc(r);
+        rf.schedule_result(r, 5); // producer assigned to cluster 0
+        rf.begin_cycle(5);
+        // Cluster 0 catches the bypass.
+        let plan = rf.plan_read(&[r], 5).unwrap();
+        assert_eq!(plan[0].path, ReadPath::Bypass);
+        rf.commit_read(&plan, 5);
+        // Cluster 1 cannot: value not produced locally, not yet written.
+        assert_eq!(rf.plan_read(&[r], 5), Err(PlanError::NotReady));
+    }
+}

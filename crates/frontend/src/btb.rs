@@ -1,0 +1,101 @@
+//! Branch target buffer: a direct-mapped table of branch targets. A
+//! predicted-taken branch whose target misses in the BTB costs one fetch
+//! bubble while the target is computed.
+
+/// A direct-mapped branch target buffer.
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_frontend::Btb;
+/// let mut btb = Btb::new(1024);
+/// assert_eq!(btb.lookup(0x400), None);
+/// btb.update(0x400, 0x1000);
+/// assert_eq!(btb.lookup(0x400), Some(0x1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<Option<(u64, u64)>>, // (branch pc, target)
+    hits: u64,
+    misses: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` slots (rounded up to a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries == 0`.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "BTB needs at least one entry");
+        Btb { entries: vec![None; entries.next_power_of_two()], hits: 0, misses: 0 }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Looks up the target for the branch at `pc`.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        let idx = self.index(pc);
+        match self.entries[idx] {
+            Some((tag, target)) if tag == pc => {
+                self.hits += 1;
+                Some(target)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs or refreshes the target of the branch at `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let idx = self.index(pc);
+        self.entries[idx] = Some((pc, target));
+    }
+
+    /// Fraction of lookups that hit, or `None` before the first lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_after_update() {
+        let mut b = Btb::new(16);
+        assert_eq!(b.lookup(0x40), None);
+        b.update(0x40, 0x999);
+        assert_eq!(b.lookup(0x40), Some(0x999));
+        assert_eq!(b.hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn conflicting_pcs_evict() {
+        let mut b = Btb::new(16);
+        let a = 0x40u64;
+        let conflict = a + 16 * 4; // same index, different tag
+        b.update(a, 1);
+        b.update(conflict, 2);
+        assert_eq!(b.lookup(a), None);
+        assert_eq!(b.lookup(conflict), Some(2));
+    }
+
+    #[test]
+    fn size_rounds_to_power_of_two() {
+        let b = Btb::new(1000);
+        assert_eq!(b.entries.len(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = Btb::new(0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Branch prediction and instruction fetch for the simulated front end.
+//!
+//! Models the paper's front end (Table 1): fetch of up to 8 instructions
+//! per cycle with at most one taken branch, a gshare predictor with 64K
+//! two-bit counters, a branch target buffer, and a 64KB 2-way instruction
+//! cache whose misses stall fetch.
+//!
+//! The simulator is trace-driven, so wrong-path instructions are not
+//! executed; instead, fetch stalls from the moment a mispredicted branch is
+//! fetched until the back end resolves it and calls
+//! [`FetchUnit::redirect`], charging the full misprediction penalty
+//! (which grows with the register-file read latency — the central
+//! sensitivity studied by the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use rfcache_frontend::Gshare;
+//!
+//! let mut bp = Gshare::new(16);
+//! // A strongly biased branch trains once the global history saturates.
+//! for _ in 0..32 {
+//!     let _ = bp.predict_and_update(0x400, true);
+//! }
+//! assert!(bp.predict_and_update(0x400, true).predicted);
+//! ```
+
+#![warn(missing_docs)]
+
+mod btb;
+mod fetch;
+mod gshare;
+
+pub use btb::Btb;
+pub use fetch::{FetchConfig, FetchStats, FetchUnit, FetchedInst};
+pub use gshare::{Gshare, Prediction};

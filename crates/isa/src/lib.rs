@@ -1,0 +1,33 @@
+//! Instruction-set and register primitives shared by every crate in the
+//! rfcache workspace.
+//!
+//! The simulated machine is a RISC-like, register-register ISA matching the
+//! one assumed by Cruz et al. (ISCA 2000): 32 integer and 32 floating-point
+//! architectural registers, at most two source operands and one destination
+//! per instruction, and explicit load/store/branch instruction classes.
+//!
+//! # Examples
+//!
+//! ```
+//! use rfcache_isa::{ArchReg, OpClass, RegClass, TraceInst};
+//!
+//! let add = TraceInst::alu(OpClass::IntAlu, ArchReg::int(3), ArchReg::int(1), ArchReg::int(2));
+//! assert_eq!(add.dst.unwrap().class(), RegClass::Int);
+//! assert_eq!(add.op.exec_latency(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod inst;
+mod op;
+mod reg;
+
+pub use inst::{BranchInfo, TraceInst};
+pub use op::{FuKind, OpClass};
+pub use reg::{ArchReg, PhysReg, RegClass, ARCH_REGS_PER_CLASS};
+
+/// Simulation time, measured in processor cycles since reset.
+pub type Cycle = u64;
+
+/// Sequence number of a dynamic instruction (its position in the trace).
+pub type InstSeq = u64;

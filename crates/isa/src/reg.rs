@@ -1,0 +1,215 @@
+//! Architectural and physical register newtypes.
+
+use std::fmt;
+
+/// Number of architectural registers in each register class (integer and
+/// floating point), as in the Alpha-like machine modelled by the paper.
+pub const ARCH_REGS_PER_CLASS: u8 = 32;
+
+/// The two register classes of the machine. Integer and floating-point
+/// registers live in separate physical register files, each with its own
+/// register file architecture instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// Integer register class (`r0`..`r31`).
+    Int,
+    /// Floating-point register class (`f0`..`f31`).
+    Fp,
+}
+
+impl RegClass {
+    /// Both register classes, in a fixed order (useful for per-class loops).
+    pub const ALL: [RegClass; 2] = [RegClass::Int, RegClass::Fp];
+
+    /// Dense index of the class (`Int = 0`, `Fp = 1`).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            RegClass::Int => 0,
+            RegClass::Fp => 1,
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Fp => write!(f, "fp"),
+        }
+    }
+}
+
+/// An architectural (logical) register: a class plus an index below
+/// [`ARCH_REGS_PER_CLASS`].
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_isa::{ArchReg, RegClass};
+/// let r = ArchReg::int(5);
+/// assert_eq!(r.class(), RegClass::Int);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArchReg {
+    class: RegClass,
+    index: u8,
+}
+
+impl ArchReg {
+    /// Creates an architectural register of the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= ARCH_REGS_PER_CLASS`.
+    #[inline]
+    pub fn new(class: RegClass, index: u8) -> Self {
+        assert!(
+            index < ARCH_REGS_PER_CLASS,
+            "architectural register index {index} out of range"
+        );
+        ArchReg { class, index }
+    }
+
+    /// Shorthand for an integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= ARCH_REGS_PER_CLASS`.
+    #[inline]
+    pub fn int(index: u8) -> Self {
+        ArchReg::new(RegClass::Int, index)
+    }
+
+    /// Shorthand for a floating-point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= ARCH_REGS_PER_CLASS`.
+    #[inline]
+    pub fn fp(index: u8) -> Self {
+        ArchReg::new(RegClass::Fp, index)
+    }
+
+    /// The register class this register belongs to.
+    #[inline]
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// Index of the register within its class (0..32).
+    #[inline]
+    pub fn index(self) -> usize {
+        usize::from(self.index)
+    }
+
+    /// Dense index over both classes (0..64): integer registers first.
+    #[inline]
+    pub fn flat_index(self) -> usize {
+        self.class.index() * usize::from(ARCH_REGS_PER_CLASS) + self.index()
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+/// A physical register name inside one register file (one register class).
+///
+/// Physical registers are plain dense indices; the register-file model that
+/// owns them decides how many exist. The newtype prevents mixing physical
+/// and architectural register indices.
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_isa::PhysReg;
+/// let p = PhysReg::new(17);
+/// assert_eq!(p.index(), 17);
+/// assert_eq!(p.to_string(), "p17");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysReg(u16);
+
+impl PhysReg {
+    /// Creates a physical register with the given dense index.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        PhysReg(index)
+    }
+
+    /// Dense index of the physical register.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw index as stored (`u16`).
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl From<u16> for PhysReg {
+    fn from(index: u16) -> Self {
+        PhysReg(index)
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_reg_flat_index_is_dense_and_disjoint() {
+        let mut seen = std::collections::HashSet::new();
+        for class in RegClass::ALL {
+            for i in 0..ARCH_REGS_PER_CLASS {
+                assert!(seen.insert(ArchReg::new(class, i).flat_index()));
+            }
+        }
+        assert_eq!(seen.len(), 64);
+        assert_eq!(seen.iter().max(), Some(&63));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arch_reg_rejects_out_of_range_index() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ArchReg::fp(9).to_string(), "f9");
+        assert_eq!(RegClass::Fp.to_string(), "fp");
+        assert_eq!(PhysReg::new(0).to_string(), "p0");
+    }
+
+    #[test]
+    fn phys_reg_roundtrip() {
+        let p: PhysReg = 123u16.into();
+        assert_eq!(p.raw(), 123);
+        assert_eq!(p.index(), 123);
+    }
+
+    #[test]
+    fn reg_class_indices() {
+        assert_eq!(RegClass::Int.index(), 0);
+        assert_eq!(RegClass::Fp.index(), 1);
+        assert_eq!(RegClass::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the ISA primitives.
+
+use proptest::prelude::*;
+use rfcache_isa::{ArchReg, FuKind, OpClass, PhysReg, RegClass, TraceInst, ARCH_REGS_PER_CLASS};
+
+fn arb_class() -> impl Strategy<Value = RegClass> {
+    prop_oneof![Just(RegClass::Int), Just(RegClass::Fp)]
+}
+
+fn arb_reg() -> impl Strategy<Value = ArchReg> {
+    (arb_class(), 0..ARCH_REGS_PER_CLASS).prop_map(|(c, i)| ArchReg::new(c, i))
+}
+
+proptest! {
+    /// `flat_index` is a bijection onto 0..64.
+    #[test]
+    fn flat_index_roundtrips(reg in arb_reg()) {
+        let flat = reg.flat_index();
+        prop_assert!(flat < 64);
+        let back = if flat < 32 {
+            ArchReg::new(RegClass::Int, flat as u8)
+        } else {
+            ArchReg::new(RegClass::Fp, (flat - 32) as u8)
+        };
+        prop_assert_eq!(back, reg);
+    }
+
+    /// Display forms are unique per register.
+    #[test]
+    fn display_unique(a in arb_reg(), b in arb_reg()) {
+        prop_assert_eq!(a == b, a.to_string() == b.to_string());
+    }
+
+    /// Physical register indices roundtrip through the newtype.
+    #[test]
+    fn phys_reg_roundtrip(i in 0u16..u16::MAX) {
+        let p = PhysReg::new(i);
+        prop_assert_eq!(p.raw(), i);
+        prop_assert_eq!(p.index(), i as usize);
+        prop_assert_eq!(PhysReg::from(i), p);
+    }
+
+    /// Every op class maps to a functional unit with a positive pool size,
+    /// and its latency is consistent with the unit's pipelining.
+    #[test]
+    fn op_to_fu_total(op_idx in 0usize..8) {
+        let op = OpClass::ALL[op_idx];
+        let fu = op.fu_kind();
+        prop_assert!(fu.default_count() > 0);
+        prop_assert!(op.exec_latency() >= 1);
+        if !fu.is_pipelined() {
+            prop_assert!(op.exec_latency() > 2, "only long ops are unpipelined");
+        }
+    }
+
+    /// Constructors keep the operand-shape invariants the pipeline relies
+    /// on: stores never have destinations, branches carry outcomes,
+    /// sources iterate without gaps.
+    #[test]
+    fn constructor_invariants(d in arb_reg(), s1 in arb_reg(), s2 in arb_reg(), addr in 0u64..1 << 30) {
+        let store = TraceInst::store(d, s1, addr, 0);
+        prop_assert!(store.dst.is_none());
+        prop_assert_eq!(store.num_sources(), 2);
+
+        let load = TraceInst::load(d, s1, addr, 0);
+        prop_assert_eq!(load.dst, Some(d));
+        prop_assert_eq!(load.num_sources(), 1);
+
+        let branch = TraceInst::branch(s2, addr % 2 == 0, addr, 4);
+        prop_assert!(branch.branch.is_some());
+        prop_assert!(branch.op.is_branch());
+        prop_assert_eq!(branch.sources().count(), branch.num_sources());
+    }
+}
+
+#[test]
+fn fu_kinds_cover_all_ops() {
+    let mut pools = [false; 5];
+    for op in OpClass::ALL {
+        pools[op.fu_kind().index()] = true;
+    }
+    assert!(pools.iter().all(|&p| p), "every FU kind serves some op");
+    assert_eq!(FuKind::ALL.len(), 5);
+}

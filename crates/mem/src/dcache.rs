@@ -1,0 +1,166 @@
+//! The data cache with MSHR-limited outstanding misses, as configured in
+//! Table 1 of the paper.
+
+use crate::cache::{CacheConfig, SetAssocCache};
+use crate::mshr::MshrFile;
+use rfcache_isa::Cycle;
+
+/// Timing result of a data-cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Total access latency in cycles, from the access cycle until the data
+    /// (or write completion) is available.
+    pub latency: u64,
+    /// Whether the access hit in the cache.
+    pub hit: bool,
+}
+
+/// Data cache front door used by the load/store units.
+///
+/// Combines the set-associative array with an MSHR file: a miss that finds
+/// all MSHRs busy is delayed until the oldest outstanding miss completes,
+/// then pays the full miss latency — modelling the structural stall the
+/// paper's "up to 16 outstanding misses" implies.
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_mem::{CacheConfig, DataCache};
+/// let mut dc = DataCache::new(CacheConfig::spec_dcache(), 16);
+/// assert_eq!(dc.store(0x40, 5).latency, 6);
+/// assert!(dc.load(0x40, 20).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataCache {
+    array: SetAssocCache,
+    mshrs: MshrFile,
+    line_bytes: u64,
+    mshr_stalls: u64,
+}
+
+impl DataCache {
+    /// Creates a data cache with `mshr_entries` outstanding-miss slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `mshr_entries == 0`.
+    pub fn new(config: CacheConfig, mshr_entries: usize) -> Self {
+        let line_bytes = config.line_bytes;
+        DataCache {
+            array: SetAssocCache::new(config),
+            mshrs: MshrFile::new(mshr_entries),
+            line_bytes,
+            mshr_stalls: 0,
+        }
+    }
+
+    /// Performs a load at `addr` issued at cycle `now`.
+    pub fn load(&mut self, addr: u64, now: Cycle) -> MemAccess {
+        self.access(addr, now, false)
+    }
+
+    /// Performs a store at `addr` issued at cycle `now`.
+    pub fn store(&mut self, addr: u64, now: Cycle) -> MemAccess {
+        self.access(addr, now, true)
+    }
+
+    fn access(&mut self, addr: u64, now: Cycle, write: bool) -> MemAccess {
+        self.mshrs.retire_completed(now);
+        let out = self.array.access(addr, write);
+        if out.hit {
+            return MemAccess { latency: out.latency, hit: true };
+        }
+        let line = addr / self.line_bytes;
+        let done = now + out.latency;
+        match self.mshrs.allocate(line, done) {
+            Some(actual_done) => MemAccess { latency: actual_done.saturating_sub(now).max(1), hit: false },
+            None => {
+                // All MSHRs busy: the access retries after one drains. We
+                // approximate the retry delay with one full miss latency on
+                // top, which matches the bandwidth limit the MSHR count is
+                // meant to impose without tracking per-entry wakeup lists.
+                self.mshr_stalls += 1;
+                MemAccess { latency: out.latency * 2, hit: false }
+            }
+        }
+    }
+
+    /// Hit rate so far, or `None` before any access.
+    pub fn hit_rate(&self) -> Option<f64> {
+        self.array.hit_rate()
+    }
+
+    /// Number of accesses that found every MSHR busy.
+    pub fn mshr_stalls(&self) -> u64 {
+        self.mshr_stalls
+    }
+
+    /// Underlying cache array (for statistics).
+    pub fn array(&self) -> &SetAssocCache {
+        &self.array
+    }
+
+    /// Invalidates the array and clears all statistics.
+    pub fn reset(&mut self) {
+        let capacity = self.mshrs.capacity();
+        self.array.reset();
+        self.mshrs = MshrFile::new(capacity);
+        self.mshr_stalls = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc() -> DataCache {
+        DataCache::new(CacheConfig::spec_dcache(), 2)
+    }
+
+    #[test]
+    fn hit_is_one_cycle() {
+        let mut d = dc();
+        d.load(0x100, 0);
+        assert_eq!(d.load(0x100, 10), MemAccess { latency: 1, hit: true });
+    }
+
+    #[test]
+    fn miss_is_six_cycles() {
+        let mut d = dc();
+        assert_eq!(d.load(0x100, 0), MemAccess { latency: 6, hit: false });
+    }
+
+    #[test]
+    fn miss_to_outstanding_line_merges() {
+        let mut d = dc();
+        d.load(0x100, 0); // completes at 6
+        // A second access to the same line at cycle 3 — still a miss in the
+        // array? No: write-allocate installed the line immediately, so it
+        // hits. Force a different word of a different line to check merging
+        // via MSHR pressure instead.
+        let m1 = d.load(0x1000, 3); // occupies 2nd MSHR
+        assert!(!m1.hit);
+    }
+
+    #[test]
+    fn mshr_exhaustion_doubles_latency() {
+        let mut d = dc();
+        d.load(0x1000, 0);
+        d.load(0x2000, 0);
+        let stalled = d.load(0x3000, 0);
+        assert_eq!(stalled.latency, 12);
+        assert_eq!(d.mshr_stalls(), 1);
+        // After the outstanding misses drain, normal latency resumes.
+        let ok = d.load(0x4000, 7);
+        assert_eq!(ok.latency, 6);
+    }
+
+    #[test]
+    fn reset_clears_contents_and_stats() {
+        let mut d = dc();
+        d.load(0x100, 0);
+        d.reset();
+        assert_eq!(d.hit_rate(), None);
+        assert!(!d.load(0x100, 0).hit);
+    }
+}

@@ -1,0 +1,28 @@
+//! Cache and memory-hierarchy timing models.
+//!
+//! Implements the memory substrate of the simulated machine (Table 1 of the
+//! paper): 64KB 2-way set-associative instruction and data caches with
+//! 64-byte lines, 1-cycle hits, 6-cycle misses (8 cycles when a dirty line
+//! must be written back), and up to 16 outstanding data misses (MSHRs).
+//!
+//! # Examples
+//!
+//! ```
+//! use rfcache_mem::{CacheConfig, DataCache};
+//!
+//! let mut dc = DataCache::new(CacheConfig::spec_dcache(), 16);
+//! let miss = dc.load(0x1000, 0);
+//! assert_eq!(miss.latency, 6);
+//! let hit = dc.load(0x1008, 10); // same line, now resident
+//! assert_eq!(hit.latency, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod dcache;
+mod mshr;
+
+pub use cache::{AccessOutcome, CacheConfig, SetAssocCache};
+pub use dcache::{DataCache, MemAccess};
+pub use mshr::MshrFile;

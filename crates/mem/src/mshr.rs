@@ -1,0 +1,144 @@
+//! Miss status holding registers: bound the number of outstanding cache
+//! misses (16 in the paper's data cache).
+
+use rfcache_isa::Cycle;
+
+/// A file of miss status holding registers.
+///
+/// Each in-flight miss occupies one entry until its fill completes; misses
+/// to a line that already has an entry merge into it (and complete at the
+/// same time). When all entries are busy, new misses must stall.
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_mem::MshrFile;
+/// let mut mshrs = MshrFile::new(2);
+/// assert!(mshrs.allocate(0x40, 10).is_some());
+/// assert!(mshrs.allocate(0x80, 12).is_some());
+/// assert!(mshrs.allocate(0xc0, 12).is_none()); // full
+/// mshrs.retire_completed(11);
+/// assert!(mshrs.allocate(0xc0, 12).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    /// (line address, cycle at which the fill completes)
+    entries: Vec<(u64, Cycle)>,
+    peak_occupancy: usize,
+    merged: u64,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        MshrFile { capacity, entries: Vec::with_capacity(capacity), peak_occupancy: 0, merged: 0 }
+    }
+
+    /// Attempts to track a miss on `line_addr` completing at `done`.
+    ///
+    /// Returns the cycle at which the miss data arrives: the existing
+    /// entry's completion time when merged, otherwise `done`. Returns
+    /// `None` when the file is full (the access must retry later).
+    pub fn allocate(&mut self, line_addr: u64, done: Cycle) -> Option<Cycle> {
+        if let Some(&(_, existing_done)) = self.entries.iter().find(|(a, _)| *a == line_addr) {
+            self.merged += 1;
+            return Some(existing_done);
+        }
+        if self.entries.len() == self.capacity {
+            return None;
+        }
+        self.entries.push((line_addr, done));
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        Some(done)
+    }
+
+    /// Releases every entry whose fill has completed by `now`.
+    pub fn retire_completed(&mut self, now: Cycle) {
+        self.entries.retain(|&(_, done)| done > now);
+    }
+
+    /// Capacity of the file in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently outstanding misses.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no new (non-mergeable) miss can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Highest occupancy observed since construction.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Number of misses merged into existing entries.
+    pub fn merged(&self) -> u64 {
+        self.merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_same_line() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.allocate(0x40, 10), Some(10));
+        // Second miss on the same line merges and inherits the first
+        // fill's completion time.
+        assert_eq!(m.allocate(0x40, 99), Some(10));
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.merged(), 1);
+    }
+
+    #[test]
+    fn full_file_rejects_new_lines_but_still_merges() {
+        let mut m = MshrFile::new(1);
+        m.allocate(0x40, 10);
+        assert!(m.is_full());
+        assert_eq!(m.allocate(0x80, 10), None);
+        assert_eq!(m.allocate(0x40, 10), Some(10)); // merge still works
+    }
+
+    #[test]
+    fn retire_respects_completion_times() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0x40, 10);
+        m.allocate(0x80, 20);
+        m.retire_completed(10);
+        assert_eq!(m.occupancy(), 1); // 0x40 done exactly at 10 → released
+        m.retire_completed(19);
+        assert_eq!(m.occupancy(), 1);
+        m.retire_completed(20);
+        assert_eq!(m.occupancy(), 0);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water_mark() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0x40, 5);
+        m.allocate(0x80, 5);
+        m.retire_completed(5);
+        m.allocate(0xc0, 9);
+        assert_eq!(m.peak_occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Integration tests for the memory hierarchy: MSHR/dcache interactions
+//! and geometry edge cases beyond the unit tests.
+
+use rfcache_mem::{CacheConfig, DataCache, MshrFile, SetAssocCache};
+
+#[test]
+fn mshr_merging_returns_the_first_miss_completion_time() {
+    let mut dc = DataCache::new(CacheConfig::spec_dcache(), 16);
+    // Two accesses to different words in the same (missing) line, in the
+    // same cycle window: second must not pay a fresh full miss.
+    let a = dc.load(0x1000, 0);
+    assert_eq!(a.latency, 6);
+    // The line was installed by write-allocate, so this one hits.
+    let b = dc.load(0x1020, 2);
+    assert!(b.hit);
+}
+
+#[test]
+fn streaming_through_cache_evicts_cleanly() {
+    let mut cache = SetAssocCache::new(CacheConfig::spec_dcache());
+    // Stream 4x the cache size; every line is touched once.
+    for addr in (0..(256 * 1024)).step_by(64) {
+        cache.access(addr, false);
+    }
+    assert_eq!(cache.hits(), 0, "pure streaming never rehits");
+    // Second pass: the first 3/4 were evicted by the tail.
+    let h_before = cache.hits();
+    for addr in (0..(64 * 1024)).step_by(64) {
+        cache.access(addr, false);
+    }
+    assert_eq!(cache.hits(), h_before, "cyclic reuse beyond capacity cannot hit under LRU");
+}
+
+#[test]
+fn write_back_traffic_only_for_dirty_lines() {
+    let mut cache = SetAssocCache::new(CacheConfig {
+        size_bytes: 512,
+        ways: 2,
+        line_bytes: 64,
+        hit_latency: 1,
+        miss_latency: 6,
+        dirty_miss_latency: 8,
+    });
+    // Fill a set with one clean and one dirty line, then evict both.
+    cache.access(0x000, false);
+    cache.access(0x100, true);
+    let first_evict = cache.access(0x200, false); // evicts clean 0x000
+    let second_evict = cache.access(0x300, false); // evicts dirty 0x100
+    let lats = [first_evict.latency, second_evict.latency];
+    assert!(lats.contains(&6) && lats.contains(&8), "{lats:?}");
+}
+
+#[test]
+fn dcache_stores_allocate_and_dirty() {
+    let mut dc = DataCache::new(CacheConfig::spec_dcache(), 4);
+    assert!(!dc.store(0x40, 0).hit);
+    assert!(dc.load(0x40, 10).hit, "store allocated the line");
+}
+
+#[test]
+fn mshr_capacity_one_still_makes_progress() {
+    let mut m = MshrFile::new(1);
+    for i in 0..100u64 {
+        m.retire_completed(i * 10);
+        assert!(m.allocate(i * 64, i * 10 + 6).is_some(), "iteration {i}");
+    }
+    assert_eq!(m.peak_occupancy(), 1);
+}
+
+#[test]
+fn icache_config_never_produces_dirty_writebacks() {
+    let mut cache = SetAssocCache::new(CacheConfig::spec_icache());
+    for addr in (0..(128 * 1024)).step_by(64) {
+        let out = cache.access(addr, false);
+        assert!(!out.dirty_writeback);
+        assert!(out.latency <= 6);
+    }
+}

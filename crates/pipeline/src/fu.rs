@@ -1,0 +1,91 @@
+//! Functional-unit pools with per-unit reservation.
+//!
+//! Pipelined units accept a new operation every cycle; non-pipelined
+//! units (FP divide) are busy for the full operation latency.
+
+use rfcache_isa::{Cycle, FuKind};
+
+/// The machine's functional units (Table 1 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_isa::FuKind;
+/// use rfcache_pipeline::FuPool;
+///
+/// let mut pool = FuPool::new([6, 3, 4, 2, 4]);
+/// assert!(pool.reserve(FuKind::SimpleInt, 5, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    /// `free_at[kind][unit]`: first cycle the unit can start an operation.
+    free_at: [Vec<Cycle>; 5],
+}
+
+impl FuPool {
+    /// Creates a pool with `counts[kind.index()]` units of each kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero.
+    pub fn new(counts: [usize; 5]) -> Self {
+        assert!(counts.iter().all(|&c| c > 0), "every FU kind needs at least one unit");
+        FuPool { free_at: std::array::from_fn(|i| vec![0; counts[i]]) }
+    }
+
+    /// Attempts to reserve a unit of `kind` starting execution at
+    /// `ex_start` for an operation of `latency` cycles. Returns `false`
+    /// when every unit is busy.
+    pub fn reserve(&mut self, kind: FuKind, ex_start: Cycle, latency: u64) -> bool {
+        let units = &mut self.free_at[kind.index()];
+        let Some(unit) = units.iter_mut().find(|f| **f <= ex_start) else {
+            return false;
+        };
+        *unit = if kind.is_pipelined() { ex_start + 1 } else { ex_start + latency };
+        true
+    }
+
+    /// Units of `kind` that could start an operation at `ex_start`.
+    pub fn available(&self, kind: FuKind, ex_start: Cycle) -> usize {
+        self.free_at[kind.index()].iter().filter(|&&f| f <= ex_start).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_unit_accepts_every_cycle() {
+        let mut p = FuPool::new([1, 1, 1, 1, 1]);
+        assert!(p.reserve(FuKind::SimpleInt, 5, 1));
+        assert!(!p.reserve(FuKind::SimpleInt, 5, 1), "one unit, one op per cycle");
+        assert!(p.reserve(FuKind::SimpleInt, 6, 1), "pipelined: next cycle ok");
+    }
+
+    #[test]
+    fn non_pipelined_divider_blocks_for_latency() {
+        let mut p = FuPool::new([1, 1, 1, 1, 1]);
+        assert!(p.reserve(FuKind::FpDiv, 10, 14));
+        assert!(!p.reserve(FuKind::FpDiv, 20, 14), "busy until 24");
+        assert!(p.reserve(FuKind::FpDiv, 24, 14));
+    }
+
+    #[test]
+    fn multiple_units_serve_same_cycle() {
+        let mut p = FuPool::new([3, 1, 1, 1, 1]);
+        assert_eq!(p.available(FuKind::SimpleInt, 0), 3);
+        for _ in 0..3 {
+            assert!(p.reserve(FuKind::SimpleInt, 0, 1));
+        }
+        assert!(!p.reserve(FuKind::SimpleInt, 0, 1));
+        assert_eq!(p.available(FuKind::SimpleInt, 0), 0);
+    }
+
+    #[test]
+    fn kinds_are_independent() {
+        let mut p = FuPool::new([1, 1, 1, 1, 1]);
+        assert!(p.reserve(FuKind::SimpleInt, 0, 1));
+        assert!(p.reserve(FuKind::LoadStore, 0, 1));
+    }
+}

@@ -1,0 +1,48 @@
+//! Cycle-level out-of-order superscalar core.
+//!
+//! Models the paper's machine (Table 1): a 6-stage pipeline — fetch,
+//! decode/rename, register read, execute, write-back, commit — 8-wide at
+//! every stage, with a 128-entry instruction window, register renaming
+//! over 128 physical registers per class, a 64-entry load/store queue with
+//! store→load forwarding, the functional-unit pools of Table 1, and
+//! branch-resolution-time misprediction recovery via register alias table
+//! checkpoints.
+//!
+//! The register read stage is delegated to a [`rfcache_core::RegFileModel`]
+//! (one per register class), which is where the three compared register
+//! file architectures differ: read latency, bypass coverage, port
+//! arbitration, caching and transfer policies.
+//!
+//! # Examples
+//!
+//! ```
+//! use rfcache_core::{RegFileConfig, SingleBankConfig};
+//! use rfcache_pipeline::{Cpu, PipelineConfig};
+//! use rfcache_workload::{BenchProfile, TraceGenerator};
+//!
+//! let profile = BenchProfile::by_name("li").unwrap();
+//! let trace = TraceGenerator::new(profile, 42);
+//! let config = PipelineConfig::default();
+//! let rf = RegFileConfig::Single(SingleBankConfig::one_cycle());
+//! let mut cpu = Cpu::new(config, rf, trace);
+//! let metrics = cpu.run(10_000);
+//! assert!(metrics.ipc() > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod cpu;
+mod fu;
+mod lsq;
+mod metrics;
+mod rename;
+mod rob;
+
+pub use config::PipelineConfig;
+pub use cpu::Cpu;
+pub use fu::FuPool;
+pub use lsq::{Lsq, StoreSearch};
+pub use metrics::{OccupancyHistogram, SimMetrics};
+pub use rename::RenameUnit;
+pub use rob::{Rob, SlotId, Stage};

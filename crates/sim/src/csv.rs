@@ -1,0 +1,89 @@
+//! CSV export for experiment data, so the regenerated series can be
+//! plotted with external tools.
+//!
+//! Every [`TextTable`](crate::TextTable) renders to CSV directly; the
+//! experiment binaries use [`write_csv`] to drop one file per experiment
+//! when `--csv DIR` is passed.
+
+use crate::table::TextTable;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Quotes a CSV field when needed (commas, quotes, newlines).
+fn quote(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+impl TextTable {
+    /// Renders the table as RFC-4180 CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let row_to_csv = |cells: &[String]| -> String {
+            cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        };
+        out.push_str(&row_to_csv(self.header_cells()));
+        out.push('\n');
+        for row in self.data_rows() {
+            out.push_str(&row_to_csv(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes `table` as `<dir>/<name>.csv`, creating `dir` if necessary.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+///
+/// # Examples
+///
+/// ```no_run
+/// use rfcache_sim::{write_csv, TextTable};
+///
+/// let mut t = TextTable::new(vec!["bench".into(), "ipc".into()]);
+/// t.row_f64("li", &[2.5]);
+/// write_csv("results", "fig6", &t)?;
+/// # std::io::Result::Ok(())
+/// ```
+pub fn write_csv<P: AsRef<Path>>(dir: P, name: &str, table: &TextTable) -> io::Result<()> {
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.as_ref().join(format!("{name}.csv"));
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(table.to_csv().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["x,1".into(), "plain".into()]);
+        t.row(vec!["quote\"d".into(), "2".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "\"x,1\",plain");
+        assert_eq!(lines[2], "\"quote\"\"d\",2");
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("rfcache_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = TextTable::new(vec!["k".into()]);
+        t.row(vec!["v".into()]);
+        write_csv(&dir, "t", &t).unwrap();
+        let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(content, "k\nv\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

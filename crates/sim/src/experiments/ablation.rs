@@ -1,0 +1,153 @@
+//! Ablation study (beyond the paper): sensitivity of the register file
+//! cache to the design choices DESIGN.md calls out — upper-bank size,
+//! replacement policy, lower-bank latency, and bus count.
+//!
+//! Each variant perturbs one parameter of the best configuration
+//! (non-bypass caching + prefetch-first-pair, 16 entries, pseudo-LRU,
+//! 2-cycle lower bank, unlimited bandwidth except where noted).
+
+use super::ExperimentOpts;
+use crate::{harmonic_mean, run_suite, RunSpec, TextTable};
+use rfcache_core::{RegFileCacheConfig, RegFileConfig, Replacement};
+use std::fmt;
+
+/// One ablation variant and its result.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant description.
+    pub label: String,
+    /// SpecInt95 harmonic-mean IPC.
+    pub int_hmean: f64,
+    /// SpecFP95 harmonic-mean IPC.
+    pub fp_hmean: f64,
+}
+
+/// Results of the ablation sweep.
+#[derive(Debug, Clone)]
+pub struct AblationData {
+    /// First row is the baseline; the rest are single-parameter variants.
+    pub rows: Vec<AblationRow>,
+}
+
+fn variants() -> Vec<(String, RegFileCacheConfig)> {
+    let base = RegFileCacheConfig::paper_default();
+    let mut out = vec![("baseline (16e, PLRU, L2, ∞buses)".to_string(), base)];
+    for entries in [8usize, 32] {
+        out.push((format!("upper entries = {entries}"), RegFileCacheConfig {
+            upper_entries: entries,
+            ..base
+        }));
+    }
+    for repl in [Replacement::Fifo, Replacement::Random] {
+        out.push((format!("replacement = {repl}"), RegFileCacheConfig {
+            replacement: repl,
+            ..base
+        }));
+    }
+    out.push(("lower latency = 3".to_string(), RegFileCacheConfig {
+        lower_latency: 3,
+        ..base
+    }));
+    for buses in [1u32, 2, 4] {
+        out.push((format!("buses = {buses}"), RegFileCacheConfig {
+            buses: Some(buses),
+            ..base
+        }));
+    }
+    out
+}
+
+/// Runs the ablation sweep.
+pub fn run(opts: &ExperimentOpts) -> AblationData {
+    let (int, fp) = super::sweep_suites(opts);
+    let benches: Vec<(&str, bool)> = int
+        .iter()
+        .map(|b| (*b, false))
+        .chain(fp.iter().map(|b| (*b, true)))
+        .collect();
+    let variants = variants();
+
+    let mut specs = Vec::new();
+    for (_, cfg) in &variants {
+        for &(b, _) in &benches {
+            specs.push(
+                RunSpec::new(b, RegFileConfig::Cache(*cfg))
+                    .insts(opts.insts)
+                    .warmup(opts.warmup)
+                    .seed(opts.seed),
+            );
+        }
+    }
+    let results = run_suite(&specs);
+
+    let mut rows = Vec::new();
+    for (vi, (label, _)) in variants.iter().enumerate() {
+        let slice = &results[vi * benches.len()..(vi + 1) * benches.len()];
+        let hmean = |fp_suite: bool| {
+            let vals: Vec<f64> =
+                slice.iter().filter(|r| r.fp == fp_suite).map(|r| r.ipc()).collect();
+            harmonic_mean(&vals).unwrap_or(0.0)
+        };
+        rows.push(AblationRow {
+            label: label.clone(),
+            int_hmean: hmean(false),
+            fp_hmean: hmean(true),
+        });
+    }
+    AblationData { rows }
+}
+
+impl AblationData {
+    /// The baseline row.
+    pub fn baseline(&self) -> &AblationRow {
+        &self.rows[0]
+    }
+
+    /// The row whose label contains `needle`.
+    pub fn find(&self, needle: &str) -> Option<&AblationRow> {
+        self.rows.iter().find(|r| r.label.contains(needle))
+    }
+}
+
+impl fmt::Display for AblationData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablation: register file cache design choices (IPC, Δ vs baseline)")?;
+        let base = self.baseline();
+        let mut t = TextTable::new(vec![
+            "variant".into(),
+            "Int hmean".into(),
+            "Int Δ%".into(),
+            "FP hmean".into(),
+            "FP Δ%".into(),
+        ]);
+        for row in &self.rows {
+            t.row(vec![
+                row.label.clone(),
+                format!("{:.3}", row.int_hmean),
+                format!("{:+.1}", (row.int_hmean / base.int_hmean - 1.0) * 100.0),
+                format!("{:.3}", row.fp_hmean),
+                format!("{:+.1}", (row.fp_hmean / base.fp_hmean - 1.0) * 100.0),
+            ]);
+        }
+        t.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_matters_most() {
+        let data = run(&ExperimentOpts::smoke());
+        let base = data.baseline().clone();
+        let small = data.find("= 8").unwrap();
+        let big = data.find("= 32").unwrap();
+        assert!(small.int_hmean < base.int_hmean, "8 entries must hurt");
+        assert!(big.int_hmean >= base.int_hmean * 0.99, "32 entries must not hurt");
+        // One bus throttles transfers.
+        let one_bus = data.find("buses = 1").unwrap();
+        assert!(one_bus.int_hmean <= base.int_hmean * 1.01);
+        assert!(data.to_string().contains("baseline"));
+    }
+}

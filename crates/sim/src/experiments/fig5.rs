@@ -1,0 +1,45 @@
+//! Figure 5: the four register-file-cache configurations — {ready,
+//! non-bypass} caching × {fetch-on-demand, prefetch-first-pair} — at
+//! unlimited bandwidth.
+//!
+//! Paper findings: non-bypass caching beats ready caching by ~3% (int) /
+//! ~2% (fp); prefetching helps a few programs at unlimited bandwidth and
+//! more under port limits.
+
+use super::compare::{compare_archs, CompareData};
+use super::{rfc, ExperimentOpts};
+use rfcache_core::{CachingPolicy, FetchPolicy};
+
+/// Column labels of the Figure 5 table.
+pub const LABELS: [&str; 4] =
+    ["ready+demand", "nonbyp+demand", "ready+prefetch", "nonbyp+prefetch"];
+
+/// Runs the Figure 5 experiment.
+pub fn run(opts: &ExperimentOpts) -> CompareData {
+    compare_archs(
+        opts,
+        "Figure 5: register file cache caching and fetch policies (IPC)",
+        &[
+            (LABELS[0], rfc(CachingPolicy::Ready, FetchPolicy::OnDemand)),
+            (LABELS[1], rfc(CachingPolicy::NonBypass, FetchPolicy::OnDemand)),
+            (LABELS[2], rfc(CachingPolicy::Ready, FetchPolicy::PrefetchFirstPair)),
+            (LABELS[3], rfc(CachingPolicy::NonBypass, FetchPolicy::PrefetchFirstPair)),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_bypass_caching_wins() {
+        let data = run(&ExperimentOpts::smoke());
+        let (int_ratio, fp_ratio) = data.hmean_ratio(LABELS[3], LABELS[2]).unwrap();
+        assert!(int_ratio > 0.99, "non-bypass vs ready (int): {int_ratio}");
+        assert!(fp_ratio > 0.99, "non-bypass vs ready (fp): {fp_ratio}");
+        // Prefetching must not hurt meaningfully at unlimited bandwidth.
+        let (i, _f) = data.hmean_ratio(LABELS[3], LABELS[1]).unwrap();
+        assert!(i > 0.97, "prefetch-first-pair must not cost IPC: {i}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Table 2: the four cost-equivalent port configurations (C1–C4) of each
+//! architecture, with the area and cycle time our calibrated model
+//! produces next to the paper's reported values.
+
+use rfcache_area::{table2_configs, Table2Row};
+use std::fmt;
+
+/// All four evaluated rows.
+#[derive(Debug, Clone)]
+pub struct Table2Data {
+    /// One row per configuration C1..C4.
+    pub rows: Vec<Table2Row>,
+}
+
+/// Evaluates Table 2 with the analytical model (no simulation involved).
+pub fn run() -> Table2Data {
+    Table2Data { rows: table2_configs().map(Table2Row::evaluate).to_vec() }
+}
+
+impl Table2Data {
+    /// Largest relative error of any model value against the paper.
+    pub fn max_relative_error(&self) -> f64 {
+        self.rows
+            .iter()
+            .flat_map(|r| {
+                let c = r.config;
+                [
+                    (r.model_single_area, c.paper_single_area),
+                    (r.model_single_cycle_1s, c.paper_single_cycle_1s),
+                    (r.model_single_cycle_2s, c.paper_single_cycle_2s),
+                    (r.model_rfc_area, c.paper_rfc_area),
+                    (r.model_rfc_cycle, c.paper_rfc_cycle),
+                ]
+            })
+            .map(|(model, paper)| (model - paper).abs() / paper)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Table2Data {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 2: port configurations (model vs paper values in parentheses)")?;
+        for row in &self.rows {
+            writeln!(f, "{row}")?;
+        }
+        writeln!(f, "max relative error: {:.1}%", self.max_relative_error() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_matches_paper_within_six_percent() {
+        let data = run();
+        assert_eq!(data.rows.len(), 4);
+        assert!(data.max_relative_error() < 0.06, "{}", data.max_relative_error());
+        assert!(data.to_string().contains("C4"));
+    }
+}

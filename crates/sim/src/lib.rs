@@ -1,0 +1,41 @@
+//! Simulator facade and experiment harness.
+//!
+//! This crate ties the substrates together — workloads, front end, memory,
+//! register file architectures, and the out-of-order core — behind a small
+//! API ([`RunSpec`] → [`RunResult`]), and implements one module per figure
+//! and table of the paper's evaluation under [`experiments`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rfcache_core::{RegFileConfig, SingleBankConfig};
+//! use rfcache_sim::RunSpec;
+//!
+//! let spec = RunSpec::new("li", RegFileConfig::Single(SingleBankConfig::one_cycle()))
+//!     .insts(5_000)
+//!     .warmup(1_000);
+//! let result = spec.run();
+//! assert!(result.metrics.ipc() > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod csv;
+pub mod experiments;
+mod means;
+mod run;
+mod table;
+
+pub use means::{geometric_mean, harmonic_mean};
+pub use run::{run_suite, RunResult, RunSpec};
+pub use csv::write_csv;
+pub use table::TextTable;
+pub use rfcache_area::{pareto_frontier, ParetoPoint};
+
+pub use rfcache_area as area;
+pub use rfcache_core as core;
+pub use rfcache_frontend as frontend;
+pub use rfcache_isa as isa;
+pub use rfcache_mem as mem;
+pub use rfcache_pipeline as pipeline;
+pub use rfcache_workload as workload;

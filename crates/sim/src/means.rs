@@ -1,0 +1,67 @@
+//! Aggregate means. The paper reports harmonic means of IPC across each
+//! benchmark suite ("Hmean" in every figure).
+
+/// Harmonic mean of `values`.
+///
+/// Returns `None` for an empty slice or when any value is non-positive
+/// (the harmonic mean is undefined there).
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_sim::harmonic_mean;
+/// let h = harmonic_mean(&[1.0, 4.0, 4.0]).unwrap();
+/// assert!((h - 2.0).abs() < 1e-12);
+/// ```
+pub fn harmonic_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let sum: f64 = values.iter().map(|v| 1.0 / v).sum();
+    Some(values.len() as f64 / sum)
+}
+
+/// Geometric mean of `values` (used for speedup summaries).
+///
+/// Returns `None` for an empty slice or when any value is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_sim::geometric_mean;
+/// let g = geometric_mean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_is_below_arithmetic() {
+        let vals = [2.0, 3.0, 7.0];
+        let h = harmonic_mean(&vals).unwrap();
+        let a = vals.iter().sum::<f64>() / 3.0;
+        assert!(h < a);
+    }
+
+    #[test]
+    fn single_value_is_its_own_mean() {
+        assert_eq!(harmonic_mean(&[3.5]), Some(3.5));
+        assert_eq!(geometric_mean(&[3.5]), Some(3.5));
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert_eq!(harmonic_mean(&[]), None);
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), None);
+        assert_eq!(geometric_mean(&[-1.0]), None);
+    }
+}

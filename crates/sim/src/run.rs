@@ -1,0 +1,176 @@
+//! Single-run and suite-run drivers.
+
+use rfcache_core::RegFileConfig;
+use rfcache_pipeline::{Cpu, PipelineConfig, SimMetrics};
+use rfcache_workload::{BenchProfile, TraceGenerator};
+
+/// Everything needed to simulate one benchmark on one register file
+/// architecture.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The benchmark profile.
+    pub profile: BenchProfile,
+    /// The register file architecture under study.
+    pub rf: RegFileConfig,
+    /// Core configuration.
+    pub pipeline: PipelineConfig,
+    /// Instructions to measure after warmup.
+    pub insts: u64,
+    /// Warmup instructions (predictor/cache training, excluded from the
+    /// measured counters — the paper's "skipping the initialization").
+    pub warmup: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// Creates a spec for the named benchmark with default pipeline,
+    /// 200k measured instructions and 50k warmup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bench` is not a SPEC95 program name.
+    pub fn new(bench: &str, rf: RegFileConfig) -> Self {
+        let profile = BenchProfile::by_name(bench)
+            .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+        RunSpec {
+            profile,
+            rf,
+            pipeline: PipelineConfig::default(),
+            insts: 200_000,
+            warmup: 50_000,
+            seed: 42,
+        }
+    }
+
+    /// Creates a spec from a profile value.
+    pub fn from_profile(profile: BenchProfile, rf: RegFileConfig) -> Self {
+        RunSpec {
+            profile,
+            rf,
+            pipeline: PipelineConfig::default(),
+            insts: 200_000,
+            warmup: 50_000,
+            seed: 42,
+        }
+    }
+
+    /// Sets the measured instruction count (builder-style).
+    #[must_use]
+    pub fn insts(mut self, insts: u64) -> Self {
+        self.insts = insts;
+        self
+    }
+
+    /// Sets the warmup instruction count (builder-style).
+    #[must_use]
+    pub fn warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the workload seed (builder-style).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the pipeline configuration (builder-style).
+    #[must_use]
+    pub fn pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Simulates the spec and returns the result.
+    pub fn run(&self) -> RunResult {
+        let trace = TraceGenerator::new(self.profile, self.seed);
+        let mut cpu = Cpu::new(self.pipeline, self.rf, trace);
+        if self.warmup > 0 {
+            cpu.run(self.warmup);
+            cpu.reset_metrics(); // counters restart at zero
+        }
+        let metrics = cpu.run(self.insts);
+        RunResult { bench: self.profile.name, fp: self.profile.fp, metrics }
+    }
+}
+
+/// Result of one simulation.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Whether the benchmark belongs to SpecFP95.
+    pub fp: bool,
+    /// The metrics of the measured phase.
+    pub metrics: SimMetrics,
+}
+
+impl RunResult {
+    /// Instructions per cycle of the measured phase.
+    pub fn ipc(&self) -> f64 {
+        self.metrics.ipc()
+    }
+}
+
+/// Simulations in flight at once: the machine's available parallelism
+/// (the simulations are CPU-bound, so more threads only add switching
+/// overhead).
+fn max_parallel() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(1)
+}
+
+/// Runs a set of specs in parallel (the simulations are independent),
+/// preserving input order in the output.
+pub fn run_suite(specs: &[RunSpec]) -> Vec<RunResult> {
+    let mut results = Vec::with_capacity(specs.len());
+    for chunk in specs.chunks(max_parallel()) {
+        let chunk_results: Vec<RunResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                chunk.iter().map(|spec| scope.spawn(move || spec.run())).collect();
+            handles.into_iter().map(|h| h.join().expect("simulation thread panicked")).collect()
+        });
+        results.extend(chunk_results);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfcache_core::SingleBankConfig;
+
+    fn one_cycle() -> RegFileConfig {
+        RegFileConfig::Single(SingleBankConfig::one_cycle())
+    }
+
+    #[test]
+    fn run_with_warmup_measures_requested_instructions() {
+        let r = RunSpec::new("li", one_cycle()).insts(4_000).warmup(2_000).run();
+        assert!(r.metrics.committed >= 4_000);
+        assert!(r.metrics.committed < 4_000 + 16);
+    }
+
+    #[test]
+    fn suite_preserves_order_and_parallelism_is_deterministic() {
+        let specs: Vec<_> = ["li", "go", "swim"]
+            .iter()
+            .map(|b| RunSpec::new(b, one_cycle()).insts(2_000).warmup(500))
+            .collect();
+        let a = run_suite(&specs);
+        let b = run_suite(&specs);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].bench, "li");
+        assert_eq!(a[2].bench, "swim");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.metrics.cycles, y.metrics.cycles);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_bench_panics() {
+        let _ = RunSpec::new("quake", one_cycle());
+    }
+}

@@ -1,0 +1,128 @@
+//! Minimal aligned text-table rendering for the experiment binaries.
+
+use std::fmt;
+
+/// A simple right-aligned text table (first column left-aligned).
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_sim::TextTable;
+/// let mut t = TextTable::new(vec!["bench".into(), "IPC".into()]);
+/// t.row(vec!["li".into(), "2.81".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("bench"));
+/// assert!(s.contains("2.81"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable { header, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Convenience: a row from a label and f64 cells with 3 decimals.
+    pub fn row_f64(&mut self, label: &str, values: &[f64]) {
+        let mut row = vec![label.to_string()];
+        row.extend(values.iter().map(|v| format!("{v:.3}")));
+        self.row(row);
+    }
+
+    /// The header cells.
+    pub fn header_cells(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows, in insertion order.
+    pub fn data_rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i == 0 {
+                    write!(f, "{cell:<w$}")?;
+                } else {
+                    write!(f, "  {cell:>w$}")?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name".into(), "x".into()]);
+        t.row(vec!["abcdef".into(), "1".into()]);
+        t.row(vec!["a".into(), "12345".into()]);
+        let s = t.to_string();
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn row_f64_formats() {
+        let mut t = TextTable::new(vec!["b".into(), "ipc".into()]);
+        t.row_f64("li", &[2.5]);
+        assert!(t.to_string().contains("2.500"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Behavioural models for static branch sites.
+//!
+//! Each synthetic basic block ends in a branch site with one of three
+//! behaviours chosen at trace-construction time:
+//!
+//! * **Loop** — a back-edge taken `trip-1` consecutive times then
+//!   not-taken once; gshare learns these almost perfectly.
+//! * **Biased** — independent Bernoulli outcomes with a fixed bias;
+//!   gshare converges to the bias (mispredicting the minority side).
+//! * **Random** — 50/50 data-dependent outcomes; unlearnable, the source
+//!   of the integer codes' misprediction rates.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Outcome behaviour of one static branch site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BranchBehavior {
+    /// Loop back-edge with the given trip count; taken `trip - 1` times,
+    /// then not taken once, repeating.
+    Loop {
+        /// Iterations per loop visit (>= 2).
+        trip: u64,
+        /// Progress through the current trip.
+        count: u64,
+    },
+    /// Bernoulli branch taken with probability `bias`.
+    Biased {
+        /// Taken probability.
+        bias: f64,
+    },
+    /// Unpredictable 50/50 branch.
+    Random,
+}
+
+/// A static branch site: a behaviour plus its taken-target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchSite {
+    /// Outcome model.
+    pub behavior: BranchBehavior,
+    /// Index of the basic block this branch jumps to when taken.
+    pub taken_target_block: usize,
+}
+
+impl BranchSite {
+    /// Draws the next dynamic outcome of this site.
+    pub fn next_outcome(&mut self, rng: &mut SmallRng) -> bool {
+        match &mut self.behavior {
+            BranchBehavior::Loop { trip, count } => {
+                *count += 1;
+                if *count >= *trip {
+                    *count = 0;
+                    false // exit iteration: fall through
+                } else {
+                    true // continue looping
+                }
+            }
+            BranchBehavior::Biased { bias } => rng.gen_bool(*bias),
+            BranchBehavior::Random => rng.gen_bool(0.5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn loop_site_is_periodic() {
+        let mut site = BranchSite {
+            behavior: BranchBehavior::Loop { trip: 4, count: 0 },
+            taken_target_block: 0,
+        };
+        let mut r = rng();
+        let outcomes: Vec<bool> = (0..8).map(|_| site.next_outcome(&mut r)).collect();
+        assert_eq!(outcomes, vec![true, true, true, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn biased_site_matches_bias() {
+        let mut site =
+            BranchSite { behavior: BranchBehavior::Biased { bias: 0.8 }, taken_target_block: 0 };
+        let mut r = rng();
+        let taken = (0..10_000).filter(|_| site.next_outcome(&mut r)).count();
+        assert!((7500..=8500).contains(&taken), "{taken}");
+    }
+
+    #[test]
+    fn random_site_is_balanced() {
+        let mut site = BranchSite { behavior: BranchBehavior::Random, taken_target_block: 0 };
+        let mut r = rng();
+        let taken = (0..10_000).filter(|_| site.next_outcome(&mut r)).count();
+        assert!((4500..=5500).contains(&taken), "{taken}");
+    }
+}

@@ -1,0 +1,716 @@
+//! Per-benchmark workload profiles.
+//!
+//! One [`BenchProfile`] per SPEC95 program, parameterized from published
+//! characterizations of the suite. The exact numbers matter less than the
+//! contrasts the paper's evaluation depends on: integer codes are branchy
+//! with short dependence distances and (for `go`, `gcc`, `compress`)
+//! noticeable misprediction rates; floating-point codes are loop-dominated,
+//! highly predictable, long-latency, and stream through larger data sets.
+
+use std::fmt;
+
+/// Relative frequencies of the instruction classes emitted by a profile.
+/// Weights are normalized by the generator; they need not sum to one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Simple integer ALU operations.
+    pub int_alu: f64,
+    /// Integer multiplies.
+    pub int_mul: f64,
+    /// Integer divides.
+    pub int_div: f64,
+    /// Simple FP operations.
+    pub fp_alu: f64,
+    /// FP divides.
+    pub fp_div: f64,
+    /// Loads.
+    pub load: f64,
+    /// Stores.
+    pub store: f64,
+    /// Conditional branches.
+    pub branch: f64,
+}
+
+impl OpMix {
+    /// Sum of all weights.
+    pub fn total(&self) -> f64 {
+        self.int_alu
+            + self.int_mul
+            + self.int_div
+            + self.fp_alu
+            + self.fp_div
+            + self.load
+            + self.store
+            + self.branch
+    }
+
+    /// Fraction of instructions that are branches.
+    pub fn branch_fraction(&self) -> f64 {
+        self.branch / self.total()
+    }
+
+    /// Fraction of instructions that access memory.
+    pub fn mem_fraction(&self) -> f64 {
+        (self.load + self.store) / self.total()
+    }
+}
+
+/// A synthetic stand-in for one SPEC95 program.
+///
+/// See the crate-level documentation for the methodology. Construct the
+/// standard suite with [`suite_int`], [`suite_fp`], or [`suite_all`], or a
+/// single program with [`BenchProfile::by_name`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchProfile {
+    /// Program name (lowercase, as in the paper's figures).
+    pub name: &'static str,
+    /// Whether the program belongs to SpecFP95 (else SpecInt95).
+    pub fp: bool,
+    /// Instruction mix.
+    pub mix: OpMix,
+    /// Geometric-distribution parameter for register dependence distances:
+    /// the probability that a source operand reads the most recent
+    /// eligible producer. Larger values ⇒ shorter distances ⇒ more values
+    /// consumed straight off the bypass network.
+    pub dep_geom_p: f64,
+    /// Fraction of potential source-operand slots that carry an immediate
+    /// instead of a register (reduces register read traffic).
+    pub immediate_frac: f64,
+    /// Fraction of register sources that read long-lived "global" registers
+    /// (stack/base pointers) rather than recent results.
+    pub global_src_frac: f64,
+    /// Fraction of register sources that re-read an already-consumed value
+    /// (most compiled values are consumed exactly once; the paper reports
+    /// 88% of integer and 85% of FP values are read at most once).
+    pub reuse_frac: f64,
+    /// Maximum dataflow chain depth for value-producing instructions.
+    /// Values at this depth are consumed only by sinks (stores, branches)
+    /// or fall out unread, bounding the critical path per "loop
+    /// iteration": small for the independent-iteration FP loops, larger
+    /// for the serial integer codes.
+    pub max_chain_depth: u8,
+    /// Static branch sites in the synthetic CFG.
+    pub branch_sites: usize,
+    /// Fraction of sites behaving as loop back-edges (taken `trip-1` of
+    /// `trip` times, highly predictable).
+    pub loop_site_frac: f64,
+    /// Mean loop trip count for loop sites.
+    pub mean_trip: u64,
+    /// Fraction of sites with effectively random outcomes (data-dependent
+    /// branches gshare cannot learn).
+    pub random_site_frac: f64,
+    /// Taken bias of the remaining (biased) sites.
+    pub taken_bias: f64,
+    /// Data working-set size in bytes.
+    pub data_working_set: u64,
+    /// Fraction of memory accesses hitting the hot region (stack, locals,
+    /// hot globals) — the main source of data-cache hits.
+    pub hot_frac: f64,
+    /// Size of the hot region in bytes (should fit the 64KB data cache).
+    pub hot_bytes: u64,
+    /// Of the non-hot accesses, the fraction that follow strided streams
+    /// (the rest are uniform over the working set).
+    pub stride_frac: f64,
+    /// Number of concurrent strided streams.
+    pub stream_count: usize,
+    /// Static code footprint in bytes (beyond the 64KB icache ⇒ misses).
+    pub code_footprint: u64,
+    /// For FP profiles: fraction of loads that target FP registers.
+    pub fp_load_frac: f64,
+}
+
+impl BenchProfile {
+    /// Base virtual address of the synthetic code segment.
+    pub fn code_base(&self) -> u64 {
+        0x0040_0000
+    }
+
+    /// Base virtual address of the synthetic data segment.
+    pub fn data_base(&self) -> u64 {
+        0x1000_0000
+    }
+
+    /// Looks up a profile by program name (case-sensitive, as printed in
+    /// the paper: `compress`, `gcc`, ..., `wave5`).
+    pub fn by_name(name: &str) -> Option<BenchProfile> {
+        suite_all().into_iter().find(|p| p.name == name)
+    }
+
+    /// Validates internal consistency (fractions in range, non-zero mix).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on the first inconsistency; used
+    /// by the generator constructor and the test suite.
+    pub fn validate(&self) {
+        assert!(self.mix.total() > 0.0, "{}: empty mix", self.name);
+        for (what, v) in [
+            ("dep_geom_p", self.dep_geom_p),
+            ("immediate_frac", self.immediate_frac),
+            ("global_src_frac", self.global_src_frac),
+            ("reuse_frac", self.reuse_frac),
+            ("loop_site_frac", self.loop_site_frac),
+            ("random_site_frac", self.random_site_frac),
+            ("taken_bias", self.taken_bias),
+            ("hot_frac", self.hot_frac),
+            ("stride_frac", self.stride_frac),
+            ("fp_load_frac", self.fp_load_frac),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{}: {what} = {v} out of [0,1]",
+                self.name
+            );
+        }
+        assert!(
+            self.loop_site_frac + self.random_site_frac <= 1.0,
+            "{}: site fractions exceed 1",
+            self.name
+        );
+        assert!(self.branch_sites > 0, "{}: no branch sites", self.name);
+        assert!(self.max_chain_depth >= 1, "{}: chains need at least depth 1", self.name);
+        assert!(self.mean_trip >= 2, "{}: mean_trip must be >= 2", self.name);
+        assert!(self.stream_count > 0, "{}: no memory streams", self.name);
+        assert!(self.data_working_set >= 4096, "{}: working set too small", self.name);
+        assert!(
+            (64..=self.data_working_set).contains(&self.hot_bytes),
+            "{}: hot region must be between one line and the working set",
+            self.name
+        );
+    }
+}
+
+impl fmt::Display for BenchProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, if self.fp { "SpecFP95" } else { "SpecInt95" })
+    }
+}
+
+/// Integer mix helper: `alu` ALU weight with the rest fixed per-program.
+fn int_mix(int_alu: f64, int_mul: f64, load: f64, store: f64, branch: f64) -> OpMix {
+    OpMix {
+        int_alu,
+        int_mul,
+        int_div: 0.002,
+        fp_alu: 0.0,
+        fp_div: 0.0,
+        load,
+        store,
+        branch,
+    }
+}
+
+/// FP mix helper.
+fn fp_mix(int_alu: f64, fp_alu: f64, fp_div: f64, load: f64, store: f64, branch: f64) -> OpMix {
+    OpMix {
+        int_alu,
+        int_mul: 0.002,
+        int_div: 0.001,
+        fp_alu,
+        fp_div,
+        load,
+        store,
+        branch,
+    }
+}
+
+/// The eight SpecInt95 profiles, in the paper's figure order.
+pub fn suite_int() -> Vec<BenchProfile> {
+    vec![
+        // compress: tight loops over a hash table; data-dependent branches;
+        // working set larger than the 64KB dcache.
+        BenchProfile {
+            name: "compress",
+            fp: false,
+            mix: int_mix(0.42, 0.01, 0.24, 0.12, 0.18),
+            dep_geom_p: 0.58,
+            immediate_frac: 0.30,
+            global_src_frac: 0.18,
+            reuse_frac: 0.09,
+            max_chain_depth: 8,
+            branch_sites: 48,
+            loop_site_frac: 0.35,
+            mean_trip: 12,
+            random_site_frac: 0.14,
+            taken_bias: 0.94,
+            data_working_set: 512 * 1024,
+            hot_frac: 0.72,
+            hot_bytes: 32 * 1024,
+            stride_frac: 0.45,
+            stream_count: 3,
+            code_footprint: 24 * 1024,
+            fp_load_frac: 0.0,
+        },
+        // gcc: enormous code footprint, irregular control flow, pointer
+        // chasing; moderate mispredicts, icache misses matter.
+        BenchProfile {
+            name: "gcc",
+            fp: false,
+            mix: int_mix(0.44, 0.005, 0.25, 0.11, 0.19),
+            dep_geom_p: 0.6,
+            immediate_frac: 0.32,
+            global_src_frac: 0.25,
+            reuse_frac: 0.09,
+            max_chain_depth: 7,
+            branch_sites: 1400,
+            loop_site_frac: 0.4,
+            mean_trip: 10,
+            random_site_frac: 0.12,
+            taken_bias: 0.94,
+            data_working_set: 1024 * 1024,
+            hot_frac: 0.85,
+            hot_bytes: 32 * 1024,
+            stride_frac: 0.30,
+            stream_count: 4,
+            code_footprint: 1400 * 1024,
+            fp_load_frac: 0.0,
+        },
+        // go: the hardest branches of the suite; big code, deep evaluation
+        // functions; high misprediction rate.
+        BenchProfile {
+            name: "go",
+            fp: false,
+            mix: int_mix(0.47, 0.004, 0.23, 0.09, 0.20),
+            dep_geom_p: 0.6,
+            immediate_frac: 0.30,
+            global_src_frac: 0.22,
+            reuse_frac: 0.09,
+            max_chain_depth: 7,
+            branch_sites: 900,
+            loop_site_frac: 0.25,
+            mean_trip: 5,
+            random_site_frac: 0.26,
+            taken_bias: 0.93,
+            data_working_set: 256 * 1024,
+            hot_frac: 0.88,
+            hot_bytes: 32 * 1024,
+            stride_frac: 0.25,
+            stream_count: 3,
+            code_footprint: 500 * 1024,
+            fp_load_frac: 0.0,
+        },
+        // ijpeg: DCT/quantization loops; very predictable, high ILP, the
+        // most "fp-like" of the integer codes. Frequent multiplies.
+        BenchProfile {
+            name: "ijpeg",
+            fp: false,
+            mix: int_mix(0.46, 0.06, 0.22, 0.10, 0.12),
+            dep_geom_p: 0.5,
+            immediate_frac: 0.28,
+            global_src_frac: 0.15,
+            reuse_frac: 0.07,
+            max_chain_depth: 5,
+            branch_sites: 120,
+            loop_site_frac: 0.70,
+            mean_trip: 32,
+            random_site_frac: 0.04,
+            taken_bias: 0.95,
+            data_working_set: 192 * 1024,
+            hot_frac: 0.65,
+            hot_bytes: 24 * 1024,
+            stride_frac: 0.85,
+            stream_count: 6,
+            code_footprint: 80 * 1024,
+            fp_load_frac: 0.0,
+        },
+        // li: lisp interpreter; recursive, pointer-heavy, small working
+        // set, short basic blocks.
+        BenchProfile {
+            name: "li",
+            fp: false,
+            mix: int_mix(0.43, 0.003, 0.26, 0.12, 0.19),
+            dep_geom_p: 0.62,
+            immediate_frac: 0.26,
+            global_src_frac: 0.28,
+            reuse_frac: 0.1,
+            max_chain_depth: 8,
+            branch_sites: 260,
+            loop_site_frac: 0.28,
+            mean_trip: 5,
+            random_site_frac: 0.08,
+            taken_bias: 0.95,
+            data_working_set: 96 * 1024,
+            hot_frac: 0.88,
+            hot_bytes: 24 * 1024,
+            stride_frac: 0.20,
+            stream_count: 2,
+            code_footprint: 90 * 1024,
+            fp_load_frac: 0.0,
+        },
+        // m88ksim: CPU simulator main loop; very regular dispatch,
+        // predictable branches, small working set.
+        BenchProfile {
+            name: "m88ksim",
+            fp: false,
+            mix: int_mix(0.48, 0.01, 0.22, 0.09, 0.20),
+            dep_geom_p: 0.58,
+            immediate_frac: 0.30,
+            global_src_frac: 0.24,
+            reuse_frac: 0.08,
+            max_chain_depth: 6,
+            branch_sites: 320,
+            loop_site_frac: 0.45,
+            mean_trip: 24,
+            random_site_frac: 0.015,
+            taken_bias: 0.96,
+            data_working_set: 64 * 1024,
+            hot_frac: 0.92,
+            hot_bytes: 16 * 1024,
+            stride_frac: 0.40,
+            stream_count: 3,
+            code_footprint: 160 * 1024,
+            fp_load_frac: 0.0,
+        },
+        // perl: interpreter dispatch; moderate predictability, pointer
+        // chasing, medium code footprint.
+        BenchProfile {
+            name: "perl",
+            fp: false,
+            mix: int_mix(0.44, 0.006, 0.25, 0.12, 0.18),
+            dep_geom_p: 0.6,
+            immediate_frac: 0.28,
+            global_src_frac: 0.26,
+            reuse_frac: 0.09,
+            max_chain_depth: 7,
+            branch_sites: 520,
+            loop_site_frac: 0.30,
+            mean_trip: 7,
+            random_site_frac: 0.045,
+            taken_bias: 0.95,
+            data_working_set: 160 * 1024,
+            hot_frac: 0.85,
+            hot_bytes: 24 * 1024,
+            stride_frac: 0.25,
+            stream_count: 3,
+            code_footprint: 320 * 1024,
+            fp_load_frac: 0.0,
+        },
+        // vortex: object database; load/store heavy, very predictable
+        // branches, large code and data footprints.
+        BenchProfile {
+            name: "vortex",
+            fp: false,
+            mix: int_mix(0.40, 0.004, 0.28, 0.15, 0.16),
+            dep_geom_p: 0.58,
+            immediate_frac: 0.26,
+            global_src_frac: 0.30,
+            reuse_frac: 0.09,
+            max_chain_depth: 6,
+            branch_sites: 800,
+            loop_site_frac: 0.40,
+            mean_trip: 8,
+            random_site_frac: 0.01,
+            taken_bias: 0.97,
+            data_working_set: 768 * 1024,
+            hot_frac: 0.86,
+            hot_bytes: 32 * 1024,
+            stride_frac: 0.45,
+            stream_count: 4,
+            code_footprint: 600 * 1024,
+            fp_load_frac: 0.0,
+        },
+    ]
+}
+
+/// The ten SpecFP95 profiles, in the paper's figure order.
+pub fn suite_fp() -> Vec<BenchProfile> {
+    vec![
+        // applu: SSOR solver on structured grids; long FP chains, strided.
+        BenchProfile {
+            name: "applu",
+            fp: true,
+            mix: fp_mix(0.17, 0.36, 0.01, 0.28, 0.12, 0.05),
+            dep_geom_p: 0.44,
+            immediate_frac: 0.18,
+            global_src_frac: 0.14,
+            reuse_frac: 0.07,
+            max_chain_depth: 4,
+            branch_sites: 90,
+            loop_site_frac: 0.85,
+            mean_trip: 24,
+            random_site_frac: 0.01,
+            taken_bias: 0.96,
+            data_working_set: 2 * 1024 * 1024,
+            hot_frac: 0.55,
+            hot_bytes: 32 * 1024,
+            stride_frac: 0.95,
+            stream_count: 8,
+            code_footprint: 120 * 1024,
+            fp_load_frac: 0.85,
+        },
+        // apsi: pseudo-spectral air pollution model; mixed loop nests.
+        BenchProfile {
+            name: "apsi",
+            fp: true,
+            mix: fp_mix(0.20, 0.33, 0.012, 0.26, 0.11, 0.08),
+            dep_geom_p: 0.46,
+            immediate_frac: 0.20,
+            global_src_frac: 0.16,
+            reuse_frac: 0.07,
+            max_chain_depth: 4,
+            branch_sites: 160,
+            loop_site_frac: 0.75,
+            mean_trip: 16,
+            random_site_frac: 0.02,
+            taken_bias: 0.95,
+            data_working_set: 1024 * 1024,
+            hot_frac: 0.6,
+            hot_bytes: 32 * 1024,
+            stride_frac: 0.92,
+            stream_count: 6,
+            code_footprint: 200 * 1024,
+            fp_load_frac: 0.80,
+        },
+        // fpppp: electron integrals; gigantic basic blocks (few branches),
+        // extreme register pressure, long dependence distances.
+        BenchProfile {
+            name: "fpppp",
+            fp: true,
+            mix: fp_mix(0.12, 0.48, 0.015, 0.26, 0.11, 0.015),
+            dep_geom_p: 0.34,
+            immediate_frac: 0.12,
+            global_src_frac: 0.10,
+            reuse_frac: 0.08,
+            max_chain_depth: 6,
+            branch_sites: 30,
+            loop_site_frac: 0.80,
+            mean_trip: 20,
+            random_site_frac: 0.01,
+            taken_bias: 0.96,
+            data_working_set: 256 * 1024,
+            hot_frac: 0.8,
+            hot_bytes: 32 * 1024,
+            stride_frac: 0.9,
+            stream_count: 4,
+            code_footprint: 280 * 1024,
+            fp_load_frac: 0.85,
+        },
+        // hydro2d: Navier-Stokes on 2D grids; very regular, streaming.
+        BenchProfile {
+            name: "hydro2d",
+            fp: true,
+            mix: fp_mix(0.16, 0.38, 0.02, 0.27, 0.11, 0.06),
+            dep_geom_p: 0.44,
+            immediate_frac: 0.16,
+            global_src_frac: 0.13,
+            reuse_frac: 0.06,
+            max_chain_depth: 3,
+            branch_sites: 110,
+            loop_site_frac: 0.85,
+            mean_trip: 30,
+            random_site_frac: 0.01,
+            taken_bias: 0.96,
+            data_working_set: 1536 * 1024,
+            hot_frac: 0.55,
+            hot_bytes: 32 * 1024,
+            stride_frac: 0.96,
+            stream_count: 8,
+            code_footprint: 140 * 1024,
+            fp_load_frac: 0.85,
+        },
+        // mgrid: multigrid solver; the most regular program of the suite,
+        // 27-point stencils ⇒ huge ILP, almost no branches.
+        BenchProfile {
+            name: "mgrid",
+            fp: true,
+            mix: fp_mix(0.13, 0.44, 0.004, 0.33, 0.065, 0.025),
+            dep_geom_p: 0.38,
+            immediate_frac: 0.14,
+            global_src_frac: 0.10,
+            reuse_frac: 0.06,
+            max_chain_depth: 3,
+            branch_sites: 40,
+            loop_site_frac: 0.92,
+            mean_trip: 48,
+            random_site_frac: 0.005,
+            taken_bias: 0.97,
+            data_working_set: 3 * 1024 * 1024,
+            hot_frac: 0.55,
+            hot_bytes: 32 * 1024,
+            stride_frac: 0.97,
+            stream_count: 10,
+            code_footprint: 60 * 1024,
+            fp_load_frac: 0.9,
+        },
+        // su2cor: quantum physics Monte-Carlo; vectorizable loops.
+        BenchProfile {
+            name: "su2cor",
+            fp: true,
+            mix: fp_mix(0.19, 0.35, 0.015, 0.27, 0.11, 0.065),
+            dep_geom_p: 0.45,
+            immediate_frac: 0.18,
+            global_src_frac: 0.15,
+            reuse_frac: 0.07,
+            max_chain_depth: 4,
+            branch_sites: 130,
+            loop_site_frac: 0.78,
+            mean_trip: 20,
+            random_site_frac: 0.02,
+            taken_bias: 0.95,
+            data_working_set: 2 * 1024 * 1024,
+            hot_frac: 0.6,
+            hot_bytes: 32 * 1024,
+            stride_frac: 0.93,
+            stream_count: 7,
+            code_footprint: 160 * 1024,
+            fp_load_frac: 0.82,
+        },
+        // swim: shallow-water stencils; pure streaming, branch-free inner
+        // loops, bandwidth bound.
+        BenchProfile {
+            name: "swim",
+            fp: true,
+            mix: fp_mix(0.12, 0.43, 0.006, 0.32, 0.10, 0.024),
+            dep_geom_p: 0.4,
+            immediate_frac: 0.13,
+            global_src_frac: 0.10,
+            reuse_frac: 0.05,
+            max_chain_depth: 3,
+            branch_sites: 24,
+            loop_site_frac: 0.95,
+            mean_trip: 64,
+            random_site_frac: 0.005,
+            taken_bias: 0.97,
+            data_working_set: 4 * 1024 * 1024,
+            hot_frac: 0.45,
+            hot_bytes: 32 * 1024,
+            stride_frac: 0.98,
+            stream_count: 12,
+            code_footprint: 40 * 1024,
+            fp_load_frac: 0.9,
+        },
+        // tomcatv: mesh generation; strided with some gather/scatter.
+        BenchProfile {
+            name: "tomcatv",
+            fp: true,
+            mix: fp_mix(0.14, 0.41, 0.012, 0.30, 0.10, 0.038),
+            dep_geom_p: 0.4,
+            immediate_frac: 0.15,
+            global_src_frac: 0.12,
+            reuse_frac: 0.06,
+            max_chain_depth: 3,
+            branch_sites: 36,
+            loop_site_frac: 0.88,
+            mean_trip: 40,
+            random_site_frac: 0.01,
+            taken_bias: 0.96,
+            data_working_set: 3 * 1024 * 1024,
+            hot_frac: 0.55,
+            hot_bytes: 32 * 1024,
+            stride_frac: 0.95,
+            stream_count: 8,
+            code_footprint: 48 * 1024,
+            fp_load_frac: 0.88,
+        },
+        // turb3d: turbulence FFTs; mixed strided/permuted access.
+        BenchProfile {
+            name: "turb3d",
+            fp: true,
+            mix: fp_mix(0.20, 0.34, 0.014, 0.26, 0.11, 0.076),
+            dep_geom_p: 0.45,
+            immediate_frac: 0.18,
+            global_src_frac: 0.15,
+            reuse_frac: 0.07,
+            max_chain_depth: 4,
+            branch_sites: 140,
+            loop_site_frac: 0.80,
+            mean_trip: 16,
+            random_site_frac: 0.015,
+            taken_bias: 0.95,
+            data_working_set: 2 * 1024 * 1024,
+            hot_frac: 0.65,
+            hot_bytes: 32 * 1024,
+            stride_frac: 0.9,
+            stream_count: 6,
+            code_footprint: 180 * 1024,
+            fp_load_frac: 0.8,
+        },
+        // wave5: plasma simulation; particle pushes with indexed access.
+        BenchProfile {
+            name: "wave5",
+            fp: true,
+            mix: fp_mix(0.18, 0.36, 0.01, 0.28, 0.11, 0.06),
+            dep_geom_p: 0.44,
+            immediate_frac: 0.17,
+            global_src_frac: 0.14,
+            reuse_frac: 0.07,
+            max_chain_depth: 4,
+            branch_sites: 150,
+            loop_site_frac: 0.80,
+            mean_trip: 20,
+            random_site_frac: 0.02,
+            taken_bias: 0.95,
+            data_working_set: 2560 * 1024,
+            hot_frac: 0.6,
+            hot_bytes: 32 * 1024,
+            stride_frac: 0.9,
+            stream_count: 7,
+            code_footprint: 220 * 1024,
+            fp_load_frac: 0.84,
+        },
+    ]
+}
+
+/// The full SPEC95 suite: integer programs first, then FP, each in the
+/// paper's figure order.
+pub fn suite_all() -> Vec<BenchProfile> {
+    let mut v = suite_int();
+    v.extend(suite_fp());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_spec95() {
+        assert_eq!(suite_int().len(), 8);
+        assert_eq!(suite_fp().len(), 10);
+        assert_eq!(suite_all().len(), 18);
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in suite_all() {
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_lookup_works() {
+        let mut names = std::collections::HashSet::new();
+        for p in suite_all() {
+            assert!(names.insert(p.name), "duplicate {}", p.name);
+            assert_eq!(BenchProfile::by_name(p.name).unwrap().name, p.name);
+        }
+        assert!(BenchProfile::by_name("doom").is_none());
+    }
+
+    #[test]
+    fn int_profiles_are_branchier_than_fp() {
+        let int_avg: f64 = suite_int().iter().map(|p| p.mix.branch_fraction()).sum::<f64>() / 8.0;
+        let fp_avg: f64 = suite_fp().iter().map(|p| p.mix.branch_fraction()).sum::<f64>() / 10.0;
+        assert!(int_avg > 2.0 * fp_avg, "int {int_avg} vs fp {fp_avg}");
+    }
+
+    #[test]
+    fn fp_profiles_have_longer_dependence_distances() {
+        // Smaller geometric p ⇒ longer distances.
+        let int_avg: f64 = suite_int().iter().map(|p| p.dep_geom_p).sum::<f64>() / 8.0;
+        let fp_avg: f64 = suite_fp().iter().map(|p| p.dep_geom_p).sum::<f64>() / 10.0;
+        assert!(fp_avg < int_avg);
+    }
+
+    #[test]
+    fn fp_flag_matches_suite() {
+        assert!(suite_int().iter().all(|p| !p.fp));
+        assert!(suite_fp().iter().all(|p| p.fp));
+    }
+
+    #[test]
+    fn display_names_suite() {
+        assert_eq!(BenchProfile::by_name("go").unwrap().to_string(), "go (SpecInt95)");
+        assert_eq!(BenchProfile::by_name("swim").unwrap().to_string(), "swim (SpecFP95)");
+    }
+}

@@ -1,0 +1,57 @@
+//! Compare the paper's caching and prefetch policies (§3) on one
+//! benchmark, including the baselines — a single-benchmark slice through
+//! Figures 2, 5 and 6.
+//!
+//! ```text
+//! cargo run --release --example policy_comparison [benchmark] [insts]
+//! ```
+
+use rfcache_core::{CachingPolicy, FetchPolicy, RegFileCacheConfig, RegFileConfig, SingleBankConfig};
+use rfcache_sim::{run_suite, RunSpec, TextTable};
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "li".to_string());
+    let insts: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150_000);
+
+    let rfc = |caching, fetch| {
+        RegFileConfig::Cache(RegFileCacheConfig::paper_default().with_policies(caching, fetch))
+    };
+    let configs: Vec<(&str, RegFileConfig)> = vec![
+        ("1-cycle single bank", RegFileConfig::Single(SingleBankConfig::one_cycle())),
+        ("2-cycle, full bypass", RegFileConfig::Single(SingleBankConfig::two_cycle_full_bypass())),
+        ("2-cycle, 1 bypass", RegFileConfig::Single(SingleBankConfig::two_cycle_single_bypass())),
+        ("rfc ready+demand", rfc(CachingPolicy::Ready, FetchPolicy::OnDemand)),
+        ("rfc nonbyp+demand", rfc(CachingPolicy::NonBypass, FetchPolicy::OnDemand)),
+        ("rfc ready+prefetch", rfc(CachingPolicy::Ready, FetchPolicy::PrefetchFirstPair)),
+        ("rfc nonbyp+prefetch", rfc(CachingPolicy::NonBypass, FetchPolicy::PrefetchFirstPair)),
+    ];
+
+    let specs: Vec<RunSpec> = configs
+        .iter()
+        .map(|(_, rf)| RunSpec::new(&bench, *rf).insts(insts).warmup(insts / 4))
+        .collect();
+    let results = run_suite(&specs);
+
+    let base_ipc = results[0].ipc();
+    let mut table = TextTable::new(vec![
+        "configuration".into(),
+        "IPC".into(),
+        "vs 1-cycle".into(),
+        "bypass reads".into(),
+        "transfers".into(),
+    ]);
+    for ((name, _), result) in configs.iter().zip(&results) {
+        let s = result.metrics.rf_combined();
+        table.row(vec![
+            name.to_string(),
+            format!("{:.3}", result.ipc()),
+            format!("{:+.1}%", (result.ipc() / base_ipc - 1.0) * 100.0),
+            format!("{:.0}%", s.bypass_fraction().unwrap_or(0.0) * 100.0),
+            format!("{}", s.demand_transfers + s.prefetch_transfers),
+        ]);
+    }
+    println!("{bench}, {insts} measured instructions:\n\n{table}");
+}

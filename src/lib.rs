@@ -1,0 +1,55 @@
+//! Workspace root facade for the rfcache reproduction of *Multiple-Banked
+//! Register File Architectures* (Cruz, González, Valero, Topham — ISCA
+//! 2000).
+//!
+//! The root crate hosts the cross-crate integration tests (`tests/`) and
+//! the runnable examples (`examples/`); library users should depend on
+//! the individual crates or on [`rfcache_sim`] directly. The [`prelude`]
+//! re-exports the handful of types most programs need.
+//!
+//! # Examples
+//!
+//! ```
+//! use rfcache_repro::prelude::*;
+//!
+//! let spec = RunSpec::new("li", RegFileConfig::Cache(RegFileCacheConfig::paper_default()))
+//!     .insts(2_000)
+//!     .warmup(500);
+//! assert!(spec.run().ipc() > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use rfcache_sim as sim;
+
+/// The types most simulations need, in one import.
+pub mod prelude {
+    pub use rfcache_core::{
+        CachingPolicy, FetchPolicy, OneLevelBankedConfig, PortLimits, RegFileCacheConfig,
+        RegFileConfig, Replacement, ReplicatedBankConfig, SingleBankConfig,
+    };
+    pub use rfcache_pipeline::{Cpu, PipelineConfig, SimMetrics};
+    pub use rfcache_sim::{harmonic_mean, run_suite, RunResult, RunSpec};
+    pub use rfcache_workload::{suite_all, suite_fp, suite_int, BenchProfile, TraceGenerator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_covers_a_full_workflow() {
+        let specs: Vec<RunSpec> = suite_int()
+            .into_iter()
+            .take(2)
+            .map(|p| {
+                RunSpec::from_profile(p, RegFileConfig::Single(SingleBankConfig::one_cycle()))
+                    .insts(1_500)
+                    .warmup(300)
+            })
+            .collect();
+        let results = run_suite(&specs);
+        let ipcs: Vec<f64> = results.iter().map(RunResult::ipc).collect();
+        assert!(harmonic_mean(&ipcs).unwrap() > 0.5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: full-suite simulations spanning the
+//! workload generator, front end, memory hierarchy, register file models,
+//! and the out-of-order core.
+
+use rfcache_core::{RegFileCacheConfig, RegFileConfig, ReplicatedBankConfig, SingleBankConfig};
+use rfcache_pipeline::{Cpu, PipelineConfig};
+use rfcache_sim::{harmonic_mean, run_suite, RunSpec};
+use rfcache_workload::{suite_all, BenchProfile, TraceGenerator};
+
+const INSTS: u64 = 8_000;
+const WARMUP: u64 = 2_000;
+
+fn one_cycle() -> RegFileConfig {
+    RegFileConfig::Single(SingleBankConfig::one_cycle())
+}
+
+fn two_cycle_1byp() -> RegFileConfig {
+    RegFileConfig::Single(SingleBankConfig::two_cycle_single_bypass())
+}
+
+fn rfc() -> RegFileConfig {
+    RegFileConfig::Cache(RegFileCacheConfig::paper_default())
+}
+
+#[test]
+fn every_benchmark_runs_on_every_architecture() {
+    let archs =
+        [one_cycle(), two_cycle_1byp(), rfc(), RegFileConfig::Replicated(ReplicatedBankConfig::default())];
+    let mut specs = Vec::new();
+    for p in suite_all() {
+        for rf in archs {
+            specs.push(RunSpec::from_profile(p, rf).insts(INSTS).warmup(WARMUP));
+        }
+    }
+    let results = run_suite(&specs);
+    assert_eq!(results.len(), 18 * archs.len());
+    for r in &results {
+        assert!(r.metrics.committed >= INSTS, "{}: committed {}", r.bench, r.metrics.committed);
+        assert!(r.ipc() > 0.3, "{}: ipc {}", r.bench, r.ipc());
+        assert!(r.ipc() <= 8.0, "{}: ipc {}", r.bench, r.ipc());
+    }
+}
+
+#[test]
+fn architecture_ordering_holds_per_benchmark() {
+    // For every program: 1-cycle >= rfc (roughly) and rfc > 2-cycle/1byp.
+    for p in suite_all() {
+        let specs = vec![
+            RunSpec::from_profile(p, one_cycle()).insts(INSTS).warmup(WARMUP),
+            RunSpec::from_profile(p, rfc()).insts(INSTS).warmup(WARMUP),
+            RunSpec::from_profile(p, two_cycle_1byp()).insts(INSTS).warmup(WARMUP),
+        ];
+        let r = run_suite(&specs);
+        let (one, cache, two) = (r[0].ipc(), r[1].ipc(), r[2].ipc());
+        assert!(
+            cache <= one * 1.05,
+            "{}: rfc {} should not beat 1-cycle {}",
+            p.name,
+            cache,
+            one
+        );
+        assert!(
+            cache >= two * 0.97,
+            "{}: rfc {} must at least match 2-cycle {}",
+            p.name,
+            cache,
+            two
+        );
+    }
+}
+
+#[test]
+fn suite_level_claims_match_paper_shape() {
+    let mut by_arch: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let archs = [one_cycle(), rfc(), two_cycle_1byp()];
+    for p in suite_all().into_iter().filter(|p| !p.fp) {
+        let specs: Vec<RunSpec> = archs
+            .iter()
+            .map(|rf| RunSpec::from_profile(p, *rf).insts(INSTS).warmup(WARMUP))
+            .collect();
+        for (i, r) in run_suite(&specs).iter().enumerate() {
+            by_arch[i].push(r.ipc());
+        }
+    }
+    let h: Vec<f64> = by_arch.iter().map(|v| harmonic_mean(v).unwrap()).collect();
+    // Paper (SpecInt95): rfc ≈ 0.90x the 1-cycle file, ≈ 1.10x the
+    // 2-cycle/1-bypass file. Accept generous bands at this small scale.
+    let vs_one = h[1] / h[0];
+    let vs_two = h[1] / h[2];
+    assert!((0.80..=1.0).contains(&vs_one), "rfc vs 1-cycle: {vs_one}");
+    assert!(vs_two > 1.05, "rfc vs 2-cycle: {vs_two}");
+}
+
+#[test]
+fn determinism_across_thread_schedules() {
+    let p = BenchProfile::by_name("perl").unwrap();
+    let spec = RunSpec::from_profile(p, rfc()).insts(INSTS).warmup(WARMUP);
+    let solo = spec.run();
+    let batch = run_suite(&vec![spec.clone(); 4]);
+    for r in &batch {
+        assert_eq!(r.metrics.cycles, solo.metrics.cycles);
+        assert_eq!(r.metrics.committed, solo.metrics.committed);
+        assert_eq!(r.metrics.mispredicted, solo.metrics.mispredicted);
+    }
+}
+
+#[test]
+fn register_accounting_survives_long_runs() {
+    for bench in ["go", "swim"] {
+        let p = BenchProfile::by_name(bench).unwrap();
+        let mut cpu = Cpu::new(PipelineConfig::default(), rfc(), TraceGenerator::new(p, 9));
+        cpu.run(20_000);
+        cpu.check_register_accounting();
+    }
+}
+
+#[test]
+fn read_once_statistic_in_paper_range_at_scale() {
+    let mut int_fracs = Vec::new();
+    let mut fp_fracs = Vec::new();
+    for p in suite_all() {
+        let r = RunSpec::from_profile(p, one_cycle()).insts(INSTS).warmup(WARMUP).run();
+        let frac = r.metrics.rf_combined().read_at_most_once_fraction().unwrap();
+        if p.fp {
+            fp_fracs.push(frac);
+        } else {
+            int_fracs.push(frac);
+        }
+    }
+    let int_avg = int_fracs.iter().sum::<f64>() / int_fracs.len() as f64;
+    let fp_avg = fp_fracs.iter().sum::<f64>() / fp_fracs.len() as f64;
+    // Paper: 88% int, 85% fp.
+    assert!((0.78..=0.98).contains(&int_avg), "int {int_avg}");
+    assert!((0.78..=0.98).contains(&fp_avg), "fp {fp_avg}");
+}
+
+#[test]
+fn occupancy_is_small_relative_to_register_file() {
+    // The justification for a 16-entry upper bank (Figure 3): the 90th
+    // percentile of ready-needed values is a small fraction of 128.
+    let p = BenchProfile::by_name("li").unwrap();
+    let spec = RunSpec::from_profile(p, one_cycle())
+        .pipeline(PipelineConfig::default().with_occupancy_sampling())
+        .insts(INSTS)
+        .warmup(WARMUP);
+    let r = spec.run();
+    assert!(r.metrics.occupancy_ready.percentile(0.9) <= 16);
+}

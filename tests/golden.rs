@@ -1,0 +1,84 @@
+//! Golden-master regression tests: exact cycle counts for fixed
+//! (benchmark, architecture, seed) triples.
+//!
+//! The simulator is fully deterministic, so any change to these numbers
+//! means the *timing model changed* — which must be a conscious decision
+//! (update the constants in the same commit and record why), never an
+//! accident of refactoring. IPC-level tests elsewhere tolerate drift;
+//! these do not.
+
+use rfcache_core::{RegFileCacheConfig, RegFileConfig, SingleBankConfig};
+use rfcache_sim::RunSpec;
+
+struct Golden {
+    bench: &'static str,
+    rf: RegFileConfig,
+    cycles: u64,
+    committed: u64,
+    mispredicted: u64,
+}
+
+fn goldens() -> Vec<Golden> {
+    vec![
+        Golden {
+            bench: "li",
+            rf: RegFileConfig::Single(SingleBankConfig::one_cycle()),
+            cycles: 7760,
+            committed: 20_001,
+            mispredicted: 194,
+        },
+        Golden {
+            bench: "li",
+            rf: RegFileConfig::Cache(RegFileCacheConfig::paper_default()),
+            cycles: 9380,
+            committed: 20_001,
+            mispredicted: 194,
+        },
+        Golden {
+            bench: "swim",
+            rf: RegFileConfig::Single(SingleBankConfig::two_cycle_single_bypass()),
+            cycles: 10_785,
+            committed: 20_001,
+            mispredicted: 63,
+        },
+        Golden {
+            bench: "go",
+            rf: RegFileConfig::Cache(RegFileCacheConfig::paper_default()),
+            cycles: 15_045,
+            committed: 20_002,
+            mispredicted: 1_225,
+        },
+    ]
+}
+
+#[test]
+fn timing_model_is_frozen() {
+    for g in goldens() {
+        let m = RunSpec::new(g.bench, g.rf).insts(20_000).warmup(5_000).seed(7).run().metrics;
+        assert_eq!(
+            (m.cycles, m.committed, m.mispredicted),
+            (g.cycles, g.committed, g.mispredicted),
+            "{} on {}: timing model changed — if intentional, update this golden",
+            g.bench,
+            g.rf,
+        );
+    }
+}
+
+#[test]
+fn misprediction_counts_are_architecture_independent() {
+    // The front end sees the same trace whatever the register file is;
+    // only the *penalty* differs. Same seed ⇒ same mispredict count.
+    let a = RunSpec::new("li", RegFileConfig::Single(SingleBankConfig::one_cycle()))
+        .insts(20_000)
+        .warmup(5_000)
+        .seed(7)
+        .run();
+    let b = RunSpec::new("li", RegFileConfig::Cache(RegFileCacheConfig::paper_default()))
+        .insts(20_000)
+        .warmup(5_000)
+        .seed(7)
+        .run();
+    assert_eq!(a.metrics.mispredicted, b.metrics.mispredicted);
+    assert!(a.metrics.cycles < b.metrics.cycles, "rfc pays for transfers");
+}

@@ -1,0 +1,259 @@
+//! Property-based tests (proptest) on the core data structures and
+//! timing invariants.
+
+use proptest::prelude::*;
+use rfcache_core::{
+    NullWindow, PlanError, PlruTree, PortLimits, ReadPath, RegFileModel, SingleBankConfig,
+    SingleBankModel,
+};
+use rfcache_isa::PhysReg;
+use rfcache_mem::{CacheConfig, SetAssocCache};
+use rfcache_pipeline::{Lsq, Rob};
+use rfcache_workload::{BenchProfile, TraceGenerator};
+
+proptest! {
+    /// The PLRU victim is never the most recently touched slot, for any
+    /// touch sequence and any power-of-two tree size.
+    #[test]
+    fn plru_never_evicts_most_recent(
+        size_pow in 1u32..=5,
+        touches in proptest::collection::vec(0usize..32, 1..200),
+    ) {
+        let slots = 1usize << size_pow;
+        let mut plru = PlruTree::new(slots.max(2));
+        let mut last = None;
+        for t in touches {
+            let slot = t % plru.slots();
+            plru.touch(slot);
+            last = Some(slot);
+        }
+        if plru.slots() > 1 {
+            prop_assert_ne!(plru.victim(), last.unwrap());
+        }
+    }
+
+    /// A set-associative cache re-accessed at the same address always hits
+    /// the second time, regardless of interleaved accesses to other sets.
+    #[test]
+    fn cache_rehit_within_set_capacity(
+        addr in 0u64..(1 << 20),
+        others in proptest::collection::vec(0u64..(1 << 20), 0..8),
+    ) {
+        let config = CacheConfig::spec_dcache();
+        let mut cache = SetAssocCache::new(config);
+        cache.access(addr, false);
+        let set_of = |a: u64| (a / config.line_bytes) % config.num_sets();
+        let mut evictions_possible = 0;
+        for &o in &others {
+            if set_of(o) == set_of(addr) && o / config.line_bytes != addr / config.line_bytes {
+                evictions_possible += 1;
+            }
+            cache.access(o, false);
+        }
+        if evictions_possible < config.ways {
+            prop_assert!(cache.access(addr, false).hit);
+        }
+    }
+
+    /// Trace generation is a pure function of (profile, seed).
+    #[test]
+    fn trace_deterministic(seed in 0u64..1000) {
+        let p = BenchProfile::by_name("go").unwrap();
+        let a: Vec<_> = TraceGenerator::new(p, seed).take(300).collect();
+        let b: Vec<_> = TraceGenerator::new(p, seed).take(300).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Generated instructions are always well-formed: class-consistent
+    /// operands, addresses within the data segment, targets recorded.
+    #[test]
+    fn trace_instructions_well_formed(seed in 0u64..50, bench_idx in 0usize..18) {
+        let p = rfcache_workload::suite_all()[bench_idx];
+        for inst in TraceGenerator::new(p, seed).take(500) {
+            if let Some(dst) = inst.dst {
+                prop_assert!(inst.op.is_mem() || dst.class() == inst.sources().next().unwrap().class());
+            }
+            if inst.op.is_mem() {
+                let a = inst.mem_addr.unwrap();
+                prop_assert!(a >= p.data_base() && a < p.data_base() + p.data_working_set);
+            }
+            if inst.op.is_branch() {
+                prop_assert!(inst.branch.is_some());
+            }
+        }
+    }
+
+    /// The single-bank model never grants more reads per cycle than it has
+    /// read ports, whatever the access pattern.
+    #[test]
+    fn read_port_budget_is_respected(
+        ports in 1u32..4,
+        requests in proptest::collection::vec(0u16..16, 1..40),
+    ) {
+        let config = SingleBankConfig::one_cycle().with_ports(PortLimits::limited(ports, 16));
+        let mut rf = SingleBankModel::new(config, 16);
+        rf.begin_cycle(0);
+        for i in 0..16u16 {
+            let preg = PhysReg::new(i);
+            rf.on_alloc(preg);
+            rf.schedule_result(preg, 0);
+            rf.try_writeback(preg, 0, &NullWindow);
+        }
+        // All values written at cycle 0; at cycle 5 everything is a
+        // register-file read. Count how many reads the model grants.
+        rf.begin_cycle(5);
+        let mut granted = 0u32;
+        for r in requests {
+            match rf.plan_read(&[PhysReg::new(r)], 5) {
+                Ok(plan) => {
+                    prop_assert_eq!(plan[0].path, ReadPath::RegFile);
+                    rf.commit_read(&plan, 5);
+                    granted += 1;
+                }
+                Err(PlanError::NoReadPort) => {}
+                Err(e) => prop_assert!(false, "unexpected error {:?}", e),
+            }
+        }
+        prop_assert!(granted <= ports);
+    }
+
+    /// ROB squash keeps exactly the entries at or below the squash point,
+    /// in order, for arbitrary push/pop/squash interleavings.
+    #[test]
+    fn rob_squash_preserves_program_order(ops in proptest::collection::vec(0u8..3, 1..60)) {
+        use rfcache_isa::{ArchReg, OpClass, TraceInst};
+        let inst = TraceInst::alu(OpClass::IntAlu, ArchReg::int(1), ArchReg::int(2), ArchReg::int(3));
+        let mut rob = Rob::new(16);
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                0 if !rob.is_full() => {
+                    rob.push(seq, inst);
+                    seq += 1;
+                }
+                1 => {
+                    rob.pop_head();
+                }
+                _ if !rob.is_empty() => {
+                    // Squash everything younger than the current median.
+                    let seqs: Vec<u64> = rob.iter().map(|(_, e)| e.seq).collect();
+                    let mid = seqs[seqs.len() / 2];
+                    rob.squash_younger(mid);
+                }
+                _ => {}
+            }
+            let seqs: Vec<u64> = rob.iter().map(|(_, e)| e.seq).collect();
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(seqs, sorted, "ROB must stay in program order");
+        }
+    }
+
+    /// LSQ forwarding always reports the *nearest* older matching store.
+    #[test]
+    fn lsq_forwards_from_nearest_store(
+        n_stores in 1usize..6,
+        load_word in 0u64..4,
+    ) {
+        use rfcache_isa::{ArchReg, TraceInst};
+        let mut rob = Rob::new(16);
+        let mut lsq = Lsq::new(16);
+        // Stores at word addresses 0..4, data ready for even sequence
+        // numbers only.
+        for s in 0..n_stores {
+            let addr = (s as u64 % 4) * 8;
+            let slot = rob.push(s as u64, TraceInst::store(ArchReg::int(1), ArchReg::int(2), addr, 0));
+            lsq.insert(slot, s as u64, true, addr);
+            if s % 2 == 0 {
+                lsq.store_data_ready(s as u64);
+            } else {
+                lsq.store_address_ready(s as u64);
+            }
+        }
+        let load_seq = n_stores as u64;
+        let load_addr = load_word * 8;
+        let nearest = (0..n_stores).rev().find(|s| (*s as u64 % 4) * 8 == load_addr);
+        let result = lsq.search_older_stores(load_seq, load_addr);
+        match nearest {
+            Some(s) if s % 2 == 0 => prop_assert_eq!(result, rfcache_pipeline::StoreSearch::Forward),
+            Some(_) => prop_assert_eq!(result, rfcache_pipeline::StoreSearch::MustWait),
+            None => prop_assert_eq!(result, rfcache_pipeline::StoreSearch::NoConflict),
+        }
+    }
+
+    /// Area and access time are monotone in every geometry dimension.
+    #[test]
+    fn area_model_monotonicity(
+        regs_pow in 4u32..9,
+        reads in 1u32..16,
+        writes in 1u32..8,
+    ) {
+        use rfcache_area::BankGeometry;
+        let regs = 1u32 << regs_pow;
+        let g = BankGeometry::new(regs, 64, reads, writes);
+        let bigger_regs = BankGeometry::new(regs * 2, 64, reads, writes);
+        let more_reads = BankGeometry::new(regs, 64, reads + 1, writes);
+        let more_writes = BankGeometry::new(regs, 64, reads, writes + 1);
+        prop_assert!(bigger_regs.area_lambda2() > g.area_lambda2());
+        prop_assert!(more_reads.area_lambda2() > g.area_lambda2());
+        prop_assert!(more_writes.area_lambda2() > g.area_lambda2());
+        prop_assert!(bigger_regs.access_time_ns() > g.access_time_ns());
+        prop_assert!(more_reads.access_time_ns() > g.access_time_ns());
+    }
+
+    /// Random protocol sequences never break the register file cache's
+    /// invariants: occupancy bounded by capacity, residency only for live
+    /// produced values, and plan_read/commit_read never panicking.
+    #[test]
+    fn rfc_protocol_fuzz(ops in proptest::collection::vec((0u8..6, 0u16..24), 1..300)) {
+        use rfcache_core::{RegFileCacheConfig, RegFileCacheModel};
+        let cfg = RegFileCacheConfig { upper_entries: 4, ..RegFileCacheConfig::paper_default() }
+            .with_ports(2, 1, 2, 1);
+        let mut rf = RegFileCacheModel::new(cfg, 24);
+        let mut now = 0u64;
+        let mut live = [false; 24];
+        rf.begin_cycle(now);
+        for (op, reg) in ops {
+            let preg = PhysReg::new(reg);
+            match op {
+                0 => {
+                    rf.on_alloc(preg);
+                    live[reg as usize] = true;
+                }
+                1 if live[reg as usize] => rf.schedule_result(preg, now),
+                2 if live[reg as usize] => {
+                    let _ = rf.try_writeback(preg, now, &NullWindow);
+                }
+                3 if live[reg as usize] => {
+                    if let Ok(plan) = rf.plan_read(&[preg], now) {
+                        rf.commit_read(&plan, now);
+                    }
+                }
+                4 => rf.request_demand(preg, now),
+                5 => {
+                    rf.request_prefetch(preg, now);
+                    rf.on_free(preg);
+                    live[reg as usize] = false;
+                }
+                _ => {}
+            }
+            now += 1;
+            rf.begin_cycle(now);
+            prop_assert!(rf.upper_occupancy() <= 4);
+            for i in 0..24u16 {
+                if rf.in_upper(PhysReg::new(i)) {
+                    prop_assert!(live[i as usize], "freed register resident in upper bank");
+                }
+            }
+        }
+    }
+
+    /// The harmonic mean lies between min and max.
+    #[test]
+    fn harmonic_mean_bounds(values in proptest::collection::vec(0.01f64..100.0, 1..20)) {
+        let h = rfcache_sim::harmonic_mean(&values).unwrap();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(h >= min - 1e-9 && h <= max + 1e-9);
+    }
+}

@@ -1,0 +1,170 @@
+//! Micro-scale timing-semantics tests: tiny hand-built traces with known
+//! dataflow, executed end-to-end through the pipeline, checking cycle
+//! counts against the documented timing contract.
+
+use rfcache_core::{RegFileCacheConfig, RegFileConfig, SingleBankConfig};
+use rfcache_isa::{ArchReg, OpClass, TraceInst};
+use rfcache_pipeline::{Cpu, PipelineConfig};
+
+/// A serial chain of `n` dependent 1-cycle ALU ops (each reads the
+/// previous result).
+fn chain(n: usize) -> Vec<TraceInst> {
+    (0..n)
+        .map(|i| {
+            TraceInst::alu(
+                OpClass::IntAlu,
+                ArchReg::int(1 + ((i + 1) % 20) as u8),
+                ArchReg::int(1 + (i % 20) as u8),
+                ArchReg::int(30), // a long-lived, always-ready value
+            )
+            .with_pc(0x1000 + i as u64 * 4)
+        })
+        .collect()
+}
+
+/// `n` fully independent ALU ops (read only long-lived registers). The
+/// program counters loop over four icache lines so fetch is not
+/// cold-miss-bound.
+fn independent(n: usize) -> Vec<TraceInst> {
+    (0..n)
+        .map(|i| {
+            TraceInst::alu(
+                OpClass::IntAlu,
+                ArchReg::int(1 + (i % 20) as u8),
+                ArchReg::int(30),
+                ArchReg::int(31),
+            )
+            .with_pc(0x1000 + (i as u64 % 64) * 4)
+        })
+        .collect()
+}
+
+fn run_trace(trace: Vec<TraceInst>, rf: RegFileConfig) -> u64 {
+    let n = trace.len() as u64;
+    let mut cpu = Cpu::new(PipelineConfig::default(), rf, trace.into_iter());
+    let metrics = cpu.run(n);
+    assert_eq!(metrics.committed, n);
+    metrics.cycles
+}
+
+#[test]
+fn serial_chain_runs_one_op_per_cycle_on_one_cycle_file() {
+    let n = 400;
+    let cycles = run_trace(chain(n), RegFileConfig::Single(SingleBankConfig::one_cycle()));
+    // One dependent ALU per cycle plus pipeline fill and icache warmup.
+    let overhead = cycles as i64 - n as i64;
+    assert!((0..60).contains(&overhead), "chain of {n} took {cycles} cycles");
+}
+
+#[test]
+fn serial_chain_pays_one_bubble_per_op_with_single_bypass_two_cycle_file() {
+    let n = 400;
+    let one = run_trace(chain(n), RegFileConfig::Single(SingleBankConfig::one_cycle()));
+    let two =
+        run_trace(chain(n), RegFileConfig::Single(SingleBankConfig::two_cycle_single_bypass()));
+    // Back-to-back execution is impossible: every op waits an extra cycle.
+    let delta = two as f64 - one as f64;
+    assert!(
+        (0.9 * n as f64..1.5 * n as f64).contains(&delta),
+        "expected ~{n} extra cycles, got {delta}"
+    );
+}
+
+#[test]
+fn serial_chain_keeps_back_to_back_with_full_bypass() {
+    let n = 400;
+    let one = run_trace(chain(n), RegFileConfig::Single(SingleBankConfig::one_cycle()));
+    let full =
+        run_trace(chain(n), RegFileConfig::Single(SingleBankConfig::two_cycle_full_bypass()));
+    // Full bypass preserves back-to-back execution; only the pipeline is
+    // one stage longer (a constant, not per-op, cost).
+    let delta = full as i64 - one as i64;
+    assert!((0..30).contains(&delta), "full bypass cost {delta} cycles over {n} ops");
+}
+
+#[test]
+fn register_file_cache_chains_like_a_one_cycle_file() {
+    let n = 400;
+    let one = run_trace(chain(n), RegFileConfig::Single(SingleBankConfig::one_cycle()));
+    let rfc = run_trace(chain(n), RegFileConfig::Cache(RegFileCacheConfig::paper_default()));
+    // Chained values ride the bypass level; the rfc only pays startup
+    // transfers for the seeded long-lived registers.
+    let delta = rfc as i64 - one as i64;
+    assert!((0..40).contains(&delta), "rfc chain cost {delta} cycles over {n} ops");
+}
+
+#[test]
+fn independent_ops_saturate_issue_width() {
+    let n = 4000;
+    let cycles =
+        run_trace(independent(n), RegFileConfig::Single(SingleBankConfig::one_cycle()));
+    let ipc = n as f64 / cycles as f64;
+    // 6 simple-int units bound the throughput below the 8-wide issue.
+    assert!(ipc > 5.0, "independent ALUs reached only {ipc} IPC");
+    assert!(ipc <= 6.05, "IPC {ipc} exceeds the FU bound");
+}
+
+#[test]
+fn fp_divide_is_not_pipelined() {
+    // Consecutive independent FP divides must serialize on the 2 units:
+    // 8 divides on 2 non-pipelined 14-cycle units ≥ 4 * 14 cycles.
+    let n = 8;
+    let trace: Vec<TraceInst> = (0..n)
+        .map(|i| {
+            TraceInst::alu(
+                OpClass::FpDiv,
+                ArchReg::fp(i as u8 % 8),
+                ArchReg::fp(28),
+                ArchReg::fp(29),
+            )
+            .with_pc(0x1000 + i as u64 * 4)
+        })
+        .collect();
+    let cycles = run_trace(trace, RegFileConfig::Single(SingleBankConfig::one_cycle()));
+    assert!(cycles >= 4 * 14, "8 divides on 2 units took only {cycles} cycles");
+}
+
+#[test]
+fn store_load_forwarding_beats_cache_miss() {
+    // store to A; load from A immediately: must forward, not miss.
+    let mut trace = Vec::new();
+    trace.push(TraceInst::store(ArchReg::int(30), ArchReg::int(31), 0x8000, 0x1000));
+    trace.push(TraceInst::load(ArchReg::int(1), ArchReg::int(31), 0x8000, 0x1004));
+    // Consume the loaded value with a chain so timing is visible.
+    for i in 0..50u8 {
+        trace.push(
+            TraceInst::alu(
+                OpClass::IntAlu,
+                ArchReg::int(1 + (i + 1) % 20),
+                ArchReg::int(1 + i % 20),
+                ArchReg::int(30),
+            )
+            .with_pc(0x1010 + u64::from(i) * 4),
+        );
+    }
+    let cycles = run_trace(trace, RegFileConfig::Single(SingleBankConfig::one_cycle()));
+    // Forwarding keeps this near the chain's natural length; a (cold)
+    // cache miss would add its latency serially before the chain.
+    assert!(cycles < 90, "took {cycles} cycles — forwarding broken?");
+}
+
+#[test]
+fn mispredicted_branch_penalty_grows_with_read_latency() {
+    // Alternating-direction branch that gshare cannot learn quickly at
+    // this scale, padded with independent work.
+    let mut trace = Vec::new();
+    for i in 0..400u64 {
+        let taken = (i / 3) % 2 == 0; // short irregular period
+        trace.push(TraceInst::branch(ArchReg::int(30), taken, 0x1000 + (i + 1) * 8, 0x1000 + i * 8));
+        trace.push(
+            TraceInst::alu(OpClass::IntAlu, ArchReg::int(1), ArchReg::int(30), ArchReg::int(31))
+                .with_pc(0x1000 + i * 8 + 4),
+        );
+    }
+    let one = run_trace(trace.clone(), RegFileConfig::Single(SingleBankConfig::one_cycle()));
+    let two = run_trace(trace, RegFileConfig::Single(SingleBankConfig::two_cycle_full_bypass()));
+    assert!(
+        two > one,
+        "longer read latency must increase the misprediction penalty: {one} vs {two}"
+    );
+}
