@@ -31,7 +31,13 @@ impl SingleBankDesign {
     /// # Panics
     ///
     /// Panics if `stages == 0` or the bank geometry is invalid.
-    pub fn new(registers: u32, width_bits: u32, read_ports: u32, write_ports: u32, stages: u32) -> Self {
+    pub fn new(
+        registers: u32,
+        width_bits: u32,
+        read_ports: u32,
+        write_ports: u32,
+        stages: u32,
+    ) -> Self {
         assert!(stages > 0, "a register file needs at least one pipeline stage");
         SingleBankDesign {
             bank: BankGeometry::new(registers, width_bits, read_ports, write_ports),

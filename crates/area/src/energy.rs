@@ -76,8 +76,8 @@ pub fn energy_per_instruction(
     let e_rfc_reads = reads_per_inst
         * (rfc_upper_read_frac * access_energy(&upper)
             + miss_frac * (access_energy(&lower) + access_energy(&upper)));
-    let e_rfc_writes = writes_per_inst
-        * (access_energy(&lower) + rfc_cached_frac * access_energy(&upper));
+    let e_rfc_writes =
+        writes_per_inst * (access_energy(&lower) + rfc_cached_frac * access_energy(&upper));
 
     EnergyComparison { single_bank: e_single, rfc: e_rfc_reads + e_rfc_writes }
 }
@@ -127,7 +127,11 @@ mod tests {
         // (though the few-ported lower bank keeps it positive).
         let good = energy_per_instruction(1.0, 0.8, 0.85, 0.35);
         let bad = energy_per_instruction(1.0, 0.8, 0.0, 1.0);
-        assert!(bad.rfc_saving() < good.rfc_saving() - 0.1,
-            "bad {} vs good {}", bad.rfc_saving(), good.rfc_saving());
+        assert!(
+            bad.rfc_saving() < good.rfc_saving() - 0.1,
+            "bad {} vs good {}",
+            bad.rfc_saving(),
+            good.rfc_saving()
+        );
     }
 }

@@ -162,7 +162,12 @@ mod tests {
     fn access_time_matches_table2_upper_bank_anchors() {
         for (ports, t) in [(7u32, 2.45), (10, 2.55), (12, 2.61)] {
             let g = BankGeometry::new(16, 64, ports - 2, 2);
-            assert!(rel_err(g.access_time_ns(), t) < 0.01, "{}: {} vs {t}", ports, g.access_time_ns());
+            assert!(
+                rel_err(g.access_time_ns(), t) < 0.01,
+                "{}: {} vs {t}",
+                ports,
+                g.access_time_ns()
+            );
         }
     }
 

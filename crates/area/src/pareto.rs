@@ -37,11 +37,7 @@ pub struct ParetoPoint<T> {
 pub fn pareto_frontier<T>(mut points: Vec<ParetoPoint<T>>) -> Vec<ParetoPoint<T>> {
     // Sort by area ascending; break ties by perf descending so the best
     // config at a given area comes first and suppresses the rest.
-    points.sort_by(|a, b| {
-        a.area
-            .total_cmp(&b.area)
-            .then_with(|| b.perf.total_cmp(&a.perf))
-    });
+    points.sort_by(|a, b| a.area.total_cmp(&b.area).then_with(|| b.perf.total_cmp(&a.perf)));
     let mut frontier: Vec<ParetoPoint<T>> = Vec::new();
     let mut best_perf = f64::NEG_INFINITY;
     for p in points {

@@ -47,7 +47,11 @@ impl Table2Config {
     }
 
     /// The register-file-cache design of this row.
-    pub fn register_file_cache(&self, lower_registers: u32, upper_registers: u32) -> TwoLevelDesign {
+    pub fn register_file_cache(
+        &self,
+        lower_registers: u32,
+        upper_registers: u32,
+    ) -> TwoLevelDesign {
         TwoLevelDesign::new(
             lower_registers,
             upper_registers,

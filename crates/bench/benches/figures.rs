@@ -8,7 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rfcache_sim::experiments::{
-    ablation, onelevel, fig1, fig2, fig3, fig5, fig6, fig7, fig8, fig9, readstats, table2, ExperimentOpts,
+    ablation, fig1, fig2, fig3, fig5, fig6, fig7, fig8, fig9, onelevel, readstats, table2,
+    ExperimentOpts,
 };
 
 fn smoke() -> ExperimentOpts {

@@ -1,76 +1,88 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates the tables and figures of the paper's evaluation, driven
+//! by the scenario registry in `rfcache_sim::scenario`.
 //!
 //! ```text
-//! experiments <fig1|fig2|fig3|readstats|fig5|fig6|fig7|fig8|table2|fig9|ablation|all>
-//!             [--insts N] [--warmup N] [--seed N] [--quick]
+//! experiments --list
+//! experiments <name>... | all [--insts N] [--warmup N] [--seed N] [--quick] [--jobs N]
 //! ```
 //!
+//! `--list` enumerates the registered scenarios; `all` runs every one in
+//! canonical order. `--jobs N` caps the worker threads each scenario's
+//! benchmark sweep fans out to (default: one per available core).
+//!
 //! Defaults: 200k measured instructions per benchmark after 60k warmup
-//! (the paper simulates 100M after skipping initialization; see
-//! EXPERIMENTS.md for the scaling discussion).
+//! (the paper simulates 100M after skipping initialization).
 
-use rfcache_sim::experiments::{
-    ablation, onelevel, sources, fig1, fig2, fig3, fig5, fig6, fig7, fig8, fig9, readstats, table2, ExperimentOpts,
-};
+use rfcache_sim::experiments::ExperimentOpts;
+use rfcache_sim::scenario;
 use std::time::Instant;
 
-const USAGE: &str = "usage: experiments <fig1|fig2|fig3|readstats|fig5|fig6|fig7|fig8|table2|fig9|ablation|onelevel|sources|all> \
-     [--insts N] [--warmup N] [--seed N] [--quick]";
+const USAGE: &str = "usage: experiments --list
+       experiments <name>... | all [--insts N] [--warmup N] [--seed N] [--quick] [--jobs N]
+run `experiments --list` for the registered scenario names";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(which) = args.first().cloned() else {
+    if args.is_empty() {
         eprintln!("{USAGE}");
         std::process::exit(2);
-    };
+    }
+    if args.iter().any(|a| a == "--list") {
+        list();
+        return;
+    }
 
     let mut opts = ExperimentOpts::default();
-    let mut it = args.iter().skip(1);
+    let mut names: Vec<&str> = Vec::new();
+    let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--insts" => opts.insts = parse_num(it.next()),
             "--warmup" => opts.warmup = parse_num(it.next()),
             "--seed" => opts.seed = parse_num(it.next()),
+            "--jobs" => opts.jobs = parse_num(it.next()) as usize,
             "--quick" => opts.quick = true,
-            other => {
-                eprintln!("unknown option {other}\n{USAGE}");
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown option {flag}\n{USAGE}");
                 std::process::exit(2);
             }
+            name => names.push(name),
         }
     }
 
-    let all = [
-        "table2", "fig1", "fig2", "fig3", "readstats", "fig5", "fig6", "fig7", "fig8", "fig9",
-        "ablation", "onelevel", "sources",
-    ];
-    let selected: Vec<&str> = if which == "all" {
-        all.to_vec()
-    } else if all.contains(&which.as_str()) {
-        vec![which.as_str()]
-    } else {
-        eprintln!("unknown experiment {which}\n{USAGE}");
-        std::process::exit(2);
-    };
-
-    for name in selected {
-        let start = Instant::now();
-        match name {
-            "fig1" => println!("{}", fig1::run(&opts)),
-            "fig2" => println!("{}", fig2::run(&opts)),
-            "fig3" => println!("{}", fig3::run(&opts)),
-            "readstats" => println!("{}", readstats::run(&opts)),
-            "fig5" => println!("{}", fig5::run(&opts)),
-            "fig6" => println!("{}", fig6::run(&opts)),
-            "fig7" => println!("{}", fig7::run(&opts)),
-            "fig8" => println!("{}", fig8::run(&opts)),
-            "table2" => println!("{}", table2::run()),
-            "fig9" => println!("{}", fig9::run(&opts)),
-            "ablation" => println!("{}", ablation::run(&opts)),
-            "onelevel" => println!("{}", onelevel::run(&opts)),
-            "sources" => println!("{}", sources::run(&opts)),
-            _ => unreachable!("validated above"),
+    let selected: Vec<&'static scenario::Scenario> = if names.contains(&"all") {
+        if names.len() > 1 {
+            eprintln!("`all` cannot be combined with scenario names\n{USAGE}");
+            std::process::exit(2);
         }
-        eprintln!("[{name}: {:.1}s]\n", start.elapsed().as_secs_f64());
+        scenario::registry().iter().collect()
+    } else {
+        names
+            .iter()
+            .map(|name| {
+                scenario::find(name).unwrap_or_else(|| {
+                    eprintln!("unknown experiment {name}\n{USAGE}");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no experiment selected\n{USAGE}");
+        std::process::exit(2);
+    }
+
+    for s in selected {
+        let start = Instant::now();
+        println!("{}", s.run(&opts));
+        eprintln!("[{}: {:.1}s]\n", s.name, start.elapsed().as_secs_f64());
+    }
+}
+
+fn list() {
+    let width = scenario::registry().iter().map(|s| s.name.len()).max().unwrap_or(0);
+    for s in scenario::registry() {
+        println!("{:width$}  {}", s.name, s.description);
     }
 }
 

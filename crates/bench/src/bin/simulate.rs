@@ -124,10 +124,8 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let single_ports = args
-        .ports
-        .map(|(r, w)| PortLimits::limited(r, w))
-        .unwrap_or(PortLimits::UNLIMITED);
+    let single_ports =
+        args.ports.map(|(r, w)| PortLimits::limited(r, w)).unwrap_or(PortLimits::UNLIMITED);
     let rf = match args.arch.as_str() {
         "1cyc" => RegFileConfig::Single(SingleBankConfig::one_cycle().with_ports(single_ports)),
         "2cyc" => RegFileConfig::Single(
@@ -167,10 +165,9 @@ fn main() {
     if let Some(path) = &args.trace_out {
         let profile = rfcache_workload::BenchProfile::by_name(&args.bench)
             .unwrap_or_else(|| bail("unknown benchmark"));
-        let insts: Vec<_> =
-            rfcache_workload::TraceGenerator::new(profile, args.seed)
-                .take((args.warmup + args.insts) as usize)
-                .collect();
+        let insts: Vec<_> = rfcache_workload::TraceGenerator::new(profile, args.seed)
+            .take((args.warmup + args.insts) as usize)
+            .collect();
         let file = std::fs::File::create(path).unwrap_or_else(|e| bail(&e.to_string()));
         rfcache_workload::write_trace(std::io::BufWriter::new(file), &insts)
             .unwrap_or_else(|e| bail(&e.to_string()));

@@ -260,12 +260,8 @@ impl RegFileConfig {
         match *self {
             RegFileConfig::Single(c) => Box::new(crate::SingleBankModel::new(c, phys_regs)),
             RegFileConfig::Cache(c) => Box::new(crate::RegFileCacheModel::new(c, phys_regs)),
-            RegFileConfig::Replicated(c) => {
-                Box::new(crate::ReplicatedBankModel::new(c, phys_regs))
-            }
-            RegFileConfig::OneLevel(c) => {
-                Box::new(crate::OneLevelBankedModel::new(c, phys_regs))
-            }
+            RegFileConfig::Replicated(c) => Box::new(crate::ReplicatedBankModel::new(c, phys_regs)),
+            RegFileConfig::OneLevel(c) => Box::new(crate::OneLevelBankedModel::new(c, phys_regs)),
         }
     }
 
@@ -274,9 +270,9 @@ impl RegFileConfig {
     pub fn read_latency(&self) -> u64 {
         match self {
             RegFileConfig::Single(c) => c.latency,
-            RegFileConfig::Cache(_)
-            | RegFileConfig::Replicated(_)
-            | RegFileConfig::OneLevel(_) => 1,
+            RegFileConfig::Cache(_) | RegFileConfig::Replicated(_) | RegFileConfig::OneLevel(_) => {
+                1
+            }
         }
     }
 }
@@ -312,7 +308,10 @@ mod tests {
 
     #[test]
     fn read_latency_per_architecture() {
-        assert_eq!(RegFileConfig::Single(SingleBankConfig::two_cycle_full_bypass()).read_latency(), 2);
+        assert_eq!(
+            RegFileConfig::Single(SingleBankConfig::two_cycle_full_bypass()).read_latency(),
+            2
+        );
         assert_eq!(RegFileConfig::Cache(RegFileCacheConfig::paper_default()).read_latency(), 1);
         assert_eq!(RegFileConfig::Replicated(ReplicatedConfig::default()).read_latency(), 1);
     }

@@ -123,8 +123,7 @@ impl RegFileStats {
     /// for SpecInt95, 85% for SpecFP95).
     pub fn read_at_most_once_fraction(&self) -> Option<f64> {
         let total = self.values_never_read + self.values_read_once + self.values_read_many;
-        (total > 0)
-            .then(|| (self.values_never_read + self.values_read_once) as f64 / total as f64)
+        (total > 0).then(|| (self.values_never_read + self.values_read_once) as f64 / total as f64)
     }
 
     /// Fraction of operands obtained from the bypass network.
@@ -151,7 +150,10 @@ impl fmt::Display for RegFileStats {
 
 /// The cycle-accurate register file protocol. See the module documentation
 /// for the timing contract.
-pub trait RegFileModel {
+/// `Send` is a supertrait so whole CPUs (which box models as
+/// `dyn RegFileModel`) can move across threads — the scenario engine runs
+/// independent simulations on a worker pool.
+pub trait RegFileModel: Send {
     /// Issue → execute distance in cycles.
     fn read_latency(&self) -> u64;
 

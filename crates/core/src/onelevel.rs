@@ -30,11 +30,7 @@ impl OneLevelBankedConfig {
     /// The configuration studied by Wallace & Bagherzadeh (§5 of the
     /// paper): banks with two read ports and one write port.
     pub fn wallace(banks: u32) -> Self {
-        OneLevelBankedConfig {
-            banks,
-            read_ports_per_bank: Some(2),
-            write_ports_per_bank: Some(1),
-        }
+        OneLevelBankedConfig { banks, read_ports_per_bank: Some(2), write_ports_per_bank: Some(1) }
     }
 }
 

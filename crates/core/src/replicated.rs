@@ -217,7 +217,8 @@ mod tests {
         // Cluster 0 (local): readable at 3.
         assert_eq!(rf.current_cluster(), 0);
         let plan = rf.plan_read(&[r], 3).unwrap();
-        rf.commit_read(&plan, 3); // advances to cluster 1
+        // Committing the read advances to cluster 1.
+        rf.commit_read(&plan, 3);
         // Cluster 1 (remote): not readable until 4.
         assert_eq!(rf.current_cluster(), 1);
         assert_eq!(rf.plan_read(&[r], 3), Err(PlanError::NotReady));
@@ -227,11 +228,8 @@ mod tests {
 
     #[test]
     fn per_bank_read_ports() {
-        let cfg = ReplicatedBankConfig {
-            banks: 2,
-            read_ports_per_bank: Some(1),
-            remote_write_delay: 1,
-        };
+        let cfg =
+            ReplicatedBankConfig { banks: 2, read_ports_per_bank: Some(1), remote_write_delay: 1 };
         let mut rf = ReplicatedBankModel::new(cfg, 16);
         let (a, b) = (PhysReg::new(0), PhysReg::new(1));
         rf.begin_cycle(0);

@@ -171,9 +171,7 @@ impl RegFileCacheModel {
                     let slots = 0..self.slots.len() as u16;
                     if let Some(alt) = slots.clone().find(|&s| pin_of(s).is_none()) {
                         victim_slot = alt;
-                    } else if let Some(youngest) =
-                        slots.max_by_key(|&s| pin_of(s).unwrap_or(0))
-                    {
+                    } else if let Some(youngest) = slots.max_by_key(|&s| pin_of(s).unwrap_or(0)) {
                         victim_slot = youngest;
                     }
                 }
@@ -218,11 +216,8 @@ impl RegFileCacheModel {
             // bank stay queued.
             let mut candidate = None;
             for queue_is_demand in [true, false] {
-                let queue = if queue_is_demand {
-                    &mut self.demand_queue
-                } else {
-                    &mut self.prefetch_queue
-                };
+                let queue =
+                    if queue_is_demand { &mut self.demand_queue } else { &mut self.prefetch_queue };
                 let mut scanned = 0;
                 while scanned < queue.len() {
                     let preg = queue[scanned];
@@ -431,10 +426,7 @@ impl RegFileModel for RegFileCacheModel {
 
     fn request_demand(&mut self, preg: PhysReg, _now: Cycle) {
         let idx = preg.index();
-        if !self.states[idx].live
-            || self.in_upper[idx]
-            || self.transfers[idx] != Transfer::None
-        {
+        if !self.states[idx].live || self.in_upper[idx] || self.transfers[idx] != Transfer::None {
             return;
         }
         self.transfers[idx] = Transfer::Queued;
@@ -733,10 +725,7 @@ mod tests {
 
     #[test]
     fn upper_bank_evicts_with_plru_when_full() {
-        let cfg = RegFileCacheConfig {
-            upper_entries: 4,
-            ..RegFileCacheConfig::paper_default()
-        };
+        let cfg = RegFileCacheConfig { upper_entries: 4, ..RegFileCacheConfig::paper_default() };
         let mut rf = RegFileCacheModel::new(cfg, 64);
         for i in 0..5u16 {
             let r = preg(i);

@@ -2,7 +2,9 @@
 //! full or single-level bypass).
 
 use crate::config::SingleBankConfig;
-use crate::model::{PlanError, PregState, ReadPath, RegFileModel, RegFileStats, SourceRead, WindowQuery};
+use crate::model::{
+    PlanError, PregState, ReadPath, RegFileModel, RegFileStats, SourceRead, WindowQuery,
+};
 use rfcache_isa::{Cycle, PhysReg};
 
 /// Timing model of a conventional single-banked register file.

@@ -58,10 +58,7 @@ impl Gshare {
     /// Panics if `table_bits` is 0 or greater than 28, or
     /// `history_bits > table_bits`.
     pub fn with_history(table_bits: u32, history_bits: u32) -> Self {
-        assert!(
-            (1..=28).contains(&table_bits),
-            "table_bits must be in 1..=28, got {table_bits}"
-        );
+        assert!((1..=28).contains(&table_bits), "table_bits must be in 1..=28, got {table_bits}");
         assert!(history_bits <= table_bits, "history cannot exceed the index width");
         Gshare {
             // Initialize to weakly-not-taken (01).

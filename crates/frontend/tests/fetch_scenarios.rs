@@ -37,10 +37,7 @@ fn back_to_back_mispredicts_each_wait_for_their_redirect() {
 
 #[test]
 fn redirect_during_icache_stall_respects_both_delays() {
-    let trace = vec![
-        TraceInst::branch(ArchReg::int(1), true, 0x9000, 0x1000),
-        alu(0x9000),
-    ];
+    let trace = vec![TraceInst::branch(ArchReg::int(1), true, 0x9000, 0x1000), alu(0x9000)];
     let mut f = FetchUnit::new(FetchConfig::default(), trace.into_iter());
     // Cold miss at cycle 0; branch fetched once the line arrives.
     assert!(f.fetch_block(0).is_empty());
@@ -60,7 +57,12 @@ fn redirect_during_icache_stall_respects_both_delays() {
 fn sequence_numbers_are_dense_across_redirects() {
     let mut trace = Vec::new();
     for i in 0..20u64 {
-        trace.push(TraceInst::branch(ArchReg::int(1), i % 2 == 0, 0x1000 + (i + 1) * 4, 0x1000 + i * 4));
+        trace.push(TraceInst::branch(
+            ArchReg::int(1),
+            i % 2 == 0,
+            0x1000 + (i + 1) * 4,
+            0x1000 + i * 4,
+        ));
     }
     let mut f = FetchUnit::new(FetchConfig::default(), trace.into_iter());
     let mut seqs = Vec::new();

@@ -134,13 +134,8 @@ pub enum FuKind {
 
 impl FuKind {
     /// All functional-unit kinds in a fixed order.
-    pub const ALL: [FuKind; 5] = [
-        FuKind::SimpleInt,
-        FuKind::IntMulDiv,
-        FuKind::SimpleFp,
-        FuKind::FpDiv,
-        FuKind::LoadStore,
-    ];
+    pub const ALL: [FuKind; 5] =
+        [FuKind::SimpleInt, FuKind::IntMulDiv, FuKind::SimpleFp, FuKind::FpDiv, FuKind::LoadStore];
 
     /// Dense index of the kind (for per-kind arrays).
     #[inline]

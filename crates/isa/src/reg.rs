@@ -66,10 +66,7 @@ impl ArchReg {
     /// Panics if `index >= ARCH_REGS_PER_CLASS`.
     #[inline]
     pub fn new(class: RegClass, index: u8) -> Self {
-        assert!(
-            index < ARCH_REGS_PER_CLASS,
-            "architectural register index {index} out of range"
-        );
+        assert!(index < ARCH_REGS_PER_CLASS, "architectural register index {index} out of range");
         ArchReg { class, index }
     }
 

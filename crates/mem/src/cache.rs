@@ -159,7 +159,11 @@ impl SetAssocCache {
             line.last_use = self.tick;
             line.dirty |= write;
             self.hits += 1;
-            return AccessOutcome { hit: true, latency: self.config.hit_latency, dirty_writeback: false };
+            return AccessOutcome {
+                hit: true,
+                latency: self.config.hit_latency,
+                dirty_writeback: false,
+            };
         }
 
         // Miss: pick the LRU way (invalid lines have last_use 0 and win).
@@ -170,11 +174,8 @@ impl SetAssocCache {
             .expect("cache set is never empty");
         let dirty_writeback = victim.valid && victim.dirty;
         *victim = Line { tag, valid: true, dirty: write, last_use: self.tick };
-        let latency = if dirty_writeback {
-            self.config.dirty_miss_latency
-        } else {
-            self.config.miss_latency
-        };
+        let latency =
+            if dirty_writeback { self.config.dirty_miss_latency } else { self.config.miss_latency };
         AccessOutcome { hit: false, latency, dirty_writeback }
     }
 
@@ -184,9 +185,7 @@ impl SetAssocCache {
         let set = (line_addr % self.config.num_sets()) as usize;
         let tag = line_addr / self.config.num_sets();
         let ways = self.config.ways as usize;
-        self.lines[set * ways..(set + 1) * ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.lines[set * ways..(set + 1) * ways].iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Number of hits recorded so far.

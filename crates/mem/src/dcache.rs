@@ -73,7 +73,9 @@ impl DataCache {
         let line = addr / self.line_bytes;
         let done = now + out.latency;
         match self.mshrs.allocate(line, done) {
-            Some(actual_done) => MemAccess { latency: actual_done.saturating_sub(now).max(1), hit: false },
+            Some(actual_done) => {
+                MemAccess { latency: actual_done.saturating_sub(now).max(1), hit: false }
+            }
             None => {
                 // All MSHRs busy: the access retries after one drains. We
                 // approximate the retry delay with one full miss latency on
@@ -134,6 +136,7 @@ mod tests {
     fn miss_to_outstanding_line_merges() {
         let mut d = dc();
         d.load(0x100, 0); // completes at 6
+
         // A second access to the same line at cycle 3 — still a miss in the
         // array? No: write-allocate installed the line immediately, so it
         // hits. Force a different word of a different line to check merging

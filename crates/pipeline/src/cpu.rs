@@ -366,9 +366,8 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
             if entry.stage != Stage::Dispatched {
                 continue;
             }
-            let all_ready = entry
-                .sources()
-                .all(|(class, preg)| self.rf[class.index()].is_produced(preg, now));
+            let all_ready =
+                entry.sources().all(|(class, preg)| self.rf[class.index()].is_produced(preg, now));
             if all_ready {
                 for (class, preg) in entry.sources() {
                     sets.sets[class.index()].insert(preg.raw());
@@ -381,8 +380,7 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
     fn writeback(&mut self, now: Cycle) {
         // The window scan is only needed by the *ready* caching policy;
         // skip it otherwise (it is the hottest part of the loop).
-        let needs_window =
-            self.rf[0].caching_policy() == Some(rfcache_core::CachingPolicy::Ready);
+        let needs_window = self.rf[0].caching_policy() == Some(rfcache_core::CachingPolicy::Ready);
         let ready = if needs_window && !self.wb_queue.is_empty() {
             self.ready_consumer_sets(now)
         } else {
@@ -418,9 +416,7 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
 
     fn issue(&mut self, now: Cycle) {
         // Drop issued/squashed entries from the window first.
-        self.window.retain(|&id| {
-            self.rob.get(id).is_some_and(|e| e.stage == Stage::Dispatched)
-        });
+        self.window.retain(|&id| self.rob.get(id).is_some_and(|e| e.stage == Stage::Dispatched));
 
         let latency = self.rf[0].read_latency();
         let ex_start = now + latency;
@@ -531,7 +527,13 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
     /// The prefetch-first-pair heuristic: when an instruction producing
     /// `dst` issues, prefetch the other source operand of the first
     /// instruction in the window that consumes `dst`.
-    fn prefetch_first_pair(&mut self, producer_seq: u64, class: RegClass, dst: PhysReg, now: Cycle) {
+    fn prefetch_first_pair(
+        &mut self,
+        producer_seq: u64,
+        class: RegClass,
+        dst: PhysReg,
+        now: Cycle,
+    ) {
         let mut target: Option<(RegClass, PhysReg)> = None;
         for &id in &self.window {
             let Some(entry) = self.rob.get(id) else { continue };
@@ -609,8 +611,12 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
                 self.outstanding_branches += 1;
             }
             if inst.op.is_mem() {
-                self.lsq.insert(slot, fetched.seq, inst.op == OpClass::Store, inst.mem_addr
-                    .expect("memory op has an address"));
+                self.lsq.insert(
+                    slot,
+                    fetched.seq,
+                    inst.op == OpClass::Store,
+                    inst.mem_addr.expect("memory op has an address"),
+                );
             }
             self.window.push(slot);
         }
@@ -705,12 +711,8 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
             self.rename.free_count(RegClass::Fp),
         );
         for (_, entry) in self.rob.iter().take(24) {
-            let dst = entry
-                .dst
-                .map(|(c, p)| format!("{c}:{p}"))
-                .unwrap_or_else(|| "-".to_string());
-            let srcs: Vec<String> =
-                entry.sources().map(|(c, p)| format!("{c}:{p}")).collect();
+            let dst = entry.dst.map(|(c, p)| format!("{c}:{p}")).unwrap_or_else(|| "-".to_string());
+            let srcs: Vec<String> = entry.sources().map(|(c, p)| format!("{c}:{p}")).collect();
             let _ = writeln!(
                 out,
                 "  [{:>6}] {:<12} {:<8?} dst {:<8} srcs [{}]{}",
@@ -765,6 +767,15 @@ mod tests {
         CachingPolicy, FetchPolicy, RegFileCacheConfig, ReplicatedBankConfig, SingleBankConfig,
     };
     use rfcache_workload::{BenchProfile, TraceGenerator};
+
+    /// The scenario engine moves whole CPUs across worker threads; a
+    /// non-`Send` field sneaking in (e.g. an `Rc` in a model) must fail
+    /// here, at compile time, not in the engine.
+    #[test]
+    fn cpu_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Cpu<TraceGenerator>>();
+    }
 
     fn run_arch(rf: RegFileConfig, bench: &str, insts: u64) -> SimMetrics {
         let profile = BenchProfile::by_name(bench).unwrap();
@@ -928,11 +939,7 @@ mod tests {
 
     #[test]
     fn replicated_banks_run_and_commit() {
-        let m = run_arch(
-            RegFileConfig::Replicated(ReplicatedBankConfig::default()),
-            "perl",
-            5_000,
-        );
+        let m = run_arch(RegFileConfig::Replicated(ReplicatedBankConfig::default()), "perl", 5_000);
         assert!(m.ipc() > 0.5);
     }
 
@@ -986,12 +993,7 @@ mod tests {
             );
             cpu.run(6_000)
         };
-        assert!(
-            many.ipc() > few.ipc(),
-            "128 regs {} vs 48 regs {}",
-            many.ipc(),
-            few.ipc()
-        );
+        assert!(many.ipc() > few.ipc(), "128 regs {} vs 48 regs {}", many.ipc(), few.ipc());
     }
 
     #[test]

@@ -131,10 +131,7 @@ impl Lsq {
     /// Whether every store older than `seq` has a known address — the
     /// paper's condition for a load to begin execution.
     pub fn prior_store_addresses_known(&self, seq: InstSeq) -> bool {
-        self.entries
-            .iter()
-            .take_while(|e| e.seq < seq)
-            .all(|e| !e.is_store || e.addr_known)
+        self.entries.iter().take_while(|e| e.seq < seq).all(|e| !e.is_store || e.addr_known)
     }
 
     /// Searches older stores for one overlapping the load at `addr`
@@ -176,9 +173,7 @@ mod tests {
     fn ids(n: usize) -> Vec<SlotId> {
         let mut rob = Rob::new(n);
         (0..n)
-            .map(|i| {
-                rob.push(i as u64, TraceInst::load(ArchReg::int(1), ArchReg::int(2), 0, 0))
-            })
+            .map(|i| rob.push(i as u64, TraceInst::load(ArchReg::int(1), ArchReg::int(2), 0, 0)))
             .collect()
     }
 

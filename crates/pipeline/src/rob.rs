@@ -172,8 +172,7 @@ impl Rob {
         let mut squashed = Vec::new();
         while let Some(&index) = self.order.back() {
             let slot = &mut self.slots[index as usize];
-            let entry_seq =
-                slot.entry.as_ref().expect("ordered slot must be occupied").seq;
+            let entry_seq = slot.entry.as_ref().expect("ordered slot must be occupied").seq;
             if entry_seq <= seq {
                 break;
             }

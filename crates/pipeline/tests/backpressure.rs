@@ -45,7 +45,8 @@ fn load_stream(n: usize) -> Vec<TraceInst> {
 fn write_port_backpressure_throttles_but_preserves_correctness() {
     let n = 3000u64;
     let unlimited = {
-        let mut cpu = Cpu::new(PipelineConfig::default(), one_cycle(), alu_stream(n as usize).into_iter());
+        let mut cpu =
+            Cpu::new(PipelineConfig::default(), one_cycle(), alu_stream(n as usize).into_iter());
         cpu.run(n)
     };
     let throttled = {
@@ -127,11 +128,8 @@ fn rfc_with_one_bus_still_completes_workloads() {
     use rfcache_core::RegFileCacheConfig;
     let p = BenchProfile::by_name("compress").unwrap();
     let cfg = RegFileCacheConfig::paper_default().with_ports(3, 2, 2, 1);
-    let mut cpu = Cpu::new(
-        PipelineConfig::default(),
-        RegFileConfig::Cache(cfg),
-        TraceGenerator::new(p, 4),
-    );
+    let mut cpu =
+        Cpu::new(PipelineConfig::default(), RegFileConfig::Cache(cfg), TraceGenerator::new(p, 4));
     let m = cpu.run(10_000);
     assert!(m.committed >= 10_000);
     assert!(m.rf_combined().demand_transfers > 0);

@@ -7,7 +7,8 @@
 //! 2-cycle lower bank, unlimited bandwidth except where noted).
 
 use super::ExperimentOpts;
-use crate::{harmonic_mean, run_suite, RunSpec, TextTable};
+use crate::scenario::{Scenario, ScenarioReport};
+use crate::{harmonic_mean, run_suite_jobs, RunSpec, TextTable};
 use rfcache_core::{RegFileCacheConfig, RegFileConfig, Replacement};
 use std::fmt;
 
@@ -33,26 +34,20 @@ fn variants() -> Vec<(String, RegFileCacheConfig)> {
     let base = RegFileCacheConfig::paper_default();
     let mut out = vec![("baseline (16e, PLRU, L2, ∞buses)".to_string(), base)];
     for entries in [8usize, 32] {
-        out.push((format!("upper entries = {entries}"), RegFileCacheConfig {
-            upper_entries: entries,
-            ..base
-        }));
+        out.push((
+            format!("upper entries = {entries}"),
+            RegFileCacheConfig { upper_entries: entries, ..base },
+        ));
     }
     for repl in [Replacement::Fifo, Replacement::Random] {
-        out.push((format!("replacement = {repl}"), RegFileCacheConfig {
-            replacement: repl,
-            ..base
-        }));
+        out.push((
+            format!("replacement = {repl}"),
+            RegFileCacheConfig { replacement: repl, ..base },
+        ));
     }
-    out.push(("lower latency = 3".to_string(), RegFileCacheConfig {
-        lower_latency: 3,
-        ..base
-    }));
+    out.push(("lower latency = 3".to_string(), RegFileCacheConfig { lower_latency: 3, ..base }));
     for buses in [1u32, 2, 4] {
-        out.push((format!("buses = {buses}"), RegFileCacheConfig {
-            buses: Some(buses),
-            ..base
-        }));
+        out.push((format!("buses = {buses}"), RegFileCacheConfig { buses: Some(buses), ..base }));
     }
     out
 }
@@ -60,11 +55,8 @@ fn variants() -> Vec<(String, RegFileCacheConfig)> {
 /// Runs the ablation sweep.
 pub fn run(opts: &ExperimentOpts) -> AblationData {
     let (int, fp) = super::sweep_suites(opts);
-    let benches: Vec<(&str, bool)> = int
-        .iter()
-        .map(|b| (*b, false))
-        .chain(fp.iter().map(|b| (*b, true)))
-        .collect();
+    let benches: Vec<(&str, bool)> =
+        int.iter().map(|b| (*b, false)).chain(fp.iter().map(|b| (*b, true))).collect();
     let variants = variants();
 
     let mut specs = Vec::new();
@@ -78,7 +70,7 @@ pub fn run(opts: &ExperimentOpts) -> AblationData {
             );
         }
     }
-    let results = run_suite(&specs);
+    let results = run_suite_jobs(&specs, opts.jobs);
 
     let mut rows = Vec::new();
     for (vi, (label, _)) in variants.iter().enumerate() {
@@ -130,6 +122,21 @@ impl fmt::Display for AblationData {
             ]);
         }
         t.fmt(f)
+    }
+}
+
+/// Registry entry for the scenario engine.
+pub const SCENARIO: Scenario =
+    Scenario::new("ablation", "beyond the paper: upper-bank size, replacement, buses", |opts| {
+        Box::new(run(opts))
+    });
+
+impl ScenarioReport for AblationData {
+    fn series(&self) -> Vec<(String, Vec<f64>)> {
+        vec![
+            ("int_hmean".into(), self.rows.iter().map(|r| r.int_hmean).collect()),
+            ("fp_hmean".into(), self.rows.iter().map(|r| r.fp_hmean).collect()),
+        ]
     }
 }
 

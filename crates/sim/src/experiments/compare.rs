@@ -4,7 +4,8 @@
 //! harmonic means).
 
 use super::ExperimentOpts;
-use crate::{harmonic_mean, run_suite, RunSpec, TextTable};
+use crate::scenario::ScenarioReport;
+use crate::{harmonic_mean, run_suite_jobs, RunSpec, TextTable};
 use rfcache_core::RegFileConfig;
 use std::fmt;
 
@@ -30,11 +31,8 @@ pub fn compare_archs(
     archs: &[(&str, RegFileConfig)],
 ) -> CompareData {
     let (int, fp) = super::sweep_suites(opts);
-    let benches: Vec<(&str, bool)> = int
-        .iter()
-        .map(|b| (*b, false))
-        .chain(fp.iter().map(|b| (*b, true)))
-        .collect();
+    let benches: Vec<(&str, bool)> =
+        int.iter().map(|b| (*b, false)).chain(fp.iter().map(|b| (*b, true))).collect();
 
     // One flat spec list so every simulation runs in parallel.
     let mut specs = Vec::with_capacity(benches.len() * archs.len());
@@ -45,7 +43,7 @@ pub fn compare_archs(
             );
         }
     }
-    let results = run_suite(&specs);
+    let results = run_suite_jobs(&specs, opts.jobs);
 
     let mut rows = Vec::with_capacity(benches.len());
     for (bi, &(bench, is_fp)) in benches.iter().enumerate() {
@@ -119,6 +117,22 @@ impl fmt::Display for CompareData {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.title)?;
         self.to_table().fmt(f)
+    }
+}
+
+impl ScenarioReport for CompareData {
+    fn series(&self) -> Vec<(String, Vec<f64>)> {
+        let mut out: Vec<(String, Vec<f64>)> = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, label)| {
+                (format!("ipc[{label}]"), self.rows.iter().map(|(_, _, ipcs)| ipcs[i]).collect())
+            })
+            .collect();
+        out.push(("int_hmean".into(), self.int_hmean.clone()));
+        out.push(("fp_hmean".into(), self.fp_hmean.clone()));
+        out
     }
 }
 

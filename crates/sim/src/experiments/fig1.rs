@@ -6,7 +6,8 @@
 //! ~128 registers — the machine that the rest of the evaluation assumes.
 
 use super::{one_cycle, ExperimentOpts};
-use crate::{harmonic_mean, run_suite, RunSpec, TextTable};
+use crate::scenario::{Scenario, ScenarioReport};
+use crate::{harmonic_mean, run_suite_jobs, RunSpec, TextTable};
 use rfcache_pipeline::PipelineConfig;
 use std::fmt;
 
@@ -43,7 +44,7 @@ pub fn run(opts: &ExperimentOpts) -> Fig1Data {
                     .seed(opts.seed)
             })
             .collect();
-        let results = run_suite(&specs);
+        let results = run_suite_jobs(&specs, opts.jobs);
         let (ints, fps): (Vec<_>, Vec<_>) = results.iter().partition(|r| !r.fp);
         int_hmean
             .push(harmonic_mean(&ints.iter().map(|r| r.ipc()).collect::<Vec<_>>()).unwrap_or(0.0));
@@ -73,6 +74,22 @@ impl fmt::Display for Fig1Data {
             t.row_f64(&size.to_string(), &[self.int_hmean[i], self.fp_hmean[i]]);
         }
         t.fmt(f)
+    }
+}
+
+/// Registry entry for the scenario engine.
+pub const SCENARIO: Scenario =
+    Scenario::new("fig1", "IPC vs number of physical registers (48-256)", |opts| {
+        Box::new(run(opts))
+    });
+
+impl ScenarioReport for Fig1Data {
+    fn series(&self) -> Vec<(String, Vec<f64>)> {
+        vec![
+            ("registers".into(), self.sizes.iter().map(|&s| s as f64).collect()),
+            ("int_hmean".into(), self.int_hmean.clone()),
+            ("fp_hmean".into(), self.fp_hmean.clone()),
+        ]
     }
 }
 

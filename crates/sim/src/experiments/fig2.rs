@@ -8,6 +8,7 @@
 
 use super::compare::{compare_archs, CompareData};
 use super::{one_cycle, two_cycle_full_bypass, two_cycle_single_bypass, ExperimentOpts};
+use crate::scenario::Scenario;
 
 /// Column labels of the Figure 2 table.
 pub const LABELS: [&str; 3] = ["1cyc-1byp", "2cyc-2byp", "2cyc-1byp"];
@@ -24,6 +25,12 @@ pub fn run(opts: &ExperimentOpts) -> CompareData {
         ],
     )
 }
+
+/// Registry entry for the scenario engine.
+pub const SCENARIO: Scenario =
+    Scenario::new("fig2", "1-cycle vs 2-cycle register files, bypass levels", |opts| {
+        Box::new(run(opts))
+    });
 
 #[cfg(test)]
 mod tests {

@@ -8,7 +8,8 @@
 //! bank.
 
 use super::{one_cycle, ExperimentOpts};
-use crate::{run_suite, RunSpec, TextTable};
+use crate::scenario::{Scenario, ScenarioReport};
+use crate::{run_suite_jobs, RunSpec, TextTable};
 use rfcache_pipeline::{OccupancyHistogram, PipelineConfig};
 use std::fmt;
 
@@ -40,7 +41,7 @@ pub fn run(opts: &ExperimentOpts) -> Fig3Data {
                 .seed(opts.seed)
         })
         .collect();
-    let results = run_suite(&specs);
+    let results = run_suite_jobs(&specs, opts.jobs);
     let mut data = Fig3Data {
         int_value: OccupancyHistogram::default(),
         int_ready: OccupancyHistogram::default(),
@@ -90,6 +91,25 @@ impl fmt::Display for Fig3Data {
             self.fp_value.percentile(0.9),
             self.fp_ready.percentile(0.9),
         )
+    }
+}
+
+/// Registry entry for the scenario engine.
+pub const SCENARIO: Scenario =
+    Scenario::new("fig3", "cumulative distribution of live/needed register values", |opts| {
+        Box::new(run(opts))
+    });
+
+impl ScenarioReport for Fig3Data {
+    fn series(&self) -> Vec<(String, Vec<f64>)> {
+        let pcts =
+            |h: &OccupancyHistogram| vec![h.percentile(0.5) as f64, h.percentile(0.9) as f64];
+        vec![
+            ("int_value_p50_p90".into(), pcts(&self.int_value)),
+            ("int_ready_p50_p90".into(), pcts(&self.int_ready)),
+            ("fp_value_p50_p90".into(), pcts(&self.fp_value)),
+            ("fp_ready_p50_p90".into(), pcts(&self.fp_ready)),
+        ]
     }
 }
 

@@ -8,6 +8,7 @@
 
 use super::compare::{compare_archs, CompareData};
 use super::{rfc, ExperimentOpts};
+use crate::scenario::Scenario;
 use rfcache_core::{CachingPolicy, FetchPolicy};
 
 /// Column labels of the Figure 5 table.
@@ -27,6 +28,12 @@ pub fn run(opts: &ExperimentOpts) -> CompareData {
         ],
     )
 }
+
+/// Registry entry for the scenario engine.
+pub const SCENARIO: Scenario =
+    Scenario::new("fig5", "register-file-cache caching x fetch policies", |opts| {
+        Box::new(run(opts))
+    });
 
 #[cfg(test)]
 mod tests {

@@ -7,6 +7,7 @@
 
 use super::compare::{compare_archs, CompareData};
 use super::{one_cycle, rfc_best, two_cycle_single_bypass, ExperimentOpts};
+use crate::scenario::Scenario;
 
 /// Column labels of the Figure 6 table.
 pub const LABELS: [&str; 3] = ["1-cycle", "rfc", "2-cycle"];
@@ -23,6 +24,12 @@ pub fn run(opts: &ExperimentOpts) -> CompareData {
         ],
     )
 }
+
+/// Registry entry for the scenario engine.
+pub const SCENARIO: Scenario =
+    Scenario::new("fig6", "register file cache vs single bank, one bypass level", |opts| {
+        Box::new(run(opts))
+    });
 
 #[cfg(test)]
 mod tests {

@@ -6,6 +6,7 @@
 
 use super::compare::{compare_archs, CompareData};
 use super::{rfc_best, two_cycle_full_bypass, ExperimentOpts};
+use crate::scenario::Scenario;
 
 /// Column labels of the Figure 7 table.
 pub const LABELS: [&str; 2] = ["rfc", "2cyc-full-bypass"];
@@ -18,6 +19,12 @@ pub fn run(opts: &ExperimentOpts) -> CompareData {
         &[(LABELS[0], rfc_best()), (LABELS[1], two_cycle_full_bypass())],
     )
 }
+
+/// Registry entry for the scenario engine.
+pub const SCENARIO: Scenario =
+    Scenario::new("fig7", "register file cache vs two-cycle full bypass", |opts| {
+        Box::new(run(opts))
+    });
 
 #[cfg(test)]
 mod tests {

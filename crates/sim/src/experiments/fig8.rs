@@ -11,11 +11,10 @@
 //! beating it at equal area (more upper-level ports for the same silicon).
 
 use super::{one_cycle, ExperimentOpts};
-use crate::{harmonic_mean, pareto_frontier, run_suite, ParetoPoint, RunSpec, TextTable};
+use crate::scenario::{Scenario, ScenarioReport};
+use crate::{harmonic_mean, pareto_frontier, run_suite_jobs, ParetoPoint, RunSpec, TextTable};
 use rfcache_area::{SingleBankDesign, TwoLevelDesign};
-use rfcache_core::{
-    PortLimits, RegFileCacheConfig, RegFileConfig, SingleBankConfig,
-};
+use rfcache_core::{PortLimits, RegFileCacheConfig, RegFileConfig, SingleBankConfig};
 use std::fmt;
 
 /// One evaluated configuration.
@@ -102,7 +101,7 @@ pub fn run(opts: &ExperimentOpts) -> Fig8Data {
         .chain(fp.iter())
         .map(|b| RunSpec::new(b, one_cycle()).insts(opts.insts).warmup(opts.warmup).seed(opts.seed))
         .collect();
-    let base_results = run_suite(&base_specs);
+    let base_results = run_suite_jobs(&base_specs, opts.jobs);
     let base_hmean = |fp_suite: bool| {
         let vals: Vec<f64> =
             base_results.iter().filter(|r| r.fp == fp_suite).map(|r| r.ipc()).collect();
@@ -128,7 +127,7 @@ pub fn run(opts: &ExperimentOpts) -> Fig8Data {
                 );
             }
         }
-        let results = run_suite(&specs);
+        let results = run_suite_jobs(&specs, opts.jobs);
         let per_bench = int.len() + fp.len();
 
         let mut suite_points: [Vec<ParetoPoint<String>>; 2] = [Vec::new(), Vec::new()];
@@ -166,9 +165,10 @@ impl Fig8Data {
 
     /// Best relative performance achieved by `arch` on the suite.
     pub fn best_perf(&self, arch: &str, suite: usize) -> Option<f64> {
-        self.frontier(arch, suite)?.iter().map(|p| p.rel_perf).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.frontier(arch, suite)?
+            .iter()
+            .map(|p| p.rel_perf)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 }
 
@@ -196,6 +196,31 @@ impl fmt::Display for Fig8Data {
             t.fmt(f)?;
         }
         Ok(())
+    }
+}
+
+/// Registry entry for the scenario engine.
+pub const SCENARIO: Scenario =
+    Scenario::new("fig8", "relative performance vs area (Pareto frontiers)", |opts| {
+        Box::new(run(opts))
+    });
+
+impl ScenarioReport for Fig8Data {
+    fn series(&self) -> Vec<(String, Vec<f64>)> {
+        let mut out = Vec::new();
+        for (arch, frontier) in self.archs.iter().zip(&self.frontiers) {
+            for (suite, points) in ["int", "fp"].iter().zip(frontier.iter()) {
+                out.push((
+                    format!("area[{arch}][{suite}]"),
+                    points.iter().map(|p| p.area_10k).collect(),
+                ));
+                out.push((
+                    format!("rel_perf[{arch}][{suite}]"),
+                    points.iter().map(|p| p.rel_perf).collect(),
+                ));
+            }
+        }
+        out
     }
 }
 

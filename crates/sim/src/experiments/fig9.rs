@@ -11,7 +11,8 @@
 //! ~9% (int).
 
 use super::ExperimentOpts;
-use crate::{harmonic_mean, run_suite, RunSpec, TextTable};
+use crate::scenario::{Scenario, ScenarioReport};
+use crate::{harmonic_mean, run_suite_jobs, RunSpec, TextTable};
 use rfcache_area::table2_configs;
 use rfcache_core::{PortLimits, RegFileCacheConfig, RegFileConfig, SingleBankConfig};
 use std::fmt;
@@ -82,18 +83,15 @@ pub fn run(opts: &ExperimentOpts) -> Fig9Data {
     }
 
     // Simulate everything in one parallel batch.
-    let benches: Vec<(&str, bool)> = int
-        .iter()
-        .map(|b| (*b, false))
-        .chain(fp.iter().map(|b| (*b, true)))
-        .collect();
+    let benches: Vec<(&str, bool)> =
+        int.iter().map(|b| (*b, false)).chain(fp.iter().map(|b| (*b, true))).collect();
     let mut specs = Vec::new();
     for (_, _, rf, _) in &setups {
         for &(b, _) in &benches {
             specs.push(RunSpec::new(b, *rf).insts(opts.insts).warmup(opts.warmup).seed(opts.seed));
         }
     }
-    let results = run_suite(&specs);
+    let results = run_suite_jobs(&specs, opts.jobs);
 
     let mut cells = vec![vec![Vec::new(); table.len()]; 2];
     let mut baseline = [0.0f64; 2];
@@ -145,10 +143,7 @@ impl Fig9Data {
 
 impl fmt::Display for Fig9Data {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Figure 9: relative instruction throughput with cycle time factored in"
-        )?;
+        writeln!(f, "Figure 9: relative instruction throughput with cycle time factored in")?;
         for (suite, name) in ["SpecInt95", "SpecFP95"].iter().enumerate() {
             writeln!(f, "\n[{name}] (normalized to 1-cycle @ C1)")?;
             let mut t = TextTable::new(vec![
@@ -158,8 +153,7 @@ impl fmt::Display for Fig9Data {
                 "2-cycle-1byp".into(),
             ]);
             for (ci, cfg) in self.configs.iter().enumerate() {
-                let row: Vec<f64> =
-                    self.cells[suite][ci].iter().map(|c| c.relative).collect();
+                let row: Vec<f64> = self.cells[suite][ci].iter().map(|c| c.relative).collect();
                 t.row_f64(cfg, &row);
             }
             t.fmt(f)?;
@@ -174,6 +168,27 @@ impl fmt::Display for Fig9Data {
             )?;
         }
         Ok(())
+    }
+}
+
+/// Registry entry for the scenario engine.
+pub const SCENARIO: Scenario =
+    Scenario::new("fig9", "instruction throughput with cycle time factored in", |opts| {
+        Box::new(run(opts))
+    });
+
+impl ScenarioReport for Fig9Data {
+    fn series(&self) -> Vec<(String, Vec<f64>)> {
+        let mut out = Vec::new();
+        for (si, suite) in ["int", "fp"].iter().enumerate() {
+            for (ci, config) in self.configs.iter().enumerate() {
+                out.push((
+                    format!("relative[{suite}][{config}]"),
+                    self.cells[si][ci].iter().map(|c| c.relative).collect(),
+                ));
+            }
+        }
+        out
     }
 }
 

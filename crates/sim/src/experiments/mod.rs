@@ -52,11 +52,15 @@ pub struct ExperimentOpts {
     /// Reduced sweeps for smoke tests (affects fig8's port grid and the
     /// per-suite benchmark subsets of the heavyweight experiments).
     pub quick: bool,
+    /// Worker threads for the benchmark sweeps (0 = one per available
+    /// core); every experiment routes its specs through
+    /// [`crate::run_suite_jobs`] with this count.
+    pub jobs: usize,
 }
 
 impl Default for ExperimentOpts {
     fn default() -> Self {
-        ExperimentOpts { insts: 200_000, warmup: 60_000, seed: 42, quick: false }
+        ExperimentOpts { insts: 200_000, warmup: 60_000, seed: 42, quick: false, jobs: 0 }
     }
 }
 
@@ -64,7 +68,14 @@ impl ExperimentOpts {
     /// Small configuration for tests: two orders of magnitude fewer
     /// instructions and reduced sweeps.
     pub fn smoke() -> Self {
-        ExperimentOpts { insts: 3_000, warmup: 500, seed: 42, quick: true }
+        ExperimentOpts { insts: 3_000, warmup: 500, seed: 42, quick: true, jobs: 0 }
+    }
+
+    /// Sets the worker-thread count (builder-style).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 }
 

@@ -11,7 +11,8 @@
 //! baselines.
 
 use super::{one_cycle, rfc_best, two_cycle_single_bypass, ExperimentOpts};
-use crate::{harmonic_mean, run_suite, RunSpec, TextTable};
+use crate::scenario::{Scenario, ScenarioReport};
+use crate::{harmonic_mean, run_suite_jobs, RunSpec, TextTable};
 use rfcache_area::{BankGeometry, TwoLevelDesign};
 use rfcache_core::{OneLevelBankedConfig, RegFileConfig};
 use std::fmt;
@@ -48,11 +49,8 @@ fn one_level_geometry(banks: u32, reads: u32, writes: u32) -> (f64, f64) {
 /// Runs the one-level comparison.
 pub fn run(opts: &ExperimentOpts) -> OneLevelData {
     let (int, fp) = super::sweep_suites(opts);
-    let benches: Vec<(&str, bool)> = int
-        .iter()
-        .map(|b| (*b, false))
-        .chain(fp.iter().map(|b| (*b, true)))
-        .collect();
+    let benches: Vec<(&str, bool)> =
+        int.iter().map(|b| (*b, false)).chain(fp.iter().map(|b| (*b, true))).collect();
 
     let rfc_design = TwoLevelDesign::new(128, 16, 64, 4, 3, 2, 3);
     let single_design = rfcache_area::SingleBankDesign::new(128, 64, 16, 8, 1);
@@ -98,7 +96,7 @@ pub fn run(opts: &ExperimentOpts) -> OneLevelData {
             specs.push(RunSpec::new(b, *rf).insts(opts.insts).warmup(opts.warmup).seed(opts.seed));
         }
     }
-    let results = run_suite(&specs);
+    let results = run_suite_jobs(&specs, opts.jobs);
 
     let mut rows = Vec::new();
     for (si, (label, _, area, cycle)) in setups.iter().enumerate() {
@@ -154,6 +152,22 @@ impl fmt::Display for OneLevelData {
             ]);
         }
         t.fmt(f)
+    }
+}
+
+/// Registry entry for the scenario engine.
+pub const SCENARIO: Scenario =
+    Scenario::new("onelevel", "beyond the paper: one-level banked organization", |opts| {
+        Box::new(run(opts))
+    });
+
+impl ScenarioReport for OneLevelData {
+    fn series(&self) -> Vec<(String, Vec<f64>)> {
+        vec![
+            ("cycle_ns".into(), self.rows.iter().map(|r| r.cycle_ns).collect()),
+            ("int_hmean".into(), self.rows.iter().map(|r| r.int_hmean).collect()),
+            ("fp_hmean".into(), self.rows.iter().map(|r| r.fp_hmean).collect()),
+        ]
     }
 }
 

@@ -4,7 +4,8 @@
 //! and how much inter-level traffic does each benchmark generate?
 
 use super::{rfc_best, ExperimentOpts};
-use crate::{run_suite, RunSpec, TextTable};
+use crate::scenario::{Scenario, ScenarioReport};
+use crate::{run_suite_jobs, RunSpec, TextTable};
 use std::fmt;
 
 /// Per-benchmark operand-source statistics.
@@ -41,7 +42,7 @@ pub fn run(opts: &ExperimentOpts) -> SourcesData {
         .chain(fp.iter())
         .map(|b| RunSpec::new(b, rfc_best()).insts(opts.insts).warmup(opts.warmup).seed(opts.seed))
         .collect();
-    let results = run_suite(&specs);
+    let results = run_suite_jobs(&specs, opts.jobs);
     let rows = results
         .iter()
         .map(|r| {
@@ -104,6 +105,27 @@ impl fmt::Display for SourcesData {
         t.fmt(f)?;
         let (i, p) = self.bypass_averages();
         writeln!(f, "bypass fraction averages: int {:.0}%, fp {:.0}%", i * 100.0, p * 100.0)
+    }
+}
+
+/// Registry entry for the scenario engine.
+pub const SCENARIO: Scenario =
+    Scenario::new("sources", "beyond the paper: operand sources and transfer traffic", |opts| {
+        Box::new(run(opts))
+    });
+
+impl ScenarioReport for SourcesData {
+    fn series(&self) -> Vec<(String, Vec<f64>)> {
+        vec![
+            ("bypass_frac".into(), self.rows.iter().map(|r| r.bypass_frac).collect()),
+            ("cached_frac".into(), self.rows.iter().map(|r| r.cached_frac).collect()),
+            ("demands_per_kilo".into(), self.rows.iter().map(|r| r.demands_per_kilo).collect()),
+            (
+                "prefetches_per_kilo".into(),
+                self.rows.iter().map(|r| r.prefetches_per_kilo).collect(),
+            ),
+            ("evictions_per_kilo".into(), self.rows.iter().map(|r| r.evictions_per_kilo).collect()),
+        ]
     }
 }
 

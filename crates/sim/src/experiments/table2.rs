@@ -2,6 +2,7 @@
 //! architecture, with the area and cycle time our calibrated model
 //! produces next to the paper's reported values.
 
+use crate::scenario::{Scenario, ScenarioReport};
 use rfcache_area::{table2_configs, Table2Row};
 use std::fmt;
 
@@ -44,6 +45,32 @@ impl fmt::Display for Table2Data {
             writeln!(f, "{row}")?;
         }
         writeln!(f, "max relative error: {:.1}%", self.max_relative_error() * 100.0)
+    }
+}
+
+/// Registry entry for the scenario engine (`run` ignores the options:
+/// the area model has no simulation inputs).
+pub const SCENARIO: Scenario = Scenario::new(
+    "table2",
+    "C1-C4 port configurations: area and cycle time vs the paper",
+    |_opts| Box::new(run()),
+);
+
+impl ScenarioReport for Table2Data {
+    fn series(&self) -> Vec<(String, Vec<f64>)> {
+        vec![
+            ("single_area_10k".into(), self.rows.iter().map(|r| r.model_single_area).collect()),
+            (
+                "single_cycle_1s_ns".into(),
+                self.rows.iter().map(|r| r.model_single_cycle_1s).collect(),
+            ),
+            (
+                "single_cycle_2s_ns".into(),
+                self.rows.iter().map(|r| r.model_single_cycle_2s).collect(),
+            ),
+            ("rfc_area_10k".into(), self.rows.iter().map(|r| r.model_rfc_area).collect()),
+            ("rfc_cycle_ns".into(), self.rows.iter().map(|r| r.model_rfc_cycle).collect()),
+        ]
     }
 }
 

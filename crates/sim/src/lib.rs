@@ -24,13 +24,15 @@ mod csv;
 pub mod experiments;
 mod means;
 mod run;
+pub mod scenario;
 mod table;
 
-pub use means::{geometric_mean, harmonic_mean};
-pub use run::{run_suite, RunResult, RunSpec};
 pub use csv::write_csv;
-pub use table::TextTable;
+pub use means::{geometric_mean, harmonic_mean};
 pub use rfcache_area::{pareto_frontier, ParetoPoint};
+pub use run::{par_indexed, run_suite, run_suite_jobs, RunResult, RunSpec};
+pub use scenario::{Scenario, ScenarioReport};
+pub use table::TextTable;
 
 pub use rfcache_area as area;
 pub use rfcache_core as core;

@@ -3,6 +3,7 @@
 use rfcache_core::RegFileConfig;
 use rfcache_pipeline::{Cpu, PipelineConfig, SimMetrics};
 use rfcache_workload::{BenchProfile, TraceGenerator};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Everything needed to simulate one benchmark on one register file
 /// architecture.
@@ -31,8 +32,8 @@ impl RunSpec {
     ///
     /// Panics if `bench` is not a SPEC95 program name.
     pub fn new(bench: &str, rf: RegFileConfig) -> Self {
-        let profile = BenchProfile::by_name(bench)
-            .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+        let profile =
+            BenchProfile::by_name(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
         RunSpec {
             profile,
             rf,
@@ -114,26 +115,65 @@ impl RunResult {
     }
 }
 
-/// Simulations in flight at once: the machine's available parallelism
-/// (the simulations are CPU-bound, so more threads only add switching
+/// Default worker count: the machine's available parallelism (the
+/// simulations are CPU-bound, so more threads only add switching
 /// overhead).
-fn max_parallel() -> usize {
+fn default_jobs() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(1)
 }
 
-/// Runs a set of specs in parallel (the simulations are independent),
-/// preserving input order in the output.
-pub fn run_suite(specs: &[RunSpec]) -> Vec<RunResult> {
-    let mut results = Vec::with_capacity(specs.len());
-    for chunk in specs.chunks(max_parallel()) {
-        let chunk_results: Vec<RunResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                chunk.iter().map(|spec| scope.spawn(move || spec.run())).collect();
-            handles.into_iter().map(|h| h.join().expect("simulation thread panicked")).collect()
-        });
-        results.extend(chunk_results);
+/// Runs `n` independent tasks on `jobs` worker threads (0 = one per
+/// available core) through a shared work queue, returning the results in
+/// task order.
+///
+/// Unlike fixed chunking, the queue keeps every worker busy until the
+/// work runs out, so one slow task does not idle the rest of its batch.
+///
+/// # Panics
+///
+/// Propagates a panic from any task.
+pub fn par_indexed<T, F>(n: usize, jobs: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = if jobs == 0 { default_jobs() } else { jobs }.min(n.max(1));
+    if jobs <= 1 {
+        return (0..n).map(task).collect();
     }
-    results
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, task(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("simulation worker panicked")).collect()
+    });
+    tagged.sort_unstable_by_key(|t| t.0);
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Runs a set of specs in parallel (the simulations are independent) on
+/// one worker per available core, preserving input order in the output.
+pub fn run_suite(specs: &[RunSpec]) -> Vec<RunResult> {
+    run_suite_jobs(specs, 0)
+}
+
+/// [`run_suite`] with an explicit worker count (0 = one per available
+/// core), as selected by `ExperimentOpts::jobs` / `experiments --jobs N`.
+pub fn run_suite_jobs(specs: &[RunSpec], jobs: usize) -> Vec<RunResult> {
+    par_indexed(specs.len(), jobs, |i| specs[i].run())
 }
 
 #[cfg(test)]
@@ -172,5 +212,49 @@ mod tests {
     #[should_panic(expected = "unknown benchmark")]
     fn unknown_bench_panics() {
         let _ = RunSpec::new("quake", one_cycle());
+    }
+
+    /// The work queue really fans out: with as many barrier-waiting tasks
+    /// as workers, the barrier only releases if every task holds its own
+    /// thread simultaneously (each worker takes exactly one task, so this
+    /// cannot deadlock).
+    #[test]
+    fn par_indexed_runs_tasks_on_concurrent_threads() {
+        use std::collections::HashSet;
+        use std::sync::{Barrier, Mutex};
+
+        let jobs = 4;
+        let barrier = Barrier::new(jobs);
+        let ids = Mutex::new(HashSet::new());
+        let out = par_indexed(jobs, jobs, |i| {
+            barrier.wait();
+            ids.lock().unwrap().insert(std::thread::current().id());
+            i * 2
+        });
+        assert_eq!(out, vec![0, 2, 4, 6]);
+        assert_eq!(ids.lock().unwrap().len(), jobs, "expected one thread per worker");
+    }
+
+    #[test]
+    fn par_indexed_preserves_order_at_any_worker_count() {
+        for jobs in [0, 1, 2, 7, 64] {
+            let out = par_indexed(17, jobs, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>(), "jobs = {jobs}");
+        }
+        assert!(par_indexed(0, 3, |i| i).is_empty());
+    }
+
+    #[test]
+    fn explicit_jobs_match_serial_results() {
+        let specs: Vec<_> = ["li", "go"]
+            .iter()
+            .map(|b| RunSpec::new(b, one_cycle()).insts(2_000).warmup(500))
+            .collect();
+        let serial = run_suite_jobs(&specs, 1);
+        let parallel = run_suite_jobs(&specs, 2);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.bench, p.bench);
+            assert_eq!(s.metrics.cycles, p.metrics.cycles);
+        }
     }
 }

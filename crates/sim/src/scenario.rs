@@ -1,0 +1,119 @@
+//! The unified scenario engine.
+//!
+//! Every experiment of the paper's evaluation registers here as a
+//! [`Scenario`]: a name, a one-line description, and a runner from
+//! [`ExperimentOpts`] to a boxed [`ScenarioReport`]. Frontends (the
+//! `experiments` CLI, the smoke tests, future services) enumerate and
+//! dispatch through [`registry`] instead of hard-coding the experiment
+//! list, so adding an experiment means adding one module plus one
+//! registry line — every frontend picks it up automatically.
+//!
+//! # Examples
+//!
+//! ```
+//! use rfcache_sim::experiments::ExperimentOpts;
+//! use rfcache_sim::scenario;
+//!
+//! let fig6 = scenario::find("fig6").expect("registered");
+//! let report = fig6.run(&ExperimentOpts::smoke());
+//! assert!(report.series().iter().any(|(_, v)| !v.is_empty()));
+//! ```
+
+use crate::experiments::{
+    ablation, fig1, fig2, fig3, fig5, fig6, fig7, fig8, fig9, onelevel, readstats, sources, table2,
+    ExperimentOpts,
+};
+use std::fmt;
+
+/// What running a scenario yields: something renderable (the paper's
+/// table/figure shape via `Display`) and introspectable (named numeric
+/// series for tests, CSV export, and downstream tooling).
+pub trait ScenarioReport: fmt::Display + Send {
+    /// The named numeric series underlying the figure or table. Every
+    /// report exposes at least one non-empty series.
+    fn series(&self) -> Vec<(String, Vec<f64>)>;
+}
+
+/// One registered experiment.
+pub struct Scenario {
+    /// CLI name (`fig1` … `fig9`, `table2`, `ablation`, `onelevel`,
+    /// `sources`, `readstats`).
+    pub name: &'static str,
+    /// One-line description shown by `experiments --list`.
+    pub description: &'static str,
+    runner: fn(&ExperimentOpts) -> Box<dyn ScenarioReport>,
+}
+
+impl Scenario {
+    /// Builds a registry entry (used by the experiment modules).
+    pub const fn new(
+        name: &'static str,
+        description: &'static str,
+        runner: fn(&ExperimentOpts) -> Box<dyn ScenarioReport>,
+    ) -> Self {
+        Scenario { name, description, runner }
+    }
+
+    /// Runs the scenario.
+    pub fn run(&self, opts: &ExperimentOpts) -> Box<dyn ScenarioReport> {
+        (self.runner)(opts)
+    }
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+/// All scenarios, in the canonical run order of `experiments all`.
+static REGISTRY: [Scenario; 13] = [
+    table2::SCENARIO,
+    fig1::SCENARIO,
+    fig2::SCENARIO,
+    fig3::SCENARIO,
+    readstats::SCENARIO,
+    fig5::SCENARIO,
+    fig6::SCENARIO,
+    fig7::SCENARIO,
+    fig8::SCENARIO,
+    fig9::SCENARIO,
+    ablation::SCENARIO,
+    onelevel::SCENARIO,
+    sources::SCENARIO,
+];
+
+/// The scenario registry, in canonical run order.
+pub fn registry() -> &'static [Scenario] {
+    &REGISTRY
+}
+
+/// Looks up a scenario by name.
+pub fn find(name: &str) -> Option<&'static Scenario> {
+    registry().iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
+        for name in names {
+            assert_eq!(find(name).unwrap().name, name);
+        }
+        assert!(find("fig4").is_none(), "the paper has no figure 4");
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for s in registry() {
+            assert!(!s.description.is_empty(), "{} lacks a description", s.name);
+        }
+    }
+}

@@ -94,10 +94,9 @@ impl TraceGenerator {
                 let behavior = {
                     let u: f64 = rng.gen();
                     if u < profile.loop_site_frac {
-                        let trip = (profile.mean_trip as f64
-                            * rng.gen_range(0.5..1.5))
-                        .round()
-                        .max(2.0) as u64;
+                        let trip = (profile.mean_trip as f64 * rng.gen_range(0.5..1.5))
+                            .round()
+                            .max(2.0) as u64;
                         BranchBehavior::Loop { trip, count: 0 }
                     } else if u < profile.loop_site_frac + profile.random_site_frac {
                         BranchBehavior::Random
@@ -162,7 +161,10 @@ impl TraceGenerator {
             current_block: 0,
             pos: 0,
             fresh: [VecDeque::with_capacity(FRESH_WINDOW), VecDeque::with_capacity(FRESH_WINDOW)],
-            reusable: [VecDeque::with_capacity(REUSE_WINDOW), VecDeque::with_capacity(REUSE_WINDOW)],
+            reusable: [
+                VecDeque::with_capacity(REUSE_WINDOW),
+                VecDeque::with_capacity(REUSE_WINDOW),
+            ],
             next_dst: [1, 0],
             addresses,
             body_cdf,
@@ -176,11 +178,7 @@ impl TraceGenerator {
 
     fn sample_body_op(&mut self) -> OpClass {
         let u: f64 = self.rng.gen();
-        self.body_cdf
-            .iter()
-            .find(|(c, _)| u <= *c)
-            .map(|(_, op)| *op)
-            .unwrap_or(OpClass::IntAlu)
+        self.body_cdf.iter().find(|(c, _)| u <= *c).map(|(_, op)| *op).unwrap_or(OpClass::IntAlu)
     }
 
     /// Picks a source register of `class` honouring the dependence-distance
@@ -423,9 +421,8 @@ fn sample_geometric_len(rng: &mut SmallRng, mean: f64) -> usize {
 /// Stable per-name hash so each benchmark gets an independent stream even
 /// with the same user seed.
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
-    })
+    name.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3))
 }
 
 #[cfg(test)]
@@ -445,12 +442,10 @@ mod tests {
 
     #[test]
     fn different_benchmarks_differ_with_same_seed() {
-        let a: Vec<_> = TraceGenerator::new(BenchProfile::by_name("go").unwrap(), 1)
-            .take(1000)
-            .collect();
-        let b: Vec<_> = TraceGenerator::new(BenchProfile::by_name("li").unwrap(), 1)
-            .take(1000)
-            .collect();
+        let a: Vec<_> =
+            TraceGenerator::new(BenchProfile::by_name("go").unwrap(), 1).take(1000).collect();
+        let b: Vec<_> =
+            TraceGenerator::new(BenchProfile::by_name("li").unwrap(), 1).take(1000).collect();
         assert_ne!(a, b);
     }
 
@@ -458,11 +453,15 @@ mod tests {
     fn branch_fraction_tracks_profile() {
         for p in suite_all() {
             let n = 40_000;
-            let branches = TraceGenerator::new(p, 3)
-                .take(n)
-                .filter(|i| i.op.is_branch())
-                .count();
-            let measured = branches as f64 / n as f64;
+            // Average over a few seeds: a single block graph can land on a
+            // hot short loop and skew the realized fraction well past the
+            // per-seed tolerance.
+            let seeds = [3u64, 4, 5];
+            let branches: usize = seeds
+                .iter()
+                .map(|&s| TraceGenerator::new(p, s).take(n).filter(|i| i.op.is_branch()).count())
+                .sum();
+            let measured = branches as f64 / (n * seeds.len()) as f64;
             let expected = p.mix.branch_fraction();
             // Dynamic visit weighting (hot loops) skews the realized
             // fraction; the int-vs-fp contrast is what matters.
@@ -478,8 +477,7 @@ mod tests {
     fn mem_fraction_tracks_profile() {
         for p in suite_int() {
             let n = 40_000;
-            let mem =
-                TraceGenerator::new(p, 4).take(n).filter(|i| i.op.is_mem()).count();
+            let mem = TraceGenerator::new(p, 4).take(n).filter(|i| i.op.is_mem()).count();
             let measured = mem as f64 / n as f64;
             let expected = p.mix.mem_fraction();
             assert!(
@@ -548,10 +546,8 @@ mod tests {
     #[test]
     fn fp_profile_emits_fp_loads() {
         let p = BenchProfile::by_name("mgrid").unwrap();
-        let loads: Vec<_> = TraceGenerator::new(p, 2)
-            .take(20_000)
-            .filter(|i| i.op == OpClass::Load)
-            .collect();
+        let loads: Vec<_> =
+            TraceGenerator::new(p, 2).take(20_000).filter(|i| i.op == OpClass::Load).collect();
         let fp_loads = loads.iter().filter(|i| i.dst.unwrap().class() == RegClass::Fp).count();
         let frac = fp_loads as f64 / loads.len() as f64;
         assert!(frac > 0.7, "fp load fraction {frac}");

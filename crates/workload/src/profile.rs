@@ -156,11 +156,7 @@ impl BenchProfile {
             ("stride_frac", self.stride_frac),
             ("fp_load_frac", self.fp_load_frac),
         ] {
-            assert!(
-                (0.0..=1.0).contains(&v),
-                "{}: {what} = {v} out of [0,1]",
-                self.name
-            );
+            assert!((0.0..=1.0).contains(&v), "{}: {what} = {v} out of [0,1]", self.name);
         }
         assert!(
             self.loop_site_frac + self.random_site_frac <= 1.0,
@@ -188,30 +184,12 @@ impl fmt::Display for BenchProfile {
 
 /// Integer mix helper: `alu` ALU weight with the rest fixed per-program.
 fn int_mix(int_alu: f64, int_mul: f64, load: f64, store: f64, branch: f64) -> OpMix {
-    OpMix {
-        int_alu,
-        int_mul,
-        int_div: 0.002,
-        fp_alu: 0.0,
-        fp_div: 0.0,
-        load,
-        store,
-        branch,
-    }
+    OpMix { int_alu, int_mul, int_div: 0.002, fp_alu: 0.0, fp_div: 0.0, load, store, branch }
 }
 
 /// FP mix helper.
 fn fp_mix(int_alu: f64, fp_alu: f64, fp_div: f64, load: f64, store: f64, branch: f64) -> OpMix {
-    OpMix {
-        int_alu,
-        int_mul: 0.002,
-        int_div: 0.001,
-        fp_alu,
-        fp_div,
-        load,
-        store,
-        branch,
-    }
+    OpMix { int_alu, int_mul: 0.002, int_div: 0.001, fp_alu, fp_div, load, store, branch }
 }
 
 /// The eight SpecInt95 profiles, in the paper's figure order.

@@ -86,15 +86,15 @@ pub fn write_trace<W: Write>(mut writer: W, trace: &[TraceInst]) -> io::Result<(
         ])?;
         writer.write_all(&inst.pc.to_le_bytes())?;
         if inst.op.is_mem() {
-            let addr = inst
-                .mem_addr
-                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "mem op without address"))?;
+            let addr = inst.mem_addr.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "mem op without address")
+            })?;
             writer.write_all(&addr.to_le_bytes())?;
         }
         if inst.op.is_branch() {
-            let b = inst
-                .branch
-                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "branch without outcome"))?;
+            let b = inst.branch.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "branch without outcome")
+            })?;
             writer.write_all(&[u8::from(b.taken)])?;
             writer.write_all(&b.target.to_le_bytes())?;
         }

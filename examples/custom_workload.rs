@@ -94,9 +94,7 @@ fn main() {
         profile.validate();
         let specs: Vec<RunSpec> = archs
             .iter()
-            .map(|(_, rf)| {
-                RunSpec::from_profile(profile, *rf).insts(120_000).warmup(40_000)
-            })
+            .map(|(_, rf)| RunSpec::from_profile(profile, *rf).insts(120_000).warmup(40_000))
             .collect();
         let results = run_suite(&specs);
         let mut t = TextTable::new(vec![

@@ -6,15 +6,14 @@
 //! cargo run --release --example policy_comparison [benchmark] [insts]
 //! ```
 
-use rfcache_core::{CachingPolicy, FetchPolicy, RegFileCacheConfig, RegFileConfig, SingleBankConfig};
+use rfcache_core::{
+    CachingPolicy, FetchPolicy, RegFileCacheConfig, RegFileConfig, SingleBankConfig,
+};
 use rfcache_sim::{run_suite, RunSpec, TextTable};
 
 fn main() {
     let bench = std::env::args().nth(1).unwrap_or_else(|| "li".to_string());
-    let insts: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(150_000);
+    let insts: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(150_000);
 
     let rfc = |caching, fetch| {
         RegFileConfig::Cache(RegFileCacheConfig::paper_default().with_policies(caching, fetch))

@@ -29,7 +29,10 @@ pub mod prelude {
         RegFileConfig, Replacement, ReplicatedBankConfig, SingleBankConfig,
     };
     pub use rfcache_pipeline::{Cpu, PipelineConfig, SimMetrics};
-    pub use rfcache_sim::{harmonic_mean, run_suite, RunResult, RunSpec};
+    pub use rfcache_sim::experiments::ExperimentOpts;
+    pub use rfcache_sim::{
+        harmonic_mean, run_suite, run_suite_jobs, RunResult, RunSpec, Scenario, ScenarioReport,
+    };
     pub use rfcache_workload::{suite_all, suite_fp, suite_int, BenchProfile, TraceGenerator};
 }
 

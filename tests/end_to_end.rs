@@ -24,8 +24,12 @@ fn rfc() -> RegFileConfig {
 
 #[test]
 fn every_benchmark_runs_on_every_architecture() {
-    let archs =
-        [one_cycle(), two_cycle_1byp(), rfc(), RegFileConfig::Replicated(ReplicatedBankConfig::default())];
+    let archs = [
+        one_cycle(),
+        two_cycle_1byp(),
+        rfc(),
+        RegFileConfig::Replicated(ReplicatedBankConfig::default()),
+    ];
     let mut specs = Vec::new();
     for p in suite_all() {
         for rf in archs {
@@ -52,13 +56,7 @@ fn architecture_ordering_holds_per_benchmark() {
         ];
         let r = run_suite(&specs);
         let (one, cache, two) = (r[0].ipc(), r[1].ipc(), r[2].ipc());
-        assert!(
-            cache <= one * 1.05,
-            "{}: rfc {} should not beat 1-cycle {}",
-            p.name,
-            cache,
-            one
-        );
+        assert!(cache <= one * 1.05, "{}: rfc {} should not beat 1-cycle {}", p.name, cache, one);
         assert!(
             cache >= two * 0.97,
             "{}: rfc {} must at least match 2-cycle {}",

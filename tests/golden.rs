@@ -19,34 +19,38 @@ struct Golden {
 }
 
 fn goldens() -> Vec<Golden> {
+    // Regenerated when the workspace switched to the vendored offline
+    // `rand` shim (vendor/rand): the workload RNG stream changed from
+    // crates.io SmallRng to xoshiro256++, which shifts every trace and
+    // therefore every count. The timing model itself did not change.
     vec![
         Golden {
             bench: "li",
             rf: RegFileConfig::Single(SingleBankConfig::one_cycle()),
-            cycles: 7760,
-            committed: 20_001,
-            mispredicted: 194,
+            cycles: 10_142,
+            committed: 20_003,
+            mispredicted: 725,
         },
         Golden {
             bench: "li",
             rf: RegFileConfig::Cache(RegFileCacheConfig::paper_default()),
-            cycles: 9380,
-            committed: 20_001,
-            mispredicted: 194,
+            cycles: 11_133,
+            committed: 20_003,
+            mispredicted: 725,
         },
         Golden {
             bench: "swim",
             rf: RegFileConfig::Single(SingleBankConfig::two_cycle_single_bypass()),
-            cycles: 10_785,
-            committed: 20_001,
-            mispredicted: 63,
+            cycles: 10_920,
+            committed: 20_000,
+            mispredicted: 130,
         },
         Golden {
             bench: "go",
             rf: RegFileConfig::Cache(RegFileCacheConfig::paper_default()),
-            cycles: 15_045,
-            committed: 20_002,
-            mispredicted: 1_225,
+            cycles: 15_726,
+            committed: 20_001,
+            mispredicted: 1_268,
         },
     ]
 }

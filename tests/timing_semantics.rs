@@ -96,8 +96,7 @@ fn register_file_cache_chains_like_a_one_cycle_file() {
 #[test]
 fn independent_ops_saturate_issue_width() {
     let n = 4000;
-    let cycles =
-        run_trace(independent(n), RegFileConfig::Single(SingleBankConfig::one_cycle()));
+    let cycles = run_trace(independent(n), RegFileConfig::Single(SingleBankConfig::one_cycle()));
     let ipc = n as f64 / cycles as f64;
     // 6 simple-int units bound the throughput below the 8-wide issue.
     assert!(ipc > 5.0, "independent ALUs reached only {ipc} IPC");
@@ -155,7 +154,12 @@ fn mispredicted_branch_penalty_grows_with_read_latency() {
     let mut trace = Vec::new();
     for i in 0..400u64 {
         let taken = (i / 3) % 2 == 0; // short irregular period
-        trace.push(TraceInst::branch(ArchReg::int(30), taken, 0x1000 + (i + 1) * 8, 0x1000 + i * 8));
+        trace.push(TraceInst::branch(
+            ArchReg::int(30),
+            taken,
+            0x1000 + (i + 1) * 8,
+            0x1000 + i * 8,
+        ));
         trace.push(
             TraceInst::alu(OpClass::IntAlu, ArchReg::int(1), ArchReg::int(30), ArchReg::int(31))
                 .with_pc(0x1000 + i * 8 + 4),

@@ -1,0 +1,178 @@
+//! Offline stand-in for the `criterion` crate (the subset this workspace
+//! uses).
+//!
+//! The containers this workspace builds in have no network access, so the
+//! benchmark entry points the repo relies on — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`criterion_group!`], [`criterion_main!`] —
+//! are implemented locally. Timing is a simple median-of-samples
+//! measurement printed as `ns/iter`; there is no statistical analysis,
+//! HTML report, or baseline comparison. The numbers are for relative,
+//! same-machine comparisons only.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// routine call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Routine input is cheap to set up.
+    SmallInput,
+    /// Routine input is expensive to set up.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, ns_per_iter: 0.0 }
+    }
+
+    /// Measures `routine` repeatedly and records the median time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        self.record(&mut times);
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`, excluding the
+    /// setup time from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed());
+        }
+        self.record(&mut times);
+    }
+
+    fn record(&mut self, times: &mut [Duration]) {
+        times.sort_unstable();
+        self.ns_per_iter = times[times.len() / 2].as_nanos() as f64;
+    }
+}
+
+const DEFAULT_SAMPLES: usize = 20;
+
+fn report(name: &str, ns: f64) {
+    if ns >= 1e6 {
+        println!("{name:<44} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{name:<44} {:>12.3} µs/iter", ns / 1e3);
+    } else {
+        println!("{name:<44} {ns:>12.0} ns/iter");
+    }
+}
+
+/// The benchmark harness handle passed to every target function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(DEFAULT_SAMPLES);
+        f(&mut b);
+        report(id, b.ns_per_iter);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string(), samples: DEFAULT_SAMPLES }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), b.ns_per_iter);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a benchmark binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_and_group_run_their_closures() {
+        let mut runs = 0u32;
+        let mut c = Criterion::default();
+        c.bench_function("counts", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, DEFAULT_SAMPLES as u32);
+
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut batched = 0u32;
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 5u32, |x| batched += x, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(batched, 15);
+    }
+}

@@ -1,0 +1,363 @@
+//! Offline stand-in for the `proptest` crate (the subset this workspace
+//! uses).
+//!
+//! The containers this workspace builds in have no network access, so the
+//! property-test surface the repo relies on is implemented locally:
+//!
+//! * the [`proptest!`] macro wrapping `#[test]` functions whose arguments
+//!   are drawn from strategies (`arg in strategy` syntax);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
+//! * strategies for integer/float ranges, tuples, [`strategy::Just`],
+//!   [`Strategy::prop_map`], [`prop_oneof!`], and
+//!   [`collection::vec`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case reports
+//! its case index and message only. Case generation is fully
+//! deterministic per test (seeded from the test's path), so failures
+//! reproduce across runs. The case count defaults to 256 and can be
+//! overridden with the `PROPTEST_CASES` environment variable.
+
+#![warn(missing_docs)]
+
+pub use strategy::Strategy;
+
+/// Strategies: composable recipes for generating test inputs.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::{Rng, SampleRange};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, map: f }
+        }
+    }
+
+    /// Always produces a clone of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Copy,
+        Range<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Copy,
+        RangeInclusive<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+
+    /// Uniform choice among boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; panics if `options` is empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Boxes a strategy for storage in a [`Union`] (used by
+    /// [`crate::prop_oneof!`]).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The machinery behind the [`proptest!`] macro.
+pub mod test_runner {
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// The generator each test case draws from.
+    pub type TestRng = rand::rngs::SmallRng;
+
+    /// A failed property, carried by `prop_assert!`'s early return.
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Wraps a failure message.
+        pub fn fail(message: String) -> Self {
+            TestCaseError(message)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Number of cases per property: `PROPTEST_CASES` or 256.
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+    }
+
+    /// Deterministic generator for one case of one test, so failures
+    /// reproduce without any persistence file.
+    pub fn rng_for_case(test_path: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325; // FNV-1a
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng::seed_from_u64(h ^ case.wrapping_mul(0x9e3779b97f4a7c15))
+    }
+}
+
+/// The per-test entry points, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: `#[test]` functions whose arguments are drawn
+/// from strategies with `arg in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                for case in 0..cases {
+                    let mut proptest_rng = $crate::test_runner::rng_for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut proptest_rng);
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("property {} failed at case {case}/{cases}: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` for property bodies: fails the case instead of panicking
+/// directly, so the runner can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: {:?} == {:?}", left, right
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: {:?} == {:?}: {}", left, right, format!($($fmt)*)
+                );
+            }
+        }
+    };
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left != *right,
+                    "assertion failed: {:?} != {:?}", left, right
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left != *right,
+                    "assertion failed: {:?} != {:?}: {}", left, right, format!($($fmt)*)
+                );
+            }
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 0u8..10, pair in (0u16..4, 1u32..=3)) {
+            prop_assert!(x < 10);
+            prop_assert!(pair.0 < 4);
+            prop_assert!((1..=3).contains(&pair.1));
+        }
+
+        #[test]
+        fn map_oneof_and_vec(
+            v in crate::collection::vec(0usize..5, 1..20),
+            tag in prop_oneof![Just("a"), Just("b")],
+            doubled in (0u64..100).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 5));
+            prop_assert!(tag == "a" || tag == "b");
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert_ne!(v.len(), 0, "vec sizes start at 1");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_index() {
+        proptest! {
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
