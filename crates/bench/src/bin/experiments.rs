@@ -4,21 +4,32 @@
 //! ```text
 //! experiments --list
 //! experiments <name>... | all [--insts N] [--warmup N] [--seed N] [--quick] [--jobs N]
+//!                             [--csv DIR] [--json DIR]
 //! ```
 //!
 //! `--list` enumerates the registered scenarios; `all` runs every one in
-//! canonical order. `--jobs N` caps the worker threads each scenario's
-//! benchmark sweep fans out to (default: one per available core).
+//! canonical order. Duplicate scenario names are run once (with a
+//! warning). All selected scenarios are scheduled through **one**
+//! cross-scenario work queue (`rfcache_sim::run_campaign`), so the
+//! worker pool stays saturated across scenario boundaries; `--jobs N`
+//! caps the worker threads (default: one per available core). The
+//! reports are byte-identical to running each scenario on its own.
+//!
+//! `--csv DIR` / `--json DIR` additionally write each scenario's report
+//! table as `DIR/<name>.csv` / `DIR/<name>.json` for plotting.
 //!
 //! Defaults: 200k measured instructions per benchmark after 60k warmup
-//! (the paper simulates 100M after skipping initialization).
+//! (`rfcache_sim::DEFAULT_INSTS` / `DEFAULT_WARMUP`; the paper simulates
+//! 100M after skipping initialization).
 
 use rfcache_sim::experiments::ExperimentOpts;
-use rfcache_sim::scenario;
+use rfcache_sim::{run_campaign_planned, scenario, write_csv, write_json};
+use std::path::PathBuf;
 use std::time::Instant;
 
 const USAGE: &str = "usage: experiments --list
        experiments <name>... | all [--insts N] [--warmup N] [--seed N] [--quick] [--jobs N]
+                                   [--csv DIR] [--json DIR]
 run `experiments --list` for the registered scenario names";
 
 fn main() {
@@ -33,20 +44,30 @@ fn main() {
     }
 
     let mut opts = ExperimentOpts::default();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut json_dir: Option<PathBuf> = None;
     let mut names: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--insts" => opts.insts = parse_num(it.next()),
-            "--warmup" => opts.warmup = parse_num(it.next()),
-            "--seed" => opts.seed = parse_num(it.next()),
-            "--jobs" => opts.jobs = parse_num(it.next()) as usize,
+            "--insts" => opts.insts = parse_num("--insts", it.next()),
+            "--warmup" => opts.warmup = parse_num("--warmup", it.next()),
+            "--seed" => opts.seed = parse_num("--seed", it.next()),
+            "--jobs" => opts.jobs = parse_num("--jobs", it.next()) as usize,
             "--quick" => opts.quick = true,
+            "--csv" => csv_dir = Some(parse_dir("--csv", it.next())),
+            "--json" => json_dir = Some(parse_dir("--json", it.next())),
             flag if flag.starts_with("--") => {
                 eprintln!("unknown option {flag}\n{USAGE}");
                 std::process::exit(2);
             }
-            name => names.push(name),
+            name => {
+                if names.contains(&name) {
+                    eprintln!("warning: duplicate scenario name {name} ignored");
+                } else {
+                    names.push(name);
+                }
+            }
         }
     }
 
@@ -72,11 +93,32 @@ fn main() {
         std::process::exit(2);
     }
 
-    for s in selected {
-        let start = Instant::now();
-        println!("{}", s.run(&opts));
-        eprintln!("[{}: {:.1}s]\n", s.name, start.elapsed().as_secs_f64());
+    // One flat work queue across every selected scenario: the tail of
+    // one sweep overlaps the head of the next.
+    let plans: Vec<_> = selected.iter().map(|s| s.plan(&opts)).collect();
+    let runs: usize = plans.iter().map(Vec::len).sum();
+    let start = Instant::now();
+    let reports = run_campaign_planned(&selected, &opts, plans);
+    for (s, report) in selected.iter().zip(&reports) {
+        println!("{report}");
+        let table = report.to_table();
+        if let Some(dir) = &csv_dir {
+            write_csv(dir, s.name, &table).unwrap_or_else(|e| {
+                die(&format!("cannot write {}/{}.csv: {e}", dir.display(), s.name))
+            });
+        }
+        if let Some(dir) = &json_dir {
+            write_json(dir, s.name, &table).unwrap_or_else(|e| {
+                die(&format!("cannot write {}/{}.json: {e}", dir.display(), s.name))
+            });
+        }
     }
+    eprintln!(
+        "[campaign: {} scenario(s), {} simulation(s), {:.1}s]",
+        selected.len(),
+        runs,
+        start.elapsed().as_secs_f64()
+    );
 }
 
 fn list() {
@@ -86,9 +128,30 @@ fn list() {
     }
 }
 
-fn parse_num(arg: Option<&String>) -> u64 {
-    arg.and_then(|s| s.replace('_', "").parse().ok()).unwrap_or_else(|| {
-        eprintln!("expected a number\n{USAGE}");
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
+fn parse_num(flag: &str, arg: Option<&String>) -> u64 {
+    let Some(arg) = arg else {
+        eprintln!("missing value for {flag}\n{USAGE}");
+        std::process::exit(2);
+    };
+    arg.replace('_', "").parse().unwrap_or_else(|_| {
+        eprintln!("invalid value {arg} for {flag}: expected a number\n{USAGE}");
         std::process::exit(2);
     })
+}
+
+fn parse_dir(flag: &str, arg: Option<&String>) -> PathBuf {
+    // A following `--flag` is not a directory: without this check,
+    // `--csv --quick` would silently swallow the next flag as its value.
+    match arg {
+        Some(arg) if !arg.starts_with("--") => PathBuf::from(arg),
+        _ => {
+            eprintln!("missing value for {flag}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
 }

@@ -19,7 +19,7 @@ use rfcache_core::{
     RegFileConfig, ReplicatedBankConfig, SingleBankConfig,
 };
 use rfcache_pipeline::PipelineConfig;
-use rfcache_sim::RunSpec;
+use rfcache_sim::{RunSpec, DEFAULT_INSTS, DEFAULT_WARMUP};
 
 fn bail(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -56,8 +56,8 @@ fn parse_args() -> Args {
         trace_in: None,
         trace_out: None,
         arch: "rfc".into(),
-        insts: 200_000,
-        warmup: 60_000,
+        insts: DEFAULT_INSTS,
+        warmup: DEFAULT_WARMUP,
         seed: 42,
         window: None,
         phys_regs: None,

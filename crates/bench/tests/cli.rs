@@ -1,0 +1,82 @@
+//! End-to-end tests of the `experiments` binary: campaign scheduling,
+//! scenario-name dedup, structured export, and flag-error reporting.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn experiments() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+/// A throwaway output directory unique to this test binary run.
+fn temp_out(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rfcache_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn dedupes_scenarios_and_exports_one_file_each() {
+    let dir = temp_out("export");
+    let out = experiments()
+        .args(["table2", "fig6", "fig6", "--quick", "--insts", "2000", "--warmup", "500"])
+        .arg("--csv")
+        .arg(&dir)
+        .arg("--json")
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(stderr.contains("duplicate scenario name fig6"), "stderr: {stderr}");
+    // The duplicate ran once: one Figure 6 report, one campaign line.
+    assert_eq!(stdout.matches("Figure 6").count(), 1, "stdout: {stdout}");
+    assert!(stderr.contains("2 scenario(s)"), "stderr: {stderr}");
+
+    for name in ["table2", "fig6"] {
+        let csv = std::fs::read_to_string(dir.join(format!("{name}.csv"))).unwrap();
+        assert!(csv.lines().count() >= 2, "{name}.csv too short: {csv}");
+        let json = std::fs::read_to_string(dir.join(format!("{name}.json"))).unwrap();
+        assert!(json.contains("\"header\"") && json.contains("\"rows\""), "{name}.json: {json}");
+    }
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 4, "exactly one csv + json per scenario");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reports_which_flag_is_missing_its_value() {
+    // Regression: a trailing valueless flag used to die with a generic
+    // "expected a number" that never named the flag.
+    let out = experiments().args(["fig6", "--insts"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing value for --insts"), "stderr: {stderr}");
+
+    let out = experiments().args(["fig6", "--jobs", "many"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid value many for --jobs"), "stderr: {stderr}");
+
+    let out = experiments().args(["fig6", "--csv"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing value for --csv"), "stderr: {stderr}");
+
+    // A following flag must not be swallowed as the directory value.
+    let out = experiments().args(["fig6", "--csv", "--quick"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing value for --csv"), "stderr: {stderr}");
+}
+
+#[test]
+fn rejects_unknown_scenarios_and_empty_selection() {
+    let out = experiments().args(["fig4"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment fig4"));
+
+    let out = experiments().args(["--quick"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no experiment selected"));
+}

@@ -9,9 +9,10 @@ use crate::table::TextTable;
 use std::io::{self, Write};
 use std::path::Path;
 
-/// Quotes a CSV field when needed (commas, quotes, newlines).
+/// Quotes a CSV field when needed (commas, quotes, newlines, carriage
+/// returns — RFC 4180 §2.6).
 fn quote(field: &str) -> String {
-    if field.contains([',', '"', '\n']) {
+    if field.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_string()
@@ -73,6 +74,16 @@ mod tests {
         assert_eq!(lines[0], "a,b");
         assert_eq!(lines[1], "\"x,1\",plain");
         assert_eq!(lines[2], "\"quote\"\"d\",2");
+    }
+
+    #[test]
+    fn carriage_return_fields_are_quoted() {
+        // Regression: bare '\r' used to escape unquoted, breaking
+        // RFC-4180 consumers on carriage returns.
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["one\rtwo".into(), "\r\n".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"one\rtwo\",\"\r\n\"\n");
     }
 
     #[test]

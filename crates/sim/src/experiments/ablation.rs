@@ -8,7 +8,7 @@
 
 use super::ExperimentOpts;
 use crate::scenario::{Scenario, ScenarioReport};
-use crate::{harmonic_mean, run_suite_jobs, RunSpec, TextTable};
+use crate::{harmonic_mean, run_suite_jobs, RunResult, RunSpec, TextTable};
 use rfcache_core::{RegFileCacheConfig, RegFileConfig, Replacement};
 use std::fmt;
 
@@ -52,16 +52,13 @@ fn variants() -> Vec<(String, RegFileCacheConfig)> {
     out
 }
 
-/// Runs the ablation sweep.
-pub fn run(opts: &ExperimentOpts) -> AblationData {
+/// Plans the ablation simulation specs: every variant on both suites
+/// (variant-major, benchmark-minor).
+pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
     let (int, fp) = super::sweep_suites(opts);
-    let benches: Vec<(&str, bool)> =
-        int.iter().map(|b| (*b, false)).chain(fp.iter().map(|b| (*b, true))).collect();
-    let variants = variants();
-
     let mut specs = Vec::new();
-    for (_, cfg) in &variants {
-        for &(b, _) in &benches {
+    for (_, cfg) in &variants() {
+        for b in int.iter().chain(fp.iter()) {
             specs.push(
                 RunSpec::new(b, RegFileConfig::Cache(*cfg))
                     .insts(opts.insts)
@@ -70,11 +67,19 @@ pub fn run(opts: &ExperimentOpts) -> AblationData {
             );
         }
     }
-    let results = run_suite_jobs(&specs, opts.jobs);
+    specs
+}
+
+/// Assembles the results of [`plan`] into the per-variant means.
+pub fn assemble(opts: &ExperimentOpts, results: Vec<RunResult>) -> AblationData {
+    let (int, fp) = super::sweep_suites(opts);
+    let per_variant = int.len() + fp.len();
+    let variants = variants();
+    assert_eq!(results.len(), variants.len() * per_variant, "result count must match the plan");
 
     let mut rows = Vec::new();
     for (vi, (label, _)) in variants.iter().enumerate() {
-        let slice = &results[vi * benches.len()..(vi + 1) * benches.len()];
+        let slice = &results[vi * per_variant..(vi + 1) * per_variant];
         let hmean = |fp_suite: bool| {
             let vals: Vec<f64> =
                 slice.iter().filter(|r| r.fp == fp_suite).map(|r| r.ipc()).collect();
@@ -87,6 +92,12 @@ pub fn run(opts: &ExperimentOpts) -> AblationData {
         });
     }
     AblationData { rows }
+}
+
+/// Runs the ablation sweep.
+pub fn run(opts: &ExperimentOpts) -> AblationData {
+    let results = run_suite_jobs(&plan(opts), opts.jobs);
+    assemble(opts, results)
 }
 
 impl AblationData {
@@ -126,12 +137,22 @@ impl fmt::Display for AblationData {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario =
-    Scenario::new("ablation", "beyond the paper: upper-bank size, replacement, buses", |opts| {
-        Box::new(run(opts))
-    });
+pub const SCENARIO: Scenario = Scenario::new(
+    "ablation",
+    "beyond the paper: upper-bank size, replacement, buses",
+    plan,
+    |opts, results| Box::new(assemble(opts, results)),
+);
 
 impl ScenarioReport for AblationData {
+    fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(vec!["variant".into(), "int_hmean".into(), "fp_hmean".into()]);
+        for row in &self.rows {
+            t.row_f64(&row.label, &[row.int_hmean, row.fp_hmean]);
+        }
+        t
+    }
+
     fn series(&self) -> Vec<(String, Vec<f64>)> {
         vec![
             ("int_hmean".into(), self.rows.iter().map(|r| r.int_hmean).collect()),

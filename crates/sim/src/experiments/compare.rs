@@ -5,7 +5,7 @@
 
 use super::ExperimentOpts;
 use crate::scenario::ScenarioReport;
-use crate::{harmonic_mean, run_suite_jobs, RunSpec, TextTable};
+use crate::{harmonic_mean, run_suite_jobs, RunResult, RunSpec, TextTable};
 use rfcache_core::RegFileConfig;
 use std::fmt;
 
@@ -24,26 +24,34 @@ pub struct CompareData {
     pub title: String,
 }
 
-/// Runs every benchmark of both suites on every architecture.
-pub fn compare_archs(
-    opts: &ExperimentOpts,
-    title: &str,
-    archs: &[(&str, RegFileConfig)],
-) -> CompareData {
+/// Specs for every benchmark of both suites on every architecture — one
+/// flat list (benchmark-major, architecture-minor) so every simulation
+/// can run in parallel, in the order [`assemble_archs`] expects back.
+pub fn plan_archs(opts: &ExperimentOpts, archs: &[(&str, RegFileConfig)]) -> Vec<RunSpec> {
     let (int, fp) = super::sweep_suites(opts);
-    let benches: Vec<(&str, bool)> =
-        int.iter().map(|b| (*b, false)).chain(fp.iter().map(|b| (*b, true))).collect();
-
-    // One flat spec list so every simulation runs in parallel.
-    let mut specs = Vec::with_capacity(benches.len() * archs.len());
-    for &(bench, _) in &benches {
+    let mut specs = Vec::with_capacity((int.len() + fp.len()) * archs.len());
+    for bench in int.iter().chain(fp.iter()) {
         for &(_, rf) in archs {
             specs.push(
                 RunSpec::new(bench, rf).insts(opts.insts).warmup(opts.warmup).seed(opts.seed),
             );
         }
     }
-    let results = run_suite_jobs(&specs, opts.jobs);
+    specs
+}
+
+/// Folds the results of [`plan_archs`] (same `opts`, same `archs`,
+/// results in spec order) into the IPC matrix.
+pub fn assemble_archs(
+    opts: &ExperimentOpts,
+    title: &str,
+    archs: &[(&str, RegFileConfig)],
+    results: Vec<RunResult>,
+) -> CompareData {
+    let (int, fp) = super::sweep_suites(opts);
+    let benches: Vec<(&str, bool)> =
+        int.iter().map(|b| (*b, false)).chain(fp.iter().map(|b| (*b, true))).collect();
+    assert_eq!(results.len(), benches.len() * archs.len(), "result count must match the plan");
 
     let mut rows = Vec::with_capacity(benches.len());
     for (bi, &(bench, is_fp)) in benches.iter().enumerate() {
@@ -72,6 +80,18 @@ pub fn compare_archs(
         rows,
         title: title.to_string(),
     }
+}
+
+/// Runs every benchmark of both suites on every architecture
+/// ([`plan_archs`] + [`assemble_archs`] in one call).
+pub fn compare_archs(
+    opts: &ExperimentOpts,
+    title: &str,
+    archs: &[(&str, RegFileConfig)],
+) -> CompareData {
+    let specs = plan_archs(opts, archs);
+    let results = run_suite_jobs(&specs, opts.jobs);
+    assemble_archs(opts, title, archs, results)
 }
 
 impl CompareData {
@@ -121,6 +141,10 @@ impl fmt::Display for CompareData {
 }
 
 impl ScenarioReport for CompareData {
+    fn to_table(&self) -> TextTable {
+        CompareData::to_table(self)
+    }
+
     fn series(&self) -> Vec<(String, Vec<f64>)> {
         let mut out: Vec<(String, Vec<f64>)> = self
             .labels

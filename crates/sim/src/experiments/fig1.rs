@@ -7,12 +7,21 @@
 
 use super::{one_cycle, ExperimentOpts};
 use crate::scenario::{Scenario, ScenarioReport};
-use crate::{harmonic_mean, run_suite_jobs, RunSpec, TextTable};
+use crate::{harmonic_mean, run_suite_jobs, RunResult, RunSpec, TextTable};
 use rfcache_pipeline::PipelineConfig;
 use std::fmt;
 
 /// The register-count sweep of Figure 1.
 pub const SIZES: [usize; 8] = [48, 64, 96, 128, 160, 192, 224, 256];
+
+/// The sizes actually swept under the given options.
+fn sizes(opts: &ExperimentOpts) -> Vec<usize> {
+    if opts.quick {
+        vec![48, 128, 256]
+    } else {
+        SIZES.to_vec()
+    }
+}
 
 /// Results of the Figure 1 sweep.
 #[derive(Debug, Clone)]
@@ -25,33 +34,49 @@ pub struct Fig1Data {
     pub fp_hmean: Vec<f64>,
 }
 
-/// Runs the Figure 1 experiment.
-pub fn run(opts: &ExperimentOpts) -> Fig1Data {
+/// Plans the Figure 1 simulation specs: both suites at every swept
+/// register count (size-major, benchmark-minor).
+pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
     let (int, fp) = super::sweep_suites(opts);
-    let sizes: Vec<usize> = if opts.quick { vec![48, 128, 256] } else { SIZES.to_vec() };
-    let mut int_hmean = Vec::with_capacity(sizes.len());
-    let mut fp_hmean = Vec::with_capacity(sizes.len());
+    let sizes = sizes(opts);
+    let mut specs = Vec::with_capacity(sizes.len() * (int.len() + fp.len()));
     for &size in &sizes {
         let pipeline = PipelineConfig::default().with_window(256).with_phys_regs(size);
-        let specs: Vec<RunSpec> = int
-            .iter()
-            .chain(fp.iter())
-            .map(|b| {
+        for b in int.iter().chain(fp.iter()) {
+            specs.push(
                 RunSpec::new(b, one_cycle())
                     .pipeline(pipeline)
                     .insts(opts.insts)
                     .warmup(opts.warmup)
-                    .seed(opts.seed)
-            })
-            .collect();
-        let results = run_suite_jobs(&specs, opts.jobs);
-        let (ints, fps): (Vec<_>, Vec<_>) = results.iter().partition(|r| !r.fp);
+                    .seed(opts.seed),
+            );
+        }
+    }
+    specs
+}
+
+/// Assembles the results of [`plan`] into the per-size suite means.
+pub fn assemble(opts: &ExperimentOpts, results: Vec<RunResult>) -> Fig1Data {
+    let (int, fp) = super::sweep_suites(opts);
+    let per_size = int.len() + fp.len();
+    let sizes = sizes(opts);
+    assert_eq!(results.len(), sizes.len() * per_size, "result count must match the plan");
+    let mut int_hmean = Vec::with_capacity(sizes.len());
+    let mut fp_hmean = Vec::with_capacity(sizes.len());
+    for chunk in results.chunks_exact(per_size) {
+        let (ints, fps): (Vec<_>, Vec<_>) = chunk.iter().partition(|r| !r.fp);
         int_hmean
             .push(harmonic_mean(&ints.iter().map(|r| r.ipc()).collect::<Vec<_>>()).unwrap_or(0.0));
         fp_hmean
             .push(harmonic_mean(&fps.iter().map(|r| r.ipc()).collect::<Vec<_>>()).unwrap_or(0.0));
     }
     Fig1Data { sizes, int_hmean, fp_hmean }
+}
+
+/// Runs the Figure 1 experiment.
+pub fn run(opts: &ExperimentOpts) -> Fig1Data {
+    let results = run_suite_jobs(&plan(opts), opts.jobs);
+    assemble(opts, results)
 }
 
 impl Fig1Data {
@@ -79,11 +104,19 @@ impl fmt::Display for Fig1Data {
 
 /// Registry entry for the scenario engine.
 pub const SCENARIO: Scenario =
-    Scenario::new("fig1", "IPC vs number of physical registers (48-256)", |opts| {
-        Box::new(run(opts))
+    Scenario::new("fig1", "IPC vs number of physical registers (48-256)", plan, |opts, results| {
+        Box::new(assemble(opts, results))
     });
 
 impl ScenarioReport for Fig1Data {
+    fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(vec!["registers".into(), "int_hmean".into(), "fp_hmean".into()]);
+        for (i, &size) in self.sizes.iter().enumerate() {
+            t.row_f64(&size.to_string(), &[self.int_hmean[i], self.fp_hmean[i]]);
+        }
+        t
+    }
+
     fn series(&self) -> Vec<(String, Vec<f64>)> {
         vec![
             ("registers".into(), self.sizes.iter().map(|&s| s as f64).collect()),

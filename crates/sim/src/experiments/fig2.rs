@@ -6,31 +6,47 @@
 //! little when full bypass is present, but a lot with a single bypass
 //! level (≈20% IPC for SpecInt95), and integer codes suffer more than FP.
 
-use super::compare::{compare_archs, CompareData};
+use super::compare::{assemble_archs, compare_archs, plan_archs, CompareData};
 use super::{one_cycle, two_cycle_full_bypass, two_cycle_single_bypass, ExperimentOpts};
 use crate::scenario::Scenario;
+use crate::{RunResult, RunSpec};
+use rfcache_core::RegFileConfig;
 
 /// Column labels of the Figure 2 table.
 pub const LABELS: [&str; 3] = ["1cyc-1byp", "2cyc-2byp", "2cyc-1byp"];
 
+const TITLE: &str = "Figure 2: register file latency and bypass levels (IPC)";
+
+fn archs() -> [(&'static str, RegFileConfig); 3] {
+    [
+        (LABELS[0], one_cycle()),
+        (LABELS[1], two_cycle_full_bypass()),
+        (LABELS[2], two_cycle_single_bypass()),
+    ]
+}
+
+/// Plans the Figure 2 simulation specs.
+pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
+    plan_archs(opts, &archs())
+}
+
+/// Assembles the results of [`plan`] into the Figure 2 matrix.
+pub fn assemble(opts: &ExperimentOpts, results: Vec<RunResult>) -> CompareData {
+    assemble_archs(opts, TITLE, &archs(), results)
+}
+
 /// Runs the Figure 2 experiment.
 pub fn run(opts: &ExperimentOpts) -> CompareData {
-    compare_archs(
-        opts,
-        "Figure 2: register file latency and bypass levels (IPC)",
-        &[
-            (LABELS[0], one_cycle()),
-            (LABELS[1], two_cycle_full_bypass()),
-            (LABELS[2], two_cycle_single_bypass()),
-        ],
-    )
+    compare_archs(opts, TITLE, &archs())
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario =
-    Scenario::new("fig2", "1-cycle vs 2-cycle register files, bypass levels", |opts| {
-        Box::new(run(opts))
-    });
+pub const SCENARIO: Scenario = Scenario::new(
+    "fig2",
+    "1-cycle vs 2-cycle register files, bypass levels",
+    plan,
+    |opts, results| Box::new(assemble(opts, results)),
+);
 
 #[cfg(test)]
 mod tests {

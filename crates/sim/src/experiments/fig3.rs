@@ -9,9 +9,12 @@
 
 use super::{one_cycle, ExperimentOpts};
 use crate::scenario::{Scenario, ScenarioReport};
-use crate::{run_suite_jobs, RunSpec, TextTable};
+use crate::{run_suite_jobs, RunResult, RunSpec, TextTable};
 use rfcache_pipeline::{OccupancyHistogram, PipelineConfig};
 use std::fmt;
+
+/// Register counts tabulated by `Display` and [`ScenarioReport::to_table`].
+const TABLE_POINTS: [usize; 14] = [0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32];
 
 /// Aggregated occupancy distributions per suite.
 #[derive(Debug, Clone)]
@@ -26,12 +29,12 @@ pub struct Fig3Data {
     pub fp_ready: OccupancyHistogram,
 }
 
-/// Runs the Figure 3 experiment.
-pub fn run(opts: &ExperimentOpts) -> Fig3Data {
+/// Plans the Figure 3 simulation specs (both suites with occupancy
+/// sampling enabled).
+pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
     let (int, fp) = super::sweep_suites(opts);
     let pipeline = PipelineConfig::default().with_occupancy_sampling();
-    let specs: Vec<RunSpec> = int
-        .iter()
+    int.iter()
         .chain(fp.iter())
         .map(|b| {
             RunSpec::new(b, one_cycle())
@@ -40,8 +43,11 @@ pub fn run(opts: &ExperimentOpts) -> Fig3Data {
                 .warmup(opts.warmup)
                 .seed(opts.seed)
         })
-        .collect();
-    let results = run_suite_jobs(&specs, opts.jobs);
+        .collect()
+}
+
+/// Assembles the results of [`plan`] into the per-suite histograms.
+pub fn assemble(_opts: &ExperimentOpts, results: Vec<RunResult>) -> Fig3Data {
     let mut data = Fig3Data {
         int_value: OccupancyHistogram::default(),
         int_ready: OccupancyHistogram::default(),
@@ -60,6 +66,12 @@ pub fn run(opts: &ExperimentOpts) -> Fig3Data {
     data
 }
 
+/// Runs the Figure 3 experiment.
+pub fn run(opts: &ExperimentOpts) -> Fig3Data {
+    let results = run_suite_jobs(&plan(opts), opts.jobs);
+    assemble(opts, results)
+}
+
 impl fmt::Display for Fig3Data {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -73,7 +85,7 @@ impl fmt::Display for Fig3Data {
             "FP value&inst".into(),
             "FP value&ready".into(),
         ]);
-        for n in [0usize, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32] {
+        for n in TABLE_POINTS {
             t.row(vec![
                 n.to_string(),
                 format!("{:.1}", self.int_value.cumulative_at(n) * 100.0),
@@ -95,12 +107,36 @@ impl fmt::Display for Fig3Data {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario =
-    Scenario::new("fig3", "cumulative distribution of live/needed register values", |opts| {
-        Box::new(run(opts))
-    });
+pub const SCENARIO: Scenario = Scenario::new(
+    "fig3",
+    "cumulative distribution of live/needed register values",
+    plan,
+    |opts, results| Box::new(assemble(opts, results)),
+);
 
 impl ScenarioReport for Fig3Data {
+    fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "registers".into(),
+            "int_value_cum".into(),
+            "int_ready_cum".into(),
+            "fp_value_cum".into(),
+            "fp_ready_cum".into(),
+        ]);
+        for n in TABLE_POINTS {
+            t.row_f64(
+                &n.to_string(),
+                &[
+                    self.int_value.cumulative_at(n),
+                    self.int_ready.cumulative_at(n),
+                    self.fp_value.cumulative_at(n),
+                    self.fp_ready.cumulative_at(n),
+                ],
+            );
+        }
+        t
+    }
+
     fn series(&self) -> Vec<(String, Vec<f64>)> {
         let pcts =
             |h: &OccupancyHistogram| vec![h.percentile(0.5) as f64, h.percentile(0.9) as f64];

@@ -6,33 +6,46 @@
 //! ~2% (fp); prefetching helps a few programs at unlimited bandwidth and
 //! more under port limits.
 
-use super::compare::{compare_archs, CompareData};
+use super::compare::{assemble_archs, compare_archs, plan_archs, CompareData};
 use super::{rfc, ExperimentOpts};
 use crate::scenario::Scenario;
-use rfcache_core::{CachingPolicy, FetchPolicy};
+use crate::{RunResult, RunSpec};
+use rfcache_core::{CachingPolicy, FetchPolicy, RegFileConfig};
 
 /// Column labels of the Figure 5 table.
 pub const LABELS: [&str; 4] =
     ["ready+demand", "nonbyp+demand", "ready+prefetch", "nonbyp+prefetch"];
 
+const TITLE: &str = "Figure 5: register file cache caching and fetch policies (IPC)";
+
+fn archs() -> [(&'static str, RegFileConfig); 4] {
+    [
+        (LABELS[0], rfc(CachingPolicy::Ready, FetchPolicy::OnDemand)),
+        (LABELS[1], rfc(CachingPolicy::NonBypass, FetchPolicy::OnDemand)),
+        (LABELS[2], rfc(CachingPolicy::Ready, FetchPolicy::PrefetchFirstPair)),
+        (LABELS[3], rfc(CachingPolicy::NonBypass, FetchPolicy::PrefetchFirstPair)),
+    ]
+}
+
+/// Plans the Figure 5 simulation specs.
+pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
+    plan_archs(opts, &archs())
+}
+
+/// Assembles the results of [`plan`] into the Figure 5 matrix.
+pub fn assemble(opts: &ExperimentOpts, results: Vec<RunResult>) -> CompareData {
+    assemble_archs(opts, TITLE, &archs(), results)
+}
+
 /// Runs the Figure 5 experiment.
 pub fn run(opts: &ExperimentOpts) -> CompareData {
-    compare_archs(
-        opts,
-        "Figure 5: register file cache caching and fetch policies (IPC)",
-        &[
-            (LABELS[0], rfc(CachingPolicy::Ready, FetchPolicy::OnDemand)),
-            (LABELS[1], rfc(CachingPolicy::NonBypass, FetchPolicy::OnDemand)),
-            (LABELS[2], rfc(CachingPolicy::Ready, FetchPolicy::PrefetchFirstPair)),
-            (LABELS[3], rfc(CachingPolicy::NonBypass, FetchPolicy::PrefetchFirstPair)),
-        ],
-    )
+    compare_archs(opts, TITLE, &archs())
 }
 
 /// Registry entry for the scenario engine.
 pub const SCENARIO: Scenario =
-    Scenario::new("fig5", "register-file-cache caching x fetch policies", |opts| {
-        Box::new(run(opts))
+    Scenario::new("fig5", "register-file-cache caching x fetch policies", plan, |opts, results| {
+        Box::new(assemble(opts, results))
     });
 
 #[cfg(test)]

@@ -5,31 +5,43 @@
 //! over the 2-cycle file and stays within ~10% (int) / ~2% (fp) of the
 //! 1-cycle file.
 
-use super::compare::{compare_archs, CompareData};
+use super::compare::{assemble_archs, compare_archs, plan_archs, CompareData};
 use super::{one_cycle, rfc_best, two_cycle_single_bypass, ExperimentOpts};
 use crate::scenario::Scenario;
+use crate::{RunResult, RunSpec};
+use rfcache_core::RegFileConfig;
 
 /// Column labels of the Figure 6 table.
 pub const LABELS: [&str; 3] = ["1-cycle", "rfc", "2-cycle"];
 
+const TITLE: &str = "Figure 6: register file cache vs single bank, one bypass level (IPC)";
+
+fn archs() -> [(&'static str, RegFileConfig); 3] {
+    [(LABELS[0], one_cycle()), (LABELS[1], rfc_best()), (LABELS[2], two_cycle_single_bypass())]
+}
+
+/// Plans the Figure 6 simulation specs.
+pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
+    plan_archs(opts, &archs())
+}
+
+/// Assembles the results of [`plan`] into the Figure 6 matrix.
+pub fn assemble(opts: &ExperimentOpts, results: Vec<RunResult>) -> CompareData {
+    assemble_archs(opts, TITLE, &archs(), results)
+}
+
 /// Runs the Figure 6 experiment.
 pub fn run(opts: &ExperimentOpts) -> CompareData {
-    compare_archs(
-        opts,
-        "Figure 6: register file cache vs single bank, one bypass level (IPC)",
-        &[
-            (LABELS[0], one_cycle()),
-            (LABELS[1], rfc_best()),
-            (LABELS[2], two_cycle_single_bypass()),
-        ],
-    )
+    compare_archs(opts, TITLE, &archs())
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario =
-    Scenario::new("fig6", "register file cache vs single bank, one bypass level", |opts| {
-        Box::new(run(opts))
-    });
+pub const SCENARIO: Scenario = Scenario::new(
+    "fig6",
+    "register file cache vs single bank, one bypass level",
+    plan,
+    |opts, results| Box::new(assemble(opts, results)),
+);
 
 #[cfg(test)]
 mod tests {

@@ -4,26 +4,40 @@
 //! Paper finding: the conventional file wins by ~8% (int) / ~2% (fp), but
 //! needs a much more complex (two-level) bypass network.
 
-use super::compare::{compare_archs, CompareData};
+use super::compare::{assemble_archs, compare_archs, plan_archs, CompareData};
 use super::{rfc_best, two_cycle_full_bypass, ExperimentOpts};
 use crate::scenario::Scenario;
+use crate::{RunResult, RunSpec};
+use rfcache_core::RegFileConfig;
 
 /// Column labels of the Figure 7 table.
 pub const LABELS: [&str; 2] = ["rfc", "2cyc-full-bypass"];
 
+const TITLE: &str = "Figure 7: register file cache vs 2-cycle single bank with full bypass (IPC)";
+
+fn archs() -> [(&'static str, RegFileConfig); 2] {
+    [(LABELS[0], rfc_best()), (LABELS[1], two_cycle_full_bypass())]
+}
+
+/// Plans the Figure 7 simulation specs.
+pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
+    plan_archs(opts, &archs())
+}
+
+/// Assembles the results of [`plan`] into the Figure 7 matrix.
+pub fn assemble(opts: &ExperimentOpts, results: Vec<RunResult>) -> CompareData {
+    assemble_archs(opts, TITLE, &archs(), results)
+}
+
 /// Runs the Figure 7 experiment.
 pub fn run(opts: &ExperimentOpts) -> CompareData {
-    compare_archs(
-        opts,
-        "Figure 7: register file cache vs 2-cycle single bank with full bypass (IPC)",
-        &[(LABELS[0], rfc_best()), (LABELS[1], two_cycle_full_bypass())],
-    )
+    compare_archs(opts, TITLE, &archs())
 }
 
 /// Registry entry for the scenario engine.
 pub const SCENARIO: Scenario =
-    Scenario::new("fig7", "register file cache vs two-cycle full bypass", |opts| {
-        Box::new(run(opts))
+    Scenario::new("fig7", "register file cache vs two-cycle full bypass", plan, |opts, results| {
+        Box::new(assemble(opts, results))
     });
 
 #[cfg(test)]

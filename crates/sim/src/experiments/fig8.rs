@@ -12,7 +12,9 @@
 
 use super::{one_cycle, ExperimentOpts};
 use crate::scenario::{Scenario, ScenarioReport};
-use crate::{harmonic_mean, pareto_frontier, run_suite_jobs, ParetoPoint, RunSpec, TextTable};
+use crate::{
+    harmonic_mean, pareto_frontier, run_suite_jobs, ParetoPoint, RunResult, RunSpec, TextTable,
+};
 use rfcache_area::{SingleBankDesign, TwoLevelDesign};
 use rfcache_core::{PortLimits, RegFileCacheConfig, RegFileConfig, SingleBankConfig};
 use std::fmt;
@@ -91,35 +93,26 @@ fn rfc_candidates(quick: bool) -> Vec<Candidate> {
     out
 }
 
-/// Runs the Figure 8 experiment.
-pub fn run(opts: &ExperimentOpts) -> Fig8Data {
-    let (int, fp) = super::sweep_suites(opts);
+/// The three candidate sets, in [`Fig8Data::archs`] order.
+fn arch_candidates(quick: bool) -> [(&'static str, Vec<Candidate>); 3] {
+    [
+        ("1-cycle", single_bank_candidates(1, quick)),
+        ("2-cycle", single_bank_candidates(2, quick)),
+        ("rfc", rfc_candidates(quick)),
+    ]
+}
 
-    // Baseline: unlimited-port 1-cycle file.
-    let base_specs: Vec<RunSpec> = int
+/// Plans the Figure 8 simulation specs: the unlimited-port 1-cycle
+/// baseline first, then every candidate of every architecture on both
+/// suites (candidate-major, benchmark-minor).
+pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
+    let (int, fp) = super::sweep_suites(opts);
+    let mut specs: Vec<RunSpec> = int
         .iter()
         .chain(fp.iter())
         .map(|b| RunSpec::new(b, one_cycle()).insts(opts.insts).warmup(opts.warmup).seed(opts.seed))
         .collect();
-    let base_results = run_suite_jobs(&base_specs, opts.jobs);
-    let base_hmean = |fp_suite: bool| {
-        let vals: Vec<f64> =
-            base_results.iter().filter(|r| r.fp == fp_suite).map(|r| r.ipc()).collect();
-        harmonic_mean(&vals).unwrap_or(1.0)
-    };
-    let base = [base_hmean(false), base_hmean(true)];
-
-    let arch_candidates = [
-        ("1-cycle", single_bank_candidates(1, opts.quick)),
-        ("2-cycle", single_bank_candidates(2, opts.quick)),
-        ("rfc", rfc_candidates(opts.quick)),
-    ];
-
-    let mut archs = Vec::new();
-    let mut frontiers = Vec::new();
-    for (name, candidates) in arch_candidates {
-        // All benchmark × candidate runs for this architecture.
-        let mut specs = Vec::new();
+    for (_, candidates) in arch_candidates(opts.quick) {
         for cand in &candidates {
             for b in int.iter().chain(fp.iter()) {
                 specs.push(
@@ -127,8 +120,30 @@ pub fn run(opts: &ExperimentOpts) -> Fig8Data {
                 );
             }
         }
-        let results = run_suite_jobs(&specs, opts.jobs);
-        let per_bench = int.len() + fp.len();
+    }
+    specs
+}
+
+/// Assembles the results of [`plan`] into the per-architecture Pareto
+/// frontiers.
+pub fn assemble(opts: &ExperimentOpts, results: Vec<RunResult>) -> Fig8Data {
+    let (int, fp) = super::sweep_suites(opts);
+    let per_bench = int.len() + fp.len();
+
+    let base_results = &results[..per_bench];
+    let base_hmean = |fp_suite: bool| {
+        let vals: Vec<f64> =
+            base_results.iter().filter(|r| r.fp == fp_suite).map(|r| r.ipc()).collect();
+        harmonic_mean(&vals).unwrap_or(1.0)
+    };
+    let base = [base_hmean(false), base_hmean(true)];
+
+    let mut archs = Vec::new();
+    let mut frontiers = Vec::new();
+    let mut offset = per_bench;
+    for (name, candidates) in arch_candidates(opts.quick) {
+        let results = &results[offset..offset + candidates.len() * per_bench];
+        offset += candidates.len() * per_bench;
 
         let mut suite_points: [Vec<ParetoPoint<String>>; 2] = [Vec::new(), Vec::new()];
         for (ci, cand) in candidates.iter().enumerate() {
@@ -153,7 +168,14 @@ pub fn run(opts: &ExperimentOpts) -> Fig8Data {
         archs.push(name.to_string());
         frontiers.push(fronts);
     }
+    assert_eq!(offset, results.len(), "result count must match the plan");
     Fig8Data { archs, frontiers }
+}
+
+/// Runs the Figure 8 experiment.
+pub fn run(opts: &ExperimentOpts) -> Fig8Data {
+    let results = run_suite_jobs(&plan(opts), opts.jobs);
+    assemble(opts, results)
 }
 
 impl Fig8Data {
@@ -200,12 +222,38 @@ impl fmt::Display for Fig8Data {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario =
-    Scenario::new("fig8", "relative performance vs area (Pareto frontiers)", |opts| {
-        Box::new(run(opts))
-    });
+pub const SCENARIO: Scenario = Scenario::new(
+    "fig8",
+    "relative performance vs area (Pareto frontiers)",
+    plan,
+    |opts, results| Box::new(assemble(opts, results)),
+);
 
 impl ScenarioReport for Fig8Data {
+    fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "architecture".into(),
+            "suite".into(),
+            "ports".into(),
+            "area_10k".into(),
+            "rel_perf".into(),
+        ]);
+        for (arch, frontier) in self.archs.iter().zip(&self.frontiers) {
+            for (suite, points) in ["int", "fp"].iter().zip(frontier.iter()) {
+                for p in points {
+                    t.row(vec![
+                        arch.clone(),
+                        (*suite).into(),
+                        p.label.clone(),
+                        format!("{:.1}", p.area_10k),
+                        format!("{:.3}", p.rel_perf),
+                    ]);
+                }
+            }
+        }
+        t
+    }
+
     fn series(&self) -> Vec<(String, Vec<f64>)> {
         let mut out = Vec::new();
         for (arch, frontier) in self.archs.iter().zip(&self.frontiers) {

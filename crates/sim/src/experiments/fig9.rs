@@ -12,7 +12,7 @@
 
 use super::ExperimentOpts;
 use crate::scenario::{Scenario, ScenarioReport};
-use crate::{harmonic_mean, run_suite_jobs, RunSpec, TextTable};
+use crate::{harmonic_mean, run_suite_jobs, RunResult, RunSpec, TextTable};
 use rfcache_area::table2_configs;
 use rfcache_core::{PortLimits, RegFileCacheConfig, RegFileConfig, SingleBankConfig};
 use std::fmt;
@@ -40,12 +40,10 @@ pub struct Fig9Data {
     pub cells: Vec<Vec<Vec<Fig9Cell>>>,
 }
 
-/// Runs the Figure 9 experiment.
-pub fn run(opts: &ExperimentOpts) -> Fig9Data {
-    let (int, fp) = super::sweep_suites(opts);
+/// All (config, arch) register file configs plus cycle times, in plan
+/// order.
+fn setups() -> Vec<(String, &'static str, RegFileConfig, f64)> {
     let table = table2_configs();
-
-    // Build all (config, arch) register file configs plus cycle times.
     let mut setups: Vec<(String, &'static str, RegFileConfig, f64)> = Vec::new();
     for cfg in table {
         let s1 = cfg.single_bank_1stage(128);
@@ -81,22 +79,34 @@ pub fn run(opts: &ExperimentOpts) -> Fig9Data {
             s2.cycle_time_ns(),
         ));
     }
+    setups
+}
 
-    // Simulate everything in one parallel batch.
-    let benches: Vec<(&str, bool)> =
-        int.iter().map(|b| (*b, false)).chain(fp.iter().map(|b| (*b, true))).collect();
+/// Plans the Figure 9 simulation specs: every (config, arch) setup on
+/// both suites (setup-major, benchmark-minor).
+pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
+    let (int, fp) = super::sweep_suites(opts);
     let mut specs = Vec::new();
-    for (_, _, rf, _) in &setups {
-        for &(b, _) in &benches {
+    for (_, _, rf, _) in &setups() {
+        for b in int.iter().chain(fp.iter()) {
             specs.push(RunSpec::new(b, *rf).insts(opts.insts).warmup(opts.warmup).seed(opts.seed));
         }
     }
-    let results = run_suite_jobs(&specs, opts.jobs);
+    specs
+}
+
+/// Assembles the results of [`plan`] into the throughput cells.
+pub fn assemble(opts: &ExperimentOpts, results: Vec<RunResult>) -> Fig9Data {
+    let (int, fp) = super::sweep_suites(opts);
+    let table = table2_configs();
+    let setups = setups();
+    let per_setup = int.len() + fp.len();
+    assert_eq!(results.len(), setups.len() * per_setup, "result count must match the plan");
 
     let mut cells = vec![vec![Vec::new(); table.len()]; 2];
     let mut baseline = [0.0f64; 2];
     for (si_setup, (_, _, _, cycle_ns)) in setups.iter().enumerate() {
-        let slice = &results[si_setup * benches.len()..(si_setup + 1) * benches.len()];
+        let slice = &results[si_setup * per_setup..(si_setup + 1) * per_setup];
         let config_idx = si_setup / ARCHS.len();
         for (suite, fp_suite) in [(0usize, false), (1usize, true)] {
             let vals: Vec<f64> =
@@ -117,6 +127,12 @@ pub fn run(opts: &ExperimentOpts) -> Fig9Data {
     }
 
     Fig9Data { configs: table.iter().map(|c| c.name.to_string()).collect(), cells }
+}
+
+/// Runs the Figure 9 experiment.
+pub fn run(opts: &ExperimentOpts) -> Fig9Data {
+    let results = run_suite_jobs(&plan(opts), opts.jobs);
+    assemble(opts, results)
 }
 
 impl Fig9Data {
@@ -172,12 +188,40 @@ impl fmt::Display for Fig9Data {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario =
-    Scenario::new("fig9", "instruction throughput with cycle time factored in", |opts| {
-        Box::new(run(opts))
-    });
+pub const SCENARIO: Scenario = Scenario::new(
+    "fig9",
+    "instruction throughput with cycle time factored in",
+    plan,
+    |opts, results| Box::new(assemble(opts, results)),
+);
 
 impl ScenarioReport for Fig9Data {
+    fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "config".into(),
+            "suite".into(),
+            "arch".into(),
+            "ipc".into(),
+            "cycle_ns".into(),
+            "relative".into(),
+        ]);
+        for (si, suite) in ["int", "fp"].iter().enumerate() {
+            for (ci, config) in self.configs.iter().enumerate() {
+                for (ai, cell) in self.cells[si][ci].iter().enumerate() {
+                    t.row(vec![
+                        config.clone(),
+                        (*suite).into(),
+                        ARCHS[ai].into(),
+                        format!("{:.3}", cell.ipc),
+                        format!("{:.2}", cell.cycle_ns),
+                        format!("{:.3}", cell.relative),
+                    ]);
+                }
+            }
+        }
+        t
+    }
+
     fn series(&self) -> Vec<(String, Vec<f64>)> {
         let mut out = Vec::new();
         for (si, suite) in ["int", "fp"].iter().enumerate() {

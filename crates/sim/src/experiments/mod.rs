@@ -60,7 +60,13 @@ pub struct ExperimentOpts {
 
 impl Default for ExperimentOpts {
     fn default() -> Self {
-        ExperimentOpts { insts: 200_000, warmup: 60_000, seed: 42, quick: false, jobs: 0 }
+        ExperimentOpts {
+            insts: crate::run::DEFAULT_INSTS,
+            warmup: crate::run::DEFAULT_WARMUP,
+            seed: 42,
+            quick: false,
+            jobs: 0,
+        }
     }
 }
 

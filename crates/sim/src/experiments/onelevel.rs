@@ -12,7 +12,7 @@
 
 use super::{one_cycle, rfc_best, two_cycle_single_bypass, ExperimentOpts};
 use crate::scenario::{Scenario, ScenarioReport};
-use crate::{harmonic_mean, run_suite_jobs, RunSpec, TextTable};
+use crate::{harmonic_mean, run_suite_jobs, RunResult, RunSpec, TextTable};
 use rfcache_area::{BankGeometry, TwoLevelDesign};
 use rfcache_core::{OneLevelBankedConfig, RegFileConfig};
 use std::fmt;
@@ -46,12 +46,9 @@ fn one_level_geometry(banks: u32, reads: u32, writes: u32) -> (f64, f64) {
     (f64::from(banks) * per_bank.area_lambda2() / 1e4, per_bank.access_time_ns())
 }
 
-/// Runs the one-level comparison.
-pub fn run(opts: &ExperimentOpts) -> OneLevelData {
-    let (int, fp) = super::sweep_suites(opts);
-    let benches: Vec<(&str, bool)> =
-        int.iter().map(|b| (*b, false)).chain(fp.iter().map(|b| (*b, true))).collect();
-
+/// All evaluated organizations — baselines then the bank sweep — as
+/// `(label, config, area_10k, cycle_ns)`, in plan order.
+fn setups(quick: bool) -> Vec<(String, RegFileConfig, f64, f64)> {
     let rfc_design = TwoLevelDesign::new(128, 16, 64, 4, 3, 2, 3);
     let single_design = rfcache_area::SingleBankDesign::new(128, 64, 16, 8, 1);
     let mut setups: Vec<(String, RegFileConfig, f64, f64)> = vec![
@@ -75,7 +72,7 @@ pub fn run(opts: &ExperimentOpts) -> OneLevelData {
         ),
     ];
     let bank_sweep: &[(u32, u32, u32)] =
-        if opts.quick { &[(8, 2, 1)] } else { &[(4, 2, 1), (8, 2, 1), (8, 3, 2), (16, 2, 1)] };
+        if quick { &[(8, 2, 1)] } else { &[(4, 2, 1), (8, 2, 1), (8, 3, 2), (16, 2, 1)] };
     for &(banks, r, w) in bank_sweep {
         let (area, cycle) = one_level_geometry(banks, r, w);
         setups.push((
@@ -89,18 +86,32 @@ pub fn run(opts: &ExperimentOpts) -> OneLevelData {
             cycle,
         ));
     }
+    setups
+}
 
+/// Plans the one-level comparison specs: every organization on both
+/// suites (organization-major, benchmark-minor).
+pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
+    let (int, fp) = super::sweep_suites(opts);
     let mut specs = Vec::new();
-    for (_, rf, _, _) in &setups {
-        for &(b, _) in &benches {
+    for (_, rf, _, _) in &setups(opts.quick) {
+        for b in int.iter().chain(fp.iter()) {
             specs.push(RunSpec::new(b, *rf).insts(opts.insts).warmup(opts.warmup).seed(opts.seed));
         }
     }
-    let results = run_suite_jobs(&specs, opts.jobs);
+    specs
+}
+
+/// Assembles the results of [`plan`] into the per-organization rows.
+pub fn assemble(opts: &ExperimentOpts, results: Vec<RunResult>) -> OneLevelData {
+    let (int, fp) = super::sweep_suites(opts);
+    let per_setup = int.len() + fp.len();
+    let setups = setups(opts.quick);
+    assert_eq!(results.len(), setups.len() * per_setup, "result count must match the plan");
 
     let mut rows = Vec::new();
     for (si, (label, _, area, cycle)) in setups.iter().enumerate() {
-        let slice = &results[si * benches.len()..(si + 1) * benches.len()];
+        let slice = &results[si * per_setup..(si + 1) * per_setup];
         let hmean = |fp_suite: bool| {
             let vals: Vec<f64> =
                 slice.iter().filter(|r| r.fp == fp_suite).map(|r| r.ipc()).collect();
@@ -115,6 +126,12 @@ pub fn run(opts: &ExperimentOpts) -> OneLevelData {
         });
     }
     OneLevelData { rows }
+}
+
+/// Runs the one-level comparison.
+pub fn run(opts: &ExperimentOpts) -> OneLevelData {
+    let results = run_suite_jobs(&plan(opts), opts.jobs);
+    assemble(opts, results)
 }
 
 impl OneLevelData {
@@ -156,12 +173,28 @@ impl fmt::Display for OneLevelData {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario =
-    Scenario::new("onelevel", "beyond the paper: one-level banked organization", |opts| {
-        Box::new(run(opts))
-    });
+pub const SCENARIO: Scenario = Scenario::new(
+    "onelevel",
+    "beyond the paper: one-level banked organization",
+    plan,
+    |opts, results| Box::new(assemble(opts, results)),
+);
 
 impl ScenarioReport for OneLevelData {
+    fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "organization".into(),
+            "area_10k".into(),
+            "cycle_ns".into(),
+            "int_hmean".into(),
+            "fp_hmean".into(),
+        ]);
+        for r in &self.rows {
+            t.row_f64(&r.label, &[r.area_10k, r.cycle_ns, r.int_hmean, r.fp_hmean]);
+        }
+        t
+    }
+
     fn series(&self) -> Vec<(String, Vec<f64>)> {
         vec![
             ("cycle_ns".into(), self.rows.iter().map(|r| r.cycle_ns).collect()),

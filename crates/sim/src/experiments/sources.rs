@@ -5,7 +5,7 @@
 
 use super::{rfc_best, ExperimentOpts};
 use crate::scenario::{Scenario, ScenarioReport};
-use crate::{run_suite_jobs, RunSpec, TextTable};
+use crate::{run_suite_jobs, RunResult, RunSpec, TextTable};
 use std::fmt;
 
 /// Per-benchmark operand-source statistics.
@@ -34,15 +34,18 @@ pub struct SourcesData {
     pub rows: Vec<SourcesRow>,
 }
 
-/// Runs the operand-source breakdown on the best register file cache.
-pub fn run(opts: &ExperimentOpts) -> SourcesData {
+/// Plans the operand-source specs (both suites on the best register
+/// file cache).
+pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
     let (int, fp) = super::sweep_suites(opts);
-    let specs: Vec<RunSpec> = int
-        .iter()
+    int.iter()
         .chain(fp.iter())
         .map(|b| RunSpec::new(b, rfc_best()).insts(opts.insts).warmup(opts.warmup).seed(opts.seed))
-        .collect();
-    let results = run_suite_jobs(&specs, opts.jobs);
+        .collect()
+}
+
+/// Assembles the results of [`plan`] into the per-benchmark breakdown.
+pub fn assemble(_opts: &ExperimentOpts, results: Vec<RunResult>) -> SourcesData {
     let rows = results
         .iter()
         .map(|r| {
@@ -64,6 +67,12 @@ pub fn run(opts: &ExperimentOpts) -> SourcesData {
         })
         .collect();
     SourcesData { rows }
+}
+
+/// Runs the operand-source breakdown on the best register file cache.
+pub fn run(opts: &ExperimentOpts) -> SourcesData {
+    let results = run_suite_jobs(&plan(opts), opts.jobs);
+    assemble(opts, results)
 }
 
 impl SourcesData {
@@ -109,12 +118,38 @@ impl fmt::Display for SourcesData {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario =
-    Scenario::new("sources", "beyond the paper: operand sources and transfer traffic", |opts| {
-        Box::new(run(opts))
-    });
+pub const SCENARIO: Scenario = Scenario::new(
+    "sources",
+    "beyond the paper: operand sources and transfer traffic",
+    plan,
+    |opts, results| Box::new(assemble(opts, results)),
+);
 
 impl ScenarioReport for SourcesData {
+    fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "benchmark".into(),
+            "suite".into(),
+            "bypass_frac".into(),
+            "cached_frac".into(),
+            "demands_per_kilo".into(),
+            "prefetches_per_kilo".into(),
+            "evictions_per_kilo".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.bench.clone(),
+                if r.fp { "fp" } else { "int" }.into(),
+                format!("{:.3}", r.bypass_frac),
+                format!("{:.3}", r.cached_frac),
+                format!("{:.2}", r.demands_per_kilo),
+                format!("{:.2}", r.prefetches_per_kilo),
+                format!("{:.2}", r.evictions_per_kilo),
+            ]);
+        }
+        t
+    }
+
     fn series(&self) -> Vec<(String, Vec<f64>)> {
         vec![
             ("bypass_frac".into(), self.rows.iter().map(|r| r.bypass_frac).collect()),

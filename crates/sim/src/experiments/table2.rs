@@ -2,7 +2,9 @@
 //! architecture, with the area and cycle time our calibrated model
 //! produces next to the paper's reported values.
 
+use super::ExperimentOpts;
 use crate::scenario::{Scenario, ScenarioReport};
+use crate::{RunSpec, TextTable};
 use rfcache_area::{table2_configs, Table2Row};
 use std::fmt;
 
@@ -16,6 +18,12 @@ pub struct Table2Data {
 /// Evaluates Table 2 with the analytical model (no simulation involved).
 pub fn run() -> Table2Data {
     Table2Data { rows: table2_configs().map(Table2Row::evaluate).to_vec() }
+}
+
+/// Plans the Table 2 "simulations": none — the area model is purely
+/// analytical, so the campaign scheduler has nothing to queue.
+pub fn plan(_opts: &ExperimentOpts) -> Vec<RunSpec> {
+    Vec::new()
 }
 
 impl Table2Data {
@@ -48,15 +56,40 @@ impl fmt::Display for Table2Data {
     }
 }
 
-/// Registry entry for the scenario engine (`run` ignores the options:
-/// the area model has no simulation inputs).
+/// Registry entry for the scenario engine (the assembler ignores the
+/// options and results: the area model has no simulation inputs).
 pub const SCENARIO: Scenario = Scenario::new(
     "table2",
     "C1-C4 port configurations: area and cycle time vs the paper",
-    |_opts| Box::new(run()),
+    plan,
+    |_opts, _results| Box::new(run()),
 );
 
 impl ScenarioReport for Table2Data {
+    fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "config".into(),
+            "single_area_10k".into(),
+            "single_cycle_1s_ns".into(),
+            "single_cycle_2s_ns".into(),
+            "rfc_area_10k".into(),
+            "rfc_cycle_ns".into(),
+        ]);
+        for r in &self.rows {
+            t.row_f64(
+                r.config.name,
+                &[
+                    r.model_single_area,
+                    r.model_single_cycle_1s,
+                    r.model_single_cycle_2s,
+                    r.model_rfc_area,
+                    r.model_rfc_cycle,
+                ],
+            );
+        }
+        t
+    }
+
     fn series(&self) -> Vec<(String, Vec<f64>)> {
         vec![
             ("single_area_10k".into(), self.rows.iter().map(|r| r.model_single_area).collect()),

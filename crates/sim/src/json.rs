@@ -1,0 +1,125 @@
+//! JSON export for experiment data, the machine-readable sibling of the
+//! CSV writer in [`crate::write_csv`].
+//!
+//! Every [`TextTable`](crate::TextTable) renders to a small JSON object
+//! (`{"header": [...], "rows": [[...], ...]}`); the experiment binaries
+//! use [`write_json`] to drop one file per scenario when `--json DIR` is
+//! passed. The encoder is hand-rolled (the build environment is offline,
+//! so no serde) but emits strictly valid JSON: every cell is a JSON
+//! string with full escaping.
+
+use crate::table::TextTable;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn string_array(cells: &[String]) -> String {
+    let quoted: Vec<String> = cells.iter().map(|c| format!("\"{}\"", escape(c))).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+impl TextTable {
+    /// Renders the table as a JSON object with a `header` string array
+    /// and a `rows` array of string arrays (cells keep the formatting
+    /// the table was built with).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"header\": {},", string_array(self.header_cells()));
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.data_rows().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&string_array(row));
+        }
+        if !self.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Writes `table` as `<dir>/<name>.json`, creating `dir` if necessary.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+///
+/// # Examples
+///
+/// ```no_run
+/// use rfcache_sim::{write_json, TextTable};
+///
+/// let mut t = TextTable::new(vec!["bench".into(), "ipc".into()]);
+/// t.row_f64("li", &[2.5]);
+/// write_json("results", "fig6", &t)?;
+/// # std::io::Result::Ok(())
+/// ```
+pub fn write_json<P: AsRef<Path>>(dir: P, name: &str, table: &TextTable) -> io::Result<()> {
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.as_ref().join(format!("{name}.json"));
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(table.to_json().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows_with_escaping() {
+        let mut t = TextTable::new(vec!["k".into(), "v".into()]);
+        t.row(vec!["quote\"back\\slash".into(), "line\nbreak\r\ttab".into()]);
+        t.row(vec!["plain".into(), "1.25".into()]);
+        let json = t.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"header\": [\"k\", \"v\"],"));
+        assert!(json.contains("[\"quote\\\"back\\\\slash\", \"line\\nbreak\\r\\ttab\"]"));
+        assert!(json.contains("[\"plain\", \"1.25\"]"));
+    }
+
+    #[test]
+    fn empty_table_renders_empty_rows_array() {
+        let t = TextTable::new(vec!["only".into()]);
+        assert_eq!(t.to_json(), "{\n  \"header\": [\"only\"],\n  \"rows\": []\n}\n");
+    }
+
+    #[test]
+    fn control_characters_use_unicode_escapes() {
+        assert_eq!(escape("a\u{1}b"), "a\\u0001b");
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let dir = std::env::temp_dir().join("rfcache_json_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = TextTable::new(vec!["k".into()]);
+        t.row(vec!["v".into()]);
+        write_json(&dir, "t", &t).unwrap();
+        let content = std::fs::read_to_string(dir.join("t.json")).unwrap();
+        assert!(content.contains("\"rows\": [\n    [\"v\"]\n  ]"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

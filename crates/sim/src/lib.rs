@@ -22,16 +22,20 @@
 
 mod csv;
 pub mod experiments;
+mod json;
 mod means;
 mod run;
 pub mod scenario;
 mod table;
 
 pub use csv::write_csv;
+pub use json::write_json;
 pub use means::{geometric_mean, harmonic_mean};
 pub use rfcache_area::{pareto_frontier, ParetoPoint};
-pub use run::{par_indexed, run_suite, run_suite_jobs, RunResult, RunSpec};
-pub use scenario::{Scenario, ScenarioReport};
+pub use run::{
+    par_indexed, run_suite, run_suite_jobs, RunResult, RunSpec, DEFAULT_INSTS, DEFAULT_WARMUP,
+};
+pub use scenario::{run_campaign, run_campaign_planned, Scenario, ScenarioReport};
 pub use table::TextTable;
 
 pub use rfcache_area as area;

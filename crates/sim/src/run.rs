@@ -5,6 +5,17 @@ use rfcache_pipeline::{Cpu, PipelineConfig, SimMetrics};
 use rfcache_workload::{BenchProfile, TraceGenerator};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Default measured instructions per simulation (the paper simulates
+/// 100M; the synthetic traces converge well before 200k).
+pub const DEFAULT_INSTS: u64 = 200_000;
+
+/// Default warmup instructions (predictor/cache training, excluded from
+/// the measured counters — the paper's "skipping the initialization").
+/// Shared by ad-hoc [`RunSpec`]s, the experiment sweeps
+/// ([`ExperimentOpts`](crate::experiments::ExperimentOpts)) and the CLIs,
+/// so every path warms up identically.
+pub const DEFAULT_WARMUP: u64 = 60_000;
+
 /// Everything needed to simulate one benchmark on one register file
 /// architecture.
 #[derive(Debug, Clone)]
@@ -26,7 +37,8 @@ pub struct RunSpec {
 
 impl RunSpec {
     /// Creates a spec for the named benchmark with default pipeline,
-    /// 200k measured instructions and 50k warmup.
+    /// [`DEFAULT_INSTS`] measured instructions and [`DEFAULT_WARMUP`]
+    /// warmup.
     ///
     /// # Panics
     ///
@@ -34,14 +46,7 @@ impl RunSpec {
     pub fn new(bench: &str, rf: RegFileConfig) -> Self {
         let profile =
             BenchProfile::by_name(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
-        RunSpec {
-            profile,
-            rf,
-            pipeline: PipelineConfig::default(),
-            insts: 200_000,
-            warmup: 50_000,
-            seed: 42,
-        }
+        Self::from_profile(profile, rf)
     }
 
     /// Creates a spec from a profile value.
@@ -50,8 +55,8 @@ impl RunSpec {
             profile,
             rf,
             pipeline: PipelineConfig::default(),
-            insts: 200_000,
-            warmup: 50_000,
+            insts: DEFAULT_INSTS,
+            warmup: DEFAULT_WARMUP,
             seed: 42,
         }
     }
@@ -206,6 +211,18 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.metrics.cycles, y.metrics.cycles);
         }
+    }
+
+    #[test]
+    fn default_warmup_and_insts_are_shared_with_experiment_opts() {
+        // Regression: ad-hoc specs used to warm up 50k while the
+        // experiment sweeps (and the CLI docs) said 60k.
+        let spec = RunSpec::new("li", one_cycle());
+        let opts = crate::experiments::ExperimentOpts::default();
+        assert_eq!(spec.warmup, DEFAULT_WARMUP);
+        assert_eq!(spec.warmup, opts.warmup);
+        assert_eq!(spec.insts, DEFAULT_INSTS);
+        assert_eq!(spec.insts, opts.insts);
     }
 
     #[test]

@@ -1,12 +1,21 @@
 //! The unified scenario engine.
 //!
 //! Every experiment of the paper's evaluation registers here as a
-//! [`Scenario`]: a name, a one-line description, and a runner from
-//! [`ExperimentOpts`] to a boxed [`ScenarioReport`]. Frontends (the
+//! [`Scenario`]: a name, a one-line description, and a two-phase runner —
+//! a **planner** that expands [`ExperimentOpts`] into the experiment's
+//! flat [`RunSpec`] list, and an **assembler** that folds the matching
+//! [`RunResult`]s back into a boxed [`ScenarioReport`]. Frontends (the
 //! `experiments` CLI, the smoke tests, future services) enumerate and
 //! dispatch through [`registry`] instead of hard-coding the experiment
 //! list, so adding an experiment means adding one module plus one
 //! registry line — every frontend picks it up automatically.
+//!
+//! The split matters for scheduling: [`Scenario::run`] plans, simulates
+//! and assembles one scenario, while [`run_campaign`] flattens the specs
+//! of *many* scenarios into a single work queue so the worker pool stays
+//! busy across scenario boundaries (no idle tail at the end of each
+//! sweep). Results are routed back to their scenario by index, so both
+//! paths produce byte-identical reports.
 //!
 //! # Examples
 //!
@@ -23,16 +32,60 @@ use crate::experiments::{
     ablation, fig1, fig2, fig3, fig5, fig6, fig7, fig8, fig9, onelevel, readstats, sources, table2,
     ExperimentOpts,
 };
+use crate::run::{par_indexed, run_suite_jobs, RunResult, RunSpec};
+use crate::table::TextTable;
 use std::fmt;
 
 /// What running a scenario yields: something renderable (the paper's
-/// table/figure shape via `Display`) and introspectable (named numeric
-/// series for tests, CSV export, and downstream tooling).
+/// table/figure shape via `Display`), introspectable (named numeric
+/// series for tests and downstream tooling), and exportable (a
+/// [`TextTable`] that CSV/JSON serialization consumes).
 pub trait ScenarioReport: fmt::Display + Send {
     /// The named numeric series underlying the figure or table. Every
     /// report exposes at least one non-empty series.
     fn series(&self) -> Vec<(String, Vec<f64>)>;
+
+    /// The report as a structured table for export (`write_csv` /
+    /// `write_json`).
+    ///
+    /// The default renders [`series`](Self::series) directly: one column
+    /// per series (plus a leading index column) when all series have the
+    /// same length, or long `(series, index, value)` rows otherwise.
+    /// Reports with a richer natural shape (benchmark or variant labels)
+    /// override this.
+    fn to_table(&self) -> TextTable {
+        let series = self.series();
+        let uniform = series
+            .first()
+            .is_some_and(|(_, first)| series.iter().all(|(_, v)| v.len() == first.len()));
+        if uniform {
+            let mut header = vec!["index".to_string()];
+            header.extend(series.iter().map(|(name, _)| name.clone()));
+            let mut t = TextTable::new(header);
+            for i in 0..series[0].1.len() {
+                let mut row = vec![i.to_string()];
+                row.extend(series.iter().map(|(_, v)| v[i].to_string()));
+                t.row(row);
+            }
+            t
+        } else {
+            let mut t = TextTable::new(vec!["series".into(), "index".into(), "value".into()]);
+            for (name, values) in &series {
+                for (i, v) in values.iter().enumerate() {
+                    t.row(vec![name.clone(), i.to_string(), v.to_string()]);
+                }
+            }
+            t
+        }
+    }
 }
+
+/// Expands the options into the scenario's simulation specs.
+pub type Planner = fn(&ExperimentOpts) -> Vec<RunSpec>;
+
+/// Folds the results of the planned specs (same options, same order)
+/// into the scenario's report.
+pub type Assembler = fn(&ExperimentOpts, Vec<RunResult>) -> Box<dyn ScenarioReport>;
 
 /// One registered experiment.
 pub struct Scenario {
@@ -41,7 +94,8 @@ pub struct Scenario {
     pub name: &'static str,
     /// One-line description shown by `experiments --list`.
     pub description: &'static str,
-    runner: fn(&ExperimentOpts) -> Box<dyn ScenarioReport>,
+    planner: Planner,
+    assembler: Assembler,
 }
 
 impl Scenario {
@@ -49,14 +103,34 @@ impl Scenario {
     pub const fn new(
         name: &'static str,
         description: &'static str,
-        runner: fn(&ExperimentOpts) -> Box<dyn ScenarioReport>,
+        planner: Planner,
+        assembler: Assembler,
     ) -> Self {
-        Scenario { name, description, runner }
+        Scenario { name, description, planner, assembler }
     }
 
-    /// Runs the scenario.
+    /// The scenario's simulation specs for the given options, in the
+    /// order [`assemble`](Self::assemble) expects the results back.
+    pub fn plan(&self, opts: &ExperimentOpts) -> Vec<RunSpec> {
+        (self.planner)(opts)
+    }
+
+    /// Folds the results of [`plan`](Self::plan) (run with the *same*
+    /// options, results in spec order) into the scenario's report.
+    pub fn assemble(
+        &self,
+        opts: &ExperimentOpts,
+        results: Vec<RunResult>,
+    ) -> Box<dyn ScenarioReport> {
+        (self.assembler)(opts, results)
+    }
+
+    /// Runs the scenario on its own: plan, simulate (parallel per
+    /// `opts.jobs`), assemble.
     pub fn run(&self, opts: &ExperimentOpts) -> Box<dyn ScenarioReport> {
-        (self.runner)(opts)
+        let specs = self.plan(opts);
+        let results = run_suite_jobs(&specs, opts.jobs);
+        self.assemble(opts, results)
     }
 }
 
@@ -64,6 +138,52 @@ impl fmt::Debug for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Scenario").field("name", &self.name).finish_non_exhaustive()
     }
+}
+
+/// Runs many scenarios through **one** global work queue.
+///
+/// All scenarios' specs are flattened into a single [`par_indexed`]
+/// batch, so the tail of one scenario's sweep overlaps the head of the
+/// next and the worker pool stays saturated across scenario boundaries.
+/// Each result is routed back to its scenario by index, so the returned
+/// reports (in input order) are byte-identical to what the same
+/// [`Scenario::run`] calls would produce sequentially.
+pub fn run_campaign(
+    scenarios: &[&Scenario],
+    opts: &ExperimentOpts,
+) -> Vec<Box<dyn ScenarioReport>> {
+    let plans = scenarios.iter().map(|s| s.plan(opts)).collect();
+    run_campaign_planned(scenarios, opts, plans)
+}
+
+/// [`run_campaign`] over pre-computed plans — one `Vec<RunSpec>` per
+/// scenario, as returned by [`Scenario::plan`] with the *same* `opts` —
+/// for callers that already planned (e.g. to size the campaign) and
+/// should not pay for planning twice.
+///
+/// # Panics
+///
+/// Panics if `plans` and `scenarios` differ in length.
+pub fn run_campaign_planned(
+    scenarios: &[&Scenario],
+    opts: &ExperimentOpts,
+    plans: Vec<Vec<RunSpec>>,
+) -> Vec<Box<dyn ScenarioReport>> {
+    assert_eq!(plans.len(), scenarios.len(), "one plan per scenario");
+    let flat: Vec<&RunSpec> = plans.iter().flatten().collect();
+    let results = par_indexed(flat.len(), opts.jobs, |i| flat[i].run());
+    let mut results = results.into_iter();
+    scenarios
+        .iter()
+        .zip(&plans)
+        .map(|(s, plan)| s.assemble(opts, results.by_ref().take(plan.len()).collect()))
+        .collect()
+}
+
+/// Total number of simulation specs the scenarios plan under `opts`
+/// (what [`run_campaign`] will schedule).
+pub fn campaign_size(scenarios: &[&Scenario], opts: &ExperimentOpts) -> usize {
+    scenarios.iter().map(|s| s.plan(opts).len()).sum()
 }
 
 /// All scenarios, in the canonical run order of `experiments all`.
@@ -115,5 +235,40 @@ mod tests {
         for s in registry() {
             assert!(!s.description.is_empty(), "{} lacks a description", s.name);
         }
+    }
+
+    #[test]
+    fn plan_sizes_match_what_run_consumes() {
+        let opts = ExperimentOpts::smoke();
+        let scenarios: Vec<&Scenario> = vec![find("fig6").unwrap(), find("table2").unwrap()];
+        assert_eq!(
+            campaign_size(&scenarios, &opts),
+            scenarios.iter().map(|s| s.plan(&opts).len()).sum::<usize>()
+        );
+        // table2 is purely analytical: it plans zero simulations.
+        assert!(find("table2").unwrap().plan(&opts).is_empty());
+        assert!(!find("fig6").unwrap().plan(&opts).is_empty());
+    }
+
+    struct RaggedReport;
+
+    impl fmt::Display for RaggedReport {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "ragged")
+        }
+    }
+
+    impl ScenarioReport for RaggedReport {
+        fn series(&self) -> Vec<(String, Vec<f64>)> {
+            vec![("a".into(), vec![1.0, 2.0]), ("b".into(), vec![3.0])]
+        }
+    }
+
+    #[test]
+    fn default_table_falls_back_to_long_format_for_ragged_series() {
+        let t = RaggedReport.to_table();
+        assert_eq!(t.header_cells(), &["series", "index", "value"]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.data_rows()[2], vec!["b".to_string(), "0".into(), "3".into()]);
     }
 }

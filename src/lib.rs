@@ -31,7 +31,8 @@ pub mod prelude {
     pub use rfcache_pipeline::{Cpu, PipelineConfig, SimMetrics};
     pub use rfcache_sim::experiments::ExperimentOpts;
     pub use rfcache_sim::{
-        harmonic_mean, run_suite, run_suite_jobs, RunResult, RunSpec, Scenario, ScenarioReport,
+        harmonic_mean, run_campaign, run_suite, run_suite_jobs, RunResult, RunSpec, Scenario,
+        ScenarioReport,
     };
     pub use rfcache_workload::{suite_all, suite_fp, suite_int, BenchProfile, TraceGenerator};
 }
