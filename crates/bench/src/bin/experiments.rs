@@ -4,7 +4,9 @@
 //! ```text
 //! experiments --list
 //! experiments <name>... | all [--insts N] [--warmup N] [--seed N] [--quick] [--jobs N]
-//!                             [--csv DIR] [--json DIR]
+//!                             [--csv DIR] [--json DIR] [--workers N]
+//! experiments <name>... | all [opts] --shard I/N [--out FILE]
+//! experiments merge FILE... [--csv DIR] [--json DIR]
 //! ```
 //!
 //! `--list` enumerates the registered scenarios; `all` runs every one in
@@ -18,18 +20,42 @@
 //! `--csv DIR` / `--json DIR` additionally write each scenario's report
 //! table as `DIR/<name>.csv` / `DIR/<name>.json` for plotting.
 //!
+//! **Sharded campaigns.** `--shard I/N` turns the invocation into shard
+//! worker `I` of `N`: the campaign plan is derived exactly as usual, but
+//! only indices `i % N == I` are simulated, and instead of reports the
+//! worker emits a JSON-lines shard file (campaign header + one record
+//! per completed run, each stamped with its spec fingerprint) to `--out
+//! FILE` or stdout. `merge` folds the shard files of all `N` workers
+//! back through each scenario's assembler — after verifying that the
+//! headers describe one campaign, every plan index is covered exactly
+//! once, and every fingerprint matches the re-derived plan — producing
+//! reports and exports byte-identical to the single-process run.
+//! `--workers N` does the whole round trip in one command by spawning
+//! `N` shard subprocesses of this binary (the `Subprocess` executor).
+//!
+//! All diagnostics (warnings, progress, errors) go to stderr; stdout
+//! carries only reports or, in shard-worker mode, shard records.
+//!
 //! Defaults: 200k measured instructions per benchmark after 60k warmup
 //! (`rfcache_sim::DEFAULT_INSTS` / `DEFAULT_WARMUP`; the paper simulates
 //! 100M after skipping initialization).
 
+use rfcache_sim::executor::{assemble_shard_results, read_shard_file, run_shard, Subprocess};
 use rfcache_sim::experiments::ExperimentOpts;
-use rfcache_sim::{run_campaign_planned, scenario, write_csv, write_json};
+use rfcache_sim::metrics_codec::CampaignHeader;
+use rfcache_sim::{
+    run_campaign_from_parts, run_campaign_planned, run_campaign_planned_with, scenario, write_csv,
+    write_json, RunSpec, ScenarioReport,
+};
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
 const USAGE: &str = "usage: experiments --list
        experiments <name>... | all [--insts N] [--warmup N] [--seed N] [--quick] [--jobs N]
-                                   [--csv DIR] [--json DIR]
+                                   [--csv DIR] [--json DIR] [--workers N]
+       experiments <name>... | all [opts] --shard I/N [--out FILE]
+       experiments merge FILE... [--csv DIR] [--json DIR]
 run `experiments --list` for the registered scenario names";
 
 fn main() {
@@ -42,10 +68,20 @@ fn main() {
         list();
         return;
     }
+    if args[0] == "merge" {
+        merge_main(&args[1..]);
+    } else {
+        run_main(&args);
+    }
+}
 
+fn run_main(args: &[String]) {
     let mut opts = ExperimentOpts::default();
     let mut csv_dir: Option<PathBuf> = None;
     let mut json_dir: Option<PathBuf> = None;
+    let mut shard: Option<(usize, usize)> = None;
+    let mut out_file: Option<PathBuf> = None;
+    let mut workers: Option<usize> = None;
     let mut names: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -55,11 +91,19 @@ fn main() {
             "--seed" => opts.seed = parse_num("--seed", it.next()),
             "--jobs" => opts.jobs = parse_num("--jobs", it.next()) as usize,
             "--quick" => opts.quick = true,
-            "--csv" => csv_dir = Some(parse_dir("--csv", it.next())),
-            "--json" => json_dir = Some(parse_dir("--json", it.next())),
+            "--csv" => csv_dir = Some(parse_path("--csv", it.next())),
+            "--json" => json_dir = Some(parse_path("--json", it.next())),
+            "--shard" => shard = Some(parse_shard(it.next())),
+            "--out" => out_file = Some(parse_path("--out", it.next())),
+            "--workers" => {
+                let n = parse_num("--workers", it.next()) as usize;
+                if n == 0 {
+                    usage_error("invalid value 0 for --workers: worker count must be positive");
+                }
+                workers = Some(n);
+            }
             flag if flag.starts_with("--") => {
-                eprintln!("unknown option {flag}\n{USAGE}");
-                std::process::exit(2);
+                usage_error(&format!("unknown option {flag}"));
             }
             name => {
                 if names.contains(&name) {
@@ -70,55 +114,239 @@ fn main() {
             }
         }
     }
-
-    let selected: Vec<&'static scenario::Scenario> = if names.contains(&"all") {
-        if names.len() > 1 {
-            eprintln!("`all` cannot be combined with scenario names\n{USAGE}");
-            std::process::exit(2);
-        }
-        scenario::registry().iter().collect()
-    } else {
-        names
-            .iter()
-            .map(|name| {
-                scenario::find(name).unwrap_or_else(|| {
-                    eprintln!("unknown experiment {name}\n{USAGE}");
-                    std::process::exit(2);
-                })
-            })
-            .collect()
-    };
-    if selected.is_empty() {
-        eprintln!("no experiment selected\n{USAGE}");
-        std::process::exit(2);
+    if out_file.is_some() && shard.is_none() {
+        usage_error("--out requires --shard");
     }
+    if shard.is_some() && (csv_dir.is_some() || json_dir.is_some() || workers.is_some()) {
+        usage_error("--shard emits a shard file, not reports: drop --csv/--json/--workers");
+    }
+
+    let selected = select_scenarios(&names);
 
     // One flat work queue across every selected scenario: the tail of
     // one sweep overlaps the head of the next.
     let plans: Vec<_> = selected.iter().map(|s| s.plan(&opts)).collect();
     let runs: usize = plans.iter().map(Vec::len).sum();
     let start = Instant::now();
-    let reports = run_campaign_planned(&selected, &opts, plans);
-    for (s, report) in selected.iter().zip(&reports) {
+
+    if let Some((index, count)) = shard {
+        run_worker(&selected, &opts, &plans, index, count, out_file);
+        eprintln!(
+            "[shard {index}/{count}: {} of {runs} simulation(s), {:.1}s]",
+            (0..runs).filter(|i| i % count == index).count(),
+            start.elapsed().as_secs_f64()
+        );
+        return;
+    }
+
+    let reports = match workers {
+        Some(count) => {
+            let exe = std::env::current_exe()
+                .unwrap_or_else(|e| die(&format!("cannot locate this executable: {e}")));
+            let scratch =
+                std::env::temp_dir().join(format!("rfcache_shards_{}", std::process::id()));
+            // Split the thread budget across the workers: N shards each
+            // running a full per-core pool would oversubscribe the CPU.
+            let total_jobs = if opts.jobs == 0 {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            } else {
+                opts.jobs
+            };
+            let worker_opts = ExperimentOpts { jobs: (total_jobs / count).max(1), ..opts };
+            let executor =
+                Subprocess::new(exe, campaign_args(&selected, &worker_opts), count, &scratch);
+            let reports = run_campaign_planned_with(&executor, &selected, &opts, plans)
+                .unwrap_or_else(|e| die(&format!("sharded campaign failed: {e}")));
+            let _ = std::fs::remove_dir_all(&scratch);
+            reports
+        }
+        None => run_campaign_planned(&selected, &opts, plans),
+    };
+    emit_reports(&selected, &reports, csv_dir.as_deref(), json_dir.as_deref());
+    eprintln!(
+        "[campaign: {} scenario(s), {} simulation(s), {}, {:.1}s]",
+        selected.len(),
+        runs,
+        workers.map_or("in-process".to_string(), |n| format!("{n} subprocess shard(s)")),
+        start.elapsed().as_secs_f64()
+    );
+}
+
+/// Executes one shard of the campaign and writes the shard file.
+fn run_worker(
+    selected: &[&'static scenario::Scenario],
+    opts: &ExperimentOpts,
+    plans: &[Vec<RunSpec>],
+    index: usize,
+    count: usize,
+    out_file: Option<PathBuf>,
+) {
+    let flat: Vec<&RunSpec> = plans.iter().flatten().collect();
+    let names = selected.iter().map(|s| s.name.to_string()).collect();
+    let header = CampaignHeader::new(names, opts, index, count, flat.len());
+    let result = match &out_file {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", path.display())));
+            let mut out = std::io::BufWriter::new(file);
+            run_shard(&header, &flat, opts.jobs, &mut out).and_then(|()| out.flush())
+        }
+        None => run_shard(&header, &flat, opts.jobs, &mut std::io::stdout().lock()),
+    };
+    result.unwrap_or_else(|e| die(&format!("cannot write shard records: {e}")));
+}
+
+/// Merges shard files back into reports and exports.
+fn merge_main(args: &[String]) {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut json_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--csv" => csv_dir = Some(parse_path("--csv", it.next())),
+            "--json" => json_dir = Some(parse_path("--json", it.next())),
+            flag if flag.starts_with("--") => usage_error(&format!("unknown option {flag}")),
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if files.is_empty() {
+        usage_error("merge needs at least one shard file");
+    }
+
+    let start = Instant::now();
+    let mut headers: Vec<CampaignHeader> = Vec::new();
+    let mut records = Vec::new();
+    for path in &files {
+        let (header, shard_records) = read_shard_file(path).unwrap_or_else(|e| die(&e.to_string()));
+        if let Some(first) = headers.first() {
+            if !header.same_campaign(first) {
+                die(&format!(
+                    "{} and {} come from different campaigns (scenarios/options/shard count \
+                     disagree); re-run the workers with identical arguments",
+                    files[0].display(),
+                    path.display()
+                ));
+            }
+        }
+        if let Some(dup) = headers.iter().position(|h| h.shard == header.shard) {
+            die(&format!(
+                "{} and {} both claim shard {}/{}",
+                files[dup].display(),
+                path.display(),
+                header.shard,
+                header.of
+            ));
+        }
+        headers.push(header);
+        records.extend(shard_records);
+    }
+    let campaign = &headers[0];
+    if headers.len() != campaign.of {
+        die(&format!(
+            "campaign was sharded {} ways but {} shard file(s) were given",
+            campaign.of,
+            headers.len()
+        ));
+    }
+
+    // Re-derive the plan the workers executed and verify it matches.
+    let opts = campaign.opts();
+    let selected: Vec<&'static scenario::Scenario> = campaign
+        .scenarios
+        .iter()
+        .map(|name| {
+            scenario::find(name).unwrap_or_else(|| {
+                die(&format!(
+                    "shard files reference unknown scenario {name} (written by a different \
+                     binary version?)"
+                ))
+            })
+        })
+        .collect();
+    let plans: Vec<_> = selected.iter().map(|s| s.plan(&opts)).collect();
+    let flat: Vec<&RunSpec> = plans.iter().flatten().collect();
+    if flat.len() != campaign.runs {
+        die(&format!(
+            "shard headers describe a {}-run campaign but this binary plans {} runs \
+             (plan drift)",
+            campaign.runs,
+            flat.len()
+        ));
+    }
+    let results = assemble_shard_results(&flat, records).unwrap_or_else(|e| die(&e.to_string()));
+    let reports = run_campaign_from_parts(&selected, &opts, &plans, results);
+    emit_reports(&selected, &reports, csv_dir.as_deref(), json_dir.as_deref());
+    eprintln!(
+        "[merge: {} scenario(s), {} simulation(s) from {} shard(s), {:.1}s]",
+        selected.len(),
+        flat.len(),
+        headers.len(),
+        start.elapsed().as_secs_f64()
+    );
+}
+
+/// Resolves scenario names (or `all`) against the registry.
+fn select_scenarios(names: &[&str]) -> Vec<&'static scenario::Scenario> {
+    let selected: Vec<&'static scenario::Scenario> = if names.contains(&"all") {
+        if names.len() > 1 {
+            usage_error("`all` cannot be combined with scenario names");
+        }
+        scenario::registry().iter().collect()
+    } else {
+        names
+            .iter()
+            .map(|name| {
+                scenario::find(name)
+                    .unwrap_or_else(|| usage_error(&format!("unknown experiment {name}")))
+            })
+            .collect()
+    };
+    if selected.is_empty() {
+        usage_error("no experiment selected");
+    }
+    selected
+}
+
+/// Prints each report to stdout and writes the requested exports.
+fn emit_reports(
+    selected: &[&'static scenario::Scenario],
+    reports: &[Box<dyn ScenarioReport>],
+    csv_dir: Option<&std::path::Path>,
+    json_dir: Option<&std::path::Path>,
+) {
+    for (s, report) in selected.iter().zip(reports) {
         println!("{report}");
         let table = report.to_table();
-        if let Some(dir) = &csv_dir {
+        if let Some(dir) = csv_dir {
             write_csv(dir, s.name, &table).unwrap_or_else(|e| {
                 die(&format!("cannot write {}/{}.csv: {e}", dir.display(), s.name))
             });
         }
-        if let Some(dir) = &json_dir {
+        if let Some(dir) = json_dir {
             write_json(dir, s.name, &table).unwrap_or_else(|e| {
                 die(&format!("cannot write {}/{}.json: {e}", dir.display(), s.name))
             });
         }
     }
-    eprintln!(
-        "[campaign: {} scenario(s), {} simulation(s), {:.1}s]",
-        selected.len(),
-        runs,
-        start.elapsed().as_secs_f64()
-    );
+}
+
+/// The arguments a shard worker needs to re-derive this campaign's plan.
+fn campaign_args(selected: &[&'static scenario::Scenario], opts: &ExperimentOpts) -> Vec<String> {
+    let mut args: Vec<String> = selected.iter().map(|s| s.name.to_string()).collect();
+    for (flag, value) in [
+        ("--insts", opts.insts),
+        ("--warmup", opts.warmup),
+        ("--seed", opts.seed),
+        ("--jobs", opts.jobs as u64),
+    ] {
+        args.push(flag.to_string());
+        args.push(value.to_string());
+    }
+    if opts.quick {
+        args.push("--quick".to_string());
+    }
+    args
 }
 
 fn list() {
@@ -133,25 +361,48 @@ fn die(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
 fn parse_num(flag: &str, arg: Option<&String>) -> u64 {
     let Some(arg) = arg else {
-        eprintln!("missing value for {flag}\n{USAGE}");
-        std::process::exit(2);
+        usage_error(&format!("missing value for {flag}"));
     };
     arg.replace('_', "").parse().unwrap_or_else(|_| {
-        eprintln!("invalid value {arg} for {flag}: expected a number\n{USAGE}");
-        std::process::exit(2);
+        usage_error(&format!("invalid value {arg} for {flag}: expected a number"));
     })
 }
 
-fn parse_dir(flag: &str, arg: Option<&String>) -> PathBuf {
-    // A following `--flag` is not a directory: without this check,
+fn parse_path(flag: &str, arg: Option<&String>) -> PathBuf {
+    // A following `--flag` is not a path: without this check,
     // `--csv --quick` would silently swallow the next flag as its value.
     match arg {
         Some(arg) if !arg.starts_with("--") => PathBuf::from(arg),
-        _ => {
-            eprintln!("missing value for {flag}\n{USAGE}");
-            std::process::exit(2);
-        }
+        _ => usage_error(&format!("missing value for {flag}")),
     }
+}
+
+/// Parses and validates the `I/N` argument of `--shard`.
+fn parse_shard(arg: Option<&String>) -> (usize, usize) {
+    let Some(arg) = arg else {
+        usage_error("missing value for --shard");
+    };
+    let invalid = |why: &str| -> ! {
+        usage_error(&format!("invalid value {arg} for --shard: {why}"));
+    };
+    let Some((index, count)) = arg.split_once('/') else {
+        invalid("expected I/N (e.g. 0/2)");
+    };
+    let (Ok(index), Ok(count)) = (index.parse::<usize>(), count.parse::<usize>()) else {
+        invalid("expected I/N (e.g. 0/2)");
+    };
+    if count == 0 {
+        invalid("shard count must be positive");
+    }
+    if index >= count {
+        invalid(&format!("shard index {index} must be less than shard count {count}"));
+    }
+    (index, count)
 }

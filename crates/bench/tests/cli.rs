@@ -71,6 +71,80 @@ fn reports_which_flag_is_missing_its_value() {
 }
 
 #[test]
+fn reports_malformed_shard_slices_with_the_flag_name() {
+    // I ≥ N, N = 0, non-numeric, missing separator, missing value: all
+    // must name --shard in the PR 2 flag-error style and exit 2.
+    for (arg, detail) in [
+        ("2/2", "shard index 2 must be less than shard count 2"),
+        ("5/4", "shard index 5 must be less than shard count 4"),
+        ("0/0", "shard count must be positive"),
+        ("x/2", "expected I/N"),
+        ("1", "expected I/N"),
+        ("1/2/3", "expected I/N"),
+    ] {
+        let out = experiments().args(["fig6", "--shard", arg]).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "--shard {arg}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("invalid value {arg} for --shard: {detail}")),
+            "--shard {arg} stderr: {stderr}"
+        );
+    }
+
+    let out = experiments().args(["fig6", "--shard"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing value for --shard"), "stderr: {stderr}");
+
+    // --out is a shard-worker flag.
+    let out = experiments().args(["fig6", "--out", "x.jsonl"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--out requires --shard"), "stderr: {stderr}");
+
+    // merge with no files names the problem.
+    let out = experiments().args(["merge"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("merge needs at least one shard file"), "stderr: {stderr}");
+}
+
+#[test]
+fn diagnostics_stay_on_stderr_and_stdout_stays_machine_readable() {
+    // Duplicate-name warning and the campaign summary are diagnostics:
+    // stdout must carry nothing but the reports.
+    let out = experiments()
+        .args(["table2", "table2", "--quick", "--insts", "1500", "--warmup", "300"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warning: duplicate scenario name table2"), "stderr: {stderr}");
+    assert!(stderr.contains("[campaign:"), "stderr: {stderr}");
+    assert!(!stdout.contains("warning"), "stdout: {stdout}");
+    assert!(!stdout.contains("[campaign"), "stdout: {stdout}");
+    assert!(stdout.contains("Table 2"), "stdout: {stdout}");
+}
+
+#[test]
+fn seed_flag_selects_the_workload_stream() {
+    let run = |seed: &str| {
+        let out = experiments()
+            .args(["readstats", "--quick", "--insts", "1500", "--warmup", "300", "--seed", seed])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let a1 = run("1");
+    let a2 = run("1");
+    let b = run("99");
+    assert_eq!(a1, a2, "equal seeds must reproduce the report exactly");
+    assert_ne!(a1, b, "the seed must be threaded into every planned RunSpec");
+}
+
+#[test]
 fn rejects_unknown_scenarios_and_empty_selection() {
     let out = experiments().args(["fig4"]).output().expect("binary runs");
     assert!(!out.status.success());

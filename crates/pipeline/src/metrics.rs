@@ -53,6 +53,23 @@ impl OccupancyHistogram {
         self.counts.len().saturating_sub(1)
     }
 
+    /// The raw per-occupancy cycle counts (`counts()[n]` = cycles that
+    /// observed exactly `n` registers). Together with
+    /// [`samples`](Self::samples) this is the histogram's full state,
+    /// which the shard-file metrics codec serializes.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuilds a histogram from its serialized parts, the inverse of
+    /// [`counts`](Self::counts) + [`samples`](Self::samples). A histogram
+    /// built by [`record`](Self::record)/[`merge`](Self::merge) always
+    /// keeps `samples` equal to the sum of `counts`; decoders pass both
+    /// through so a round trip is exact.
+    pub fn from_parts(counts: Vec<u64>, samples: u64) -> Self {
+        OccupancyHistogram { counts, samples }
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &OccupancyHistogram) {
         if self.counts.len() < other.counts.len() {
@@ -66,7 +83,7 @@ impl OccupancyHistogram {
 }
 
 /// End-of-run metrics of one simulation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimMetrics {
     /// Simulated cycles.
     pub cycles: Cycle,

@@ -1,0 +1,485 @@
+//! Pluggable campaign execution backends.
+//!
+//! [`run_campaign`](crate::scenario::run_campaign) plans a flat list of
+//! [`RunSpec`]s; an [`Executor`] decides *where* those specs run. Two
+//! backends ship:
+//!
+//! * [`InProcess`] — the original shared-work-queue thread pool
+//!   ([`par_indexed`]), the default.
+//! * [`Subprocess`] — spawns `N` worker processes (`experiments
+//!   --shard I/N --out FILE`), each of which deterministically re-derives
+//!   the same campaign plan, executes only indices `i % N == I`, and
+//!   emits one JSON-lines [`ShardRecord`] per completed spec. The
+//!   coordinator folds the shard files back into a complete,
+//!   plan-ordered result vector, verifying each record's spec
+//!   fingerprint so *plan drift* between coordinator and worker is an
+//!   error instead of a silently scrambled report.
+//!
+//! Both backends return results in plan order, so every scenario's
+//! `assemble()` sees exactly what a sequential run would have produced —
+//! merged output is byte-identical across backends and shard counts.
+
+use crate::metrics_codec::{CampaignHeader, ShardRecord};
+use crate::run::{par_indexed, RunResult, RunSpec};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// Why a campaign execution failed.
+#[derive(Debug)]
+pub enum ExecutorError {
+    /// A filesystem or process-spawn failure.
+    Io {
+        /// What was being done.
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A worker process exited unsuccessfully.
+    Worker {
+        /// Shard index of the worker.
+        shard: usize,
+        /// Exit status / failure description.
+        detail: String,
+    },
+    /// A shard file could not be decoded.
+    Corrupt {
+        /// The offending file.
+        file: PathBuf,
+        /// What was malformed.
+        detail: String,
+    },
+    /// A record's spec fingerprint disagrees with the coordinator's
+    /// plan: coordinator and worker derived different campaigns.
+    PlanDrift {
+        /// Campaign index of the offending record.
+        index: usize,
+        /// Expected vs observed fingerprints.
+        detail: String,
+    },
+    /// The shard files do not cover the plan exactly once.
+    Coverage {
+        /// Which index is missing or duplicated.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutorError::Io { context, source } => write!(f, "{context}: {source}"),
+            ExecutorError::Worker { shard, detail } => {
+                write!(f, "shard worker {shard} failed: {detail}")
+            }
+            ExecutorError::Corrupt { file, detail } => {
+                write!(f, "corrupt shard file {}: {detail}", file.display())
+            }
+            ExecutorError::PlanDrift { index, detail } => {
+                write!(f, "plan drift at campaign index {index}: {detail}")
+            }
+            ExecutorError::Coverage { detail } => write!(f, "incomplete shard coverage: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecutorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecutorError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl ExecutorError {
+    fn io(context: impl Into<String>, source: io::Error) -> Self {
+        ExecutorError::Io { context: context.into(), source }
+    }
+}
+
+/// A campaign execution backend: runs every spec and returns the results
+/// in spec order.
+pub trait Executor {
+    /// Human-readable backend name for diagnostics.
+    fn name(&self) -> String;
+
+    /// Executes all specs, returning one result per spec in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecutorError`] when the backend cannot produce a
+    /// complete, verified result set.
+    fn execute(&self, specs: &[&RunSpec]) -> Result<Vec<RunResult>, ExecutorError>;
+}
+
+/// The in-process thread-pool backend: a shared work queue over `jobs`
+/// worker threads (0 = one per available core). Infallible and
+/// zero-overhead — the default for everything that fits in one process.
+#[derive(Debug, Clone, Copy)]
+pub struct InProcess {
+    /// Worker threads (0 = one per available core).
+    pub jobs: usize,
+}
+
+impl InProcess {
+    /// Builds the backend with the given worker-thread count.
+    pub fn new(jobs: usize) -> Self {
+        InProcess { jobs }
+    }
+}
+
+impl Executor for InProcess {
+    fn name(&self) -> String {
+        "in-process".into()
+    }
+
+    fn execute(&self, specs: &[&RunSpec]) -> Result<Vec<RunResult>, ExecutorError> {
+        Ok(par_indexed(specs.len(), self.jobs, |i| specs[i].run()))
+    }
+}
+
+/// The multi-process sharded backend.
+///
+/// Spawns `shards` copies of a worker binary (normally the `experiments`
+/// CLI itself), each invoked as `<worker> <campaign_args>... --shard I/N
+/// --out <scratch>/shard-I.jsonl`. The workers re-derive the campaign
+/// plan from `campaign_args` — the scenario names and planning options —
+/// so no specs cross the process boundary; only results come back, as
+/// fingerprint-stamped JSON-lines records that [`execute`](Executor::execute)
+/// verifies against its own plan.
+#[derive(Debug, Clone)]
+pub struct Subprocess {
+    worker: PathBuf,
+    campaign_args: Vec<String>,
+    shards: usize,
+    scratch: PathBuf,
+}
+
+impl Subprocess {
+    /// Configures the backend.
+    ///
+    /// `campaign_args` must make `worker` plan exactly the campaign the
+    /// coordinator planned (scenario names plus `--insts/--warmup/--seed
+    /// /--quick`); fingerprint verification catches any disagreement.
+    /// Shard files are written under `scratch` (created on demand, left
+    /// on disk for inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(
+        worker: impl Into<PathBuf>,
+        campaign_args: Vec<String>,
+        shards: usize,
+        scratch: impl Into<PathBuf>,
+    ) -> Self {
+        assert!(shards > 0, "at least one shard");
+        Subprocess { worker: worker.into(), campaign_args, shards, scratch: scratch.into() }
+    }
+
+    /// The shard file a given worker writes.
+    pub fn shard_path(&self, shard: usize) -> PathBuf {
+        self.scratch.join(format!("shard-{shard}.jsonl"))
+    }
+}
+
+impl Executor for Subprocess {
+    fn name(&self) -> String {
+        format!("{} subprocess shard(s)", self.shards)
+    }
+
+    fn execute(&self, specs: &[&RunSpec]) -> Result<Vec<RunResult>, ExecutorError> {
+        std::fs::create_dir_all(&self.scratch).map_err(|e| {
+            ExecutorError::io(format!("cannot create {}", self.scratch.display()), e)
+        })?;
+        let mut children = Vec::with_capacity(self.shards);
+        for shard in 0..self.shards {
+            let child = Command::new(&self.worker)
+                .args(&self.campaign_args)
+                .arg("--shard")
+                .arg(format!("{shard}/{}", self.shards))
+                .arg("--out")
+                .arg(self.shard_path(shard))
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                // stderr inherits: worker diagnostics surface directly.
+                .spawn()
+                .map_err(|e| {
+                    ExecutorError::io(format!("cannot spawn {}", self.worker.display()), e)
+                });
+            match child {
+                Ok(child) => children.push(child),
+                Err(e) => {
+                    // Don't leak already-started workers.
+                    for mut c in children {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        // Reap every worker even if one wait fails — an early return here
+        // would leak the remaining children as running orphans.
+        let mut failure = None;
+        for (shard, mut child) in children.into_iter().enumerate() {
+            match child.wait() {
+                Ok(status) if status.success() => {}
+                Ok(status) => {
+                    failure
+                        .get_or_insert(ExecutorError::Worker { shard, detail: status.to_string() });
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    failure.get_or_insert(ExecutorError::io(
+                        format!("cannot wait for shard {shard}"),
+                        e,
+                    ));
+                }
+            }
+        }
+        if let Some(e) = failure {
+            return Err(e);
+        }
+
+        let mut records = Vec::with_capacity(specs.len());
+        for shard in 0..self.shards {
+            let path = self.shard_path(shard);
+            let (header, shard_records) = read_shard_file(&path)?;
+            if header.shard != shard || header.of != self.shards || header.runs != specs.len() {
+                return Err(ExecutorError::Corrupt {
+                    file: path,
+                    detail: format!(
+                        "header says shard {}/{} of {} run(s), expected {shard}/{} of {}",
+                        header.shard,
+                        header.of,
+                        header.runs,
+                        self.shards,
+                        specs.len()
+                    ),
+                });
+            }
+            records.extend(shard_records);
+        }
+        assemble_shard_results(specs, records)
+    }
+}
+
+/// Runs the worker half of a sharded campaign: executes the plan indices
+/// `i % header.of == header.shard` on `jobs` threads (0 = one per
+/// available core) and writes the header plus one record per completed
+/// spec, in ascending index order, to `out`.
+///
+/// # Errors
+///
+/// Propagates write failures.
+///
+/// # Panics
+///
+/// Panics if `header.runs` does not match `specs.len()` (the caller
+/// built the header from the same plan).
+pub fn run_shard<W: Write>(
+    header: &CampaignHeader,
+    specs: &[&RunSpec],
+    jobs: usize,
+    out: &mut W,
+) -> io::Result<()> {
+    assert_eq!(header.runs, specs.len(), "header must describe this plan");
+    let mine: Vec<usize> = (0..specs.len()).filter(|i| i % header.of == header.shard).collect();
+    let results = par_indexed(mine.len(), jobs, |k| specs[mine[k]].run());
+    writeln!(out, "{}", header.to_line())?;
+    for (&index, result) in mine.iter().zip(&results) {
+        let record = ShardRecord::from_result(index, specs[index].fingerprint(), result);
+        writeln!(out, "{}", record.to_line())?;
+    }
+    Ok(())
+}
+
+/// Reads one shard file: the campaign header line plus the records.
+///
+/// # Errors
+///
+/// Returns [`ExecutorError::Io`] on filesystem errors and
+/// [`ExecutorError::Corrupt`] on malformed content.
+pub fn read_shard_file(path: &Path) -> Result<(CampaignHeader, Vec<ShardRecord>), ExecutorError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| ExecutorError::io(format!("cannot open {}", path.display()), e))?;
+    let mut lines = BufReader::new(file).lines().enumerate();
+    let corrupt = |line: usize, detail: String| ExecutorError::Corrupt {
+        file: path.to_path_buf(),
+        detail: format!("line {}: {detail}", line + 1),
+    };
+    let (_, first) =
+        lines.next().ok_or_else(|| corrupt(0, "empty file (missing campaign header)".into()))?;
+    let first =
+        first.map_err(|e| ExecutorError::io(format!("cannot read {}", path.display()), e))?;
+    let header = CampaignHeader::parse(&first).map_err(|e| corrupt(0, e.to_string()))?;
+    let mut records = Vec::new();
+    for (n, line) in lines {
+        let line =
+            line.map_err(|e| ExecutorError::io(format!("cannot read {}", path.display()), e))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(ShardRecord::parse(&line).map_err(|e| corrupt(n, e.to_string()))?);
+    }
+    Ok((header, records))
+}
+
+/// Folds shard records into a complete result vector in plan order,
+/// verifying that every record's fingerprint matches the plan and that
+/// every plan index is covered exactly once.
+///
+/// # Errors
+///
+/// Returns [`ExecutorError::PlanDrift`] on a fingerprint mismatch or
+/// unknown benchmark, [`ExecutorError::Coverage`] on missing, duplicate
+/// or out-of-range indices.
+pub fn assemble_shard_results(
+    specs: &[&RunSpec],
+    records: Vec<ShardRecord>,
+) -> Result<Vec<RunResult>, ExecutorError> {
+    let mut slots: Vec<Option<RunResult>> = (0..specs.len()).map(|_| None).collect();
+    for record in records {
+        let index = record.index;
+        if index >= specs.len() {
+            return Err(ExecutorError::Coverage {
+                detail: format!("record index {index} exceeds the {}-spec plan", specs.len()),
+            });
+        }
+        let expected = specs[index].fingerprint();
+        if record.fingerprint != expected {
+            return Err(ExecutorError::PlanDrift {
+                index,
+                detail: format!(
+                    "expected spec fingerprint {expected:016x}, record carries {:016x} \
+                     (coordinator and worker planned different campaigns)",
+                    record.fingerprint
+                ),
+            });
+        }
+        if slots[index].is_some() {
+            return Err(ExecutorError::Coverage {
+                detail: format!("campaign index {index} appears in more than one record"),
+            });
+        }
+        let result = record
+            .into_run_result()
+            .map_err(|e| ExecutorError::PlanDrift { index, detail: e.to_string() })?;
+        slots[index] = Some(result);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.ok_or_else(|| ExecutorError::Coverage {
+                detail: format!("no record for campaign index {i}"),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExperimentOpts;
+    use crate::run::run_suite_jobs;
+    use rfcache_core::{RegFileConfig, SingleBankConfig};
+
+    fn specs() -> Vec<RunSpec> {
+        ["li", "go", "swim"]
+            .iter()
+            .map(|b| {
+                RunSpec::new(b, RegFileConfig::Single(SingleBankConfig::one_cycle()))
+                    .insts(1_500)
+                    .warmup(300)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn in_process_executor_matches_run_suite() {
+        let specs = specs();
+        let refs: Vec<&RunSpec> = specs.iter().collect();
+        let via_executor = InProcess::new(2).execute(&refs).unwrap();
+        let direct = run_suite_jobs(&specs, 1);
+        assert_eq!(via_executor.len(), direct.len());
+        for (a, b) in via_executor.iter().zip(&direct) {
+            assert_eq!(a.bench, b.bench);
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn shard_round_trip_covers_the_plan() {
+        let specs = specs();
+        let refs: Vec<&RunSpec> = specs.iter().collect();
+        let opts = ExperimentOpts::smoke();
+        let mut records = Vec::new();
+        for shard in 0..2 {
+            let header = CampaignHeader::new(vec!["x".into()], &opts, shard, 2, refs.len());
+            let mut buf = Vec::new();
+            run_shard(&header, &refs, 1, &mut buf).unwrap();
+            let text = String::from_utf8(buf).unwrap();
+            let parsed_header = CampaignHeader::parse(text.lines().next().unwrap()).unwrap();
+            assert_eq!(parsed_header.shard, shard);
+            for line in text.lines().skip(1) {
+                records.push(ShardRecord::parse(line).unwrap());
+            }
+        }
+        let merged = assemble_shard_results(&refs, records).unwrap();
+        let direct = run_suite_jobs(&specs, 1);
+        for (a, b) in merged.iter().zip(&direct) {
+            assert_eq!(a.bench, b.bench);
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn assemble_rejects_drift_duplicates_and_gaps() {
+        let specs = specs();
+        let refs: Vec<&RunSpec> = specs.iter().collect();
+        let results = run_suite_jobs(&specs, 1);
+        let record = |i: usize| ShardRecord::from_result(i, refs[i].fingerprint(), &results[i]);
+
+        // Fingerprint mismatch.
+        let mut drifted = record(0);
+        drifted.fingerprint ^= 1;
+        let err = assemble_shard_results(&refs, vec![drifted, record(1), record(2)]).unwrap_err();
+        assert!(matches!(err, ExecutorError::PlanDrift { index: 0, .. }), "{err}");
+
+        // Duplicate index.
+        let err = assemble_shard_results(&refs, vec![record(0), record(0), record(1), record(2)])
+            .unwrap_err();
+        assert!(matches!(err, ExecutorError::Coverage { .. }), "{err}");
+
+        // Missing index.
+        let err = assemble_shard_results(&refs, vec![record(0), record(2)]).unwrap_err();
+        assert!(err.to_string().contains("no record for campaign index 1"), "{err}");
+
+        // Out of range.
+        let mut wild = record(2);
+        wild.index = 9;
+        let err = assemble_shard_results(&refs, vec![record(0), record(1), wild]).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+
+        // And the happy path still assembles in order.
+        let ok = assemble_shard_results(&refs, vec![record(2), record(0), record(1)]).unwrap();
+        assert_eq!(ok[0].bench, "li");
+        assert_eq!(ok[2].bench, "swim");
+    }
+
+    #[test]
+    fn read_shard_file_reports_corruption_with_the_path() {
+        let dir = std::env::temp_dir().join(format!("rfcache_shardfile_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        std::fs::write(&path, "not a header\n").unwrap();
+        let err = read_shard_file(&path).unwrap_err();
+        assert!(matches!(err, ExecutorError::Corrupt { .. }));
+        assert!(err.to_string().contains("bad.jsonl"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,497 @@
+//! JSON-lines codec for shard files: full [`SimMetrics`] round-tripping
+//! plus the campaign header and per-run records a `--shard I/N` worker
+//! emits.
+//!
+//! A shard file is one [`CampaignHeader`] line followed by one
+//! [`ShardRecord`] line per executed spec. Every counter is encoded as a
+//! bare JSON integer and parsed back through the literal-preserving
+//! reader in [`crate::parse_json`], so the round trip is exact for the
+//! whole `u64` range; `f64` values use Rust's shortest round-trip
+//! `Display` form. The merge path (CLI `merge`, the `Subprocess`
+//! executor) decodes these files and verifies each record's spec
+//! fingerprint against its own campaign plan before assembling reports.
+
+use crate::experiments::ExperimentOpts;
+use crate::json::{escape, parse_json, JsonValue};
+use crate::run::RunResult;
+use rfcache_core::RegFileStats;
+use rfcache_frontend::FetchStats;
+use rfcache_pipeline::{OccupancyHistogram, SimMetrics};
+use rfcache_workload::BenchProfile;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A decode failure: which part of the input was malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(String);
+
+impl CodecError {
+    fn new(message: impl Into<String>) -> Self {
+        CodecError(message.into())
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, CodecError> {
+    v.get(key).ok_or_else(|| CodecError::new(format!("missing field `{key}`")))
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Result<u64, CodecError> {
+    field(v, key)?.as_u64().ok_or_else(|| CodecError::new(format!("field `{key}` is not a u64")))
+}
+
+fn usize_field(v: &JsonValue, key: &str) -> Result<usize, CodecError> {
+    usize::try_from(u64_field(v, key)?)
+        .map_err(|_| CodecError::new(format!("field `{key}` exceeds usize")))
+}
+
+fn bool_field(v: &JsonValue, key: &str) -> Result<bool, CodecError> {
+    field(v, key)?.as_bool().ok_or_else(|| CodecError::new(format!("field `{key}` is not a bool")))
+}
+
+fn str_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, CodecError> {
+    field(v, key)?.as_str().ok_or_else(|| CodecError::new(format!("field `{key}` is not a string")))
+}
+
+/// Generates the `encode_*`/`decode_*` pair for a struct of `u64`
+/// counters from a single field list, so the two sides cannot drift
+/// apart. The encoder reads the borrowed struct directly (no clone);
+/// the decoder fills a `&mut` in place.
+macro_rules! counter_codec {
+    ($encode:ident, $decode:ident, $ty:ty, { $($key:ident),* $(,)? }) => {
+        fn $encode(out: &mut String, s: &$ty) {
+            let fields: &[(&str, u64)] = &[$((stringify!($key), s.$key)),*];
+            for (i, (key, value)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{key}\": {value}");
+            }
+        }
+
+        fn $decode(v: &JsonValue, s: &mut $ty) -> Result<(), CodecError> {
+            $(s.$key = u64_field(v, stringify!($key))?;)*
+            Ok(())
+        }
+    };
+}
+
+counter_codec!(encode_rf_stats, decode_rf_stats, RegFileStats, {
+    bypass_reads, regfile_reads, writebacks, cached_results, policy_skipped,
+    port_skipped, evictions, demand_transfers, prefetch_transfers, prefetch_dropped,
+    read_port_stalls, upper_miss_stalls, write_port_stalls, values_never_read,
+    values_read_once, values_read_many,
+});
+
+counter_codec!(encode_fetch_stats, decode_fetch_stats, FetchStats, {
+    fetched, blocks, taken_breaks, icache_stalls, btb_bubbles, branches,
+    mispredicted_branches,
+});
+
+counter_codec!(encode_metric_scalars, decode_metric_scalars, SimMetrics, {
+    cycles, committed, branches, mispredicted, squashed, commit_idle_cycles,
+    stall_rob_full, stall_window_full, stall_no_phys_reg, stall_lsq_full,
+    stall_branch_limit,
+});
+
+fn encode_histogram(out: &mut String, h: &OccupancyHistogram) {
+    out.push_str("{\"counts\": [");
+    for (i, c) in h.counts().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{c}");
+    }
+    let _ = write!(out, "], \"samples\": {}}}", h.samples());
+}
+
+fn decode_histogram(v: &JsonValue) -> Result<OccupancyHistogram, CodecError> {
+    let counts = field(v, "counts")?
+        .as_array()
+        .ok_or_else(|| CodecError::new("field `counts` is not an array"))?
+        .iter()
+        .map(|c| c.as_u64().ok_or_else(|| CodecError::new("non-u64 entry in `counts`")))
+        .collect::<Result<Vec<u64>, _>>()?;
+    Ok(OccupancyHistogram::from_parts(counts, u64_field(v, "samples")?))
+}
+
+/// Encodes the full metrics set as one compact JSON object.
+pub fn encode_metrics(m: &SimMetrics) -> String {
+    let mut out = String::from("{");
+    encode_metric_scalars(&mut out, m);
+    out.push_str(", \"rf_int\": {");
+    encode_rf_stats(&mut out, &m.rf_int);
+    out.push_str("}, \"rf_fp\": {");
+    encode_rf_stats(&mut out, &m.rf_fp);
+    out.push_str("}, \"fetch\": {");
+    encode_fetch_stats(&mut out, &m.fetch);
+    out.push_str("}, \"dcache_hit_rate\": ");
+    match m.dcache_hit_rate {
+        // `{}` on f64 is the shortest form that parses back exactly.
+        Some(rate) => {
+            let _ = write!(out, "{rate}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(", \"occupancy_value\": ");
+    encode_histogram(&mut out, &m.occupancy_value);
+    out.push_str(", \"occupancy_ready\": ");
+    encode_histogram(&mut out, &m.occupancy_ready);
+    out.push('}');
+    out
+}
+
+/// Decodes a parsed [`encode_metrics`] object.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] when a field is missing or has the wrong type.
+pub fn decode_metrics(v: &JsonValue) -> Result<SimMetrics, CodecError> {
+    let mut m = SimMetrics::default();
+    decode_metric_scalars(v, &mut m)?;
+    decode_rf_stats(field(v, "rf_int")?, &mut m.rf_int)?;
+    decode_rf_stats(field(v, "rf_fp")?, &mut m.rf_fp)?;
+    decode_fetch_stats(field(v, "fetch")?, &mut m.fetch)?;
+    m.dcache_hit_rate = match field(v, "dcache_hit_rate")? {
+        JsonValue::Null => None,
+        rate => Some(
+            rate.as_f64()
+                .ok_or_else(|| CodecError::new("field `dcache_hit_rate` is not a number"))?,
+        ),
+    };
+    m.occupancy_value = decode_histogram(field(v, "occupancy_value")?)?;
+    m.occupancy_ready = decode_histogram(field(v, "occupancy_ready")?)?;
+    Ok(m)
+}
+
+/// [`decode_metrics`] from JSON text.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed JSON or a malformed object.
+pub fn decode_metrics_str(json: &str) -> Result<SimMetrics, CodecError> {
+    decode_metrics(&parse_json(json).map_err(|e| CodecError::new(e.to_string()))?)
+}
+
+/// One completed simulation, as a shard worker reports it: the campaign
+/// index the spec had in the flat plan, the spec's fingerprint (drift
+/// detection), and the full result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRecord {
+    /// Position of the spec in the flattened campaign plan.
+    pub index: usize,
+    /// [`RunSpec::fingerprint`](crate::RunSpec::fingerprint) of the spec
+    /// that produced the result.
+    pub fingerprint: u64,
+    /// Benchmark name (resolvable via `BenchProfile::by_name`).
+    pub bench: String,
+    /// Whether the benchmark belongs to SpecFP95.
+    pub fp: bool,
+    /// The measured metrics.
+    pub metrics: SimMetrics,
+}
+
+impl ShardRecord {
+    /// Builds the record for one completed campaign spec.
+    pub fn from_result(index: usize, fingerprint: u64, result: &RunResult) -> Self {
+        ShardRecord {
+            index,
+            fingerprint,
+            bench: result.bench.to_string(),
+            fp: result.fp,
+            metrics: result.metrics.clone(),
+        }
+    }
+
+    /// Encodes the record as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        format!(
+            "{{\"index\": {}, \"fingerprint\": \"{:016x}\", \"bench\": \"{}\", \"fp\": {}, \"metrics\": {}}}",
+            self.index,
+            self.fingerprint,
+            escape(&self.bench),
+            self.fp,
+            encode_metrics(&self.metrics),
+        )
+    }
+
+    /// Decodes one record line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on malformed JSON or a malformed record.
+    pub fn parse(line: &str) -> Result<Self, CodecError> {
+        let v = parse_json(line).map_err(|e| CodecError::new(e.to_string()))?;
+        let fingerprint = u64::from_str_radix(str_field(&v, "fingerprint")?, 16)
+            .map_err(|_| CodecError::new("field `fingerprint` is not a hex u64"))?;
+        Ok(ShardRecord {
+            index: usize_field(&v, "index")?,
+            fingerprint,
+            bench: str_field(&v, "bench")?.to_string(),
+            fp: bool_field(&v, "fp")?,
+            metrics: decode_metrics(field(&v, "metrics")?)?,
+        })
+    }
+
+    /// Converts the record back into the [`RunResult`] the worker
+    /// observed, resolving the benchmark against the built-in profiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] for an unknown benchmark name or an `fp`
+    /// flag that contradicts the profile (both indicate a record from an
+    /// incompatible binary).
+    pub fn into_run_result(self) -> Result<RunResult, CodecError> {
+        let profile = BenchProfile::by_name(&self.bench)
+            .ok_or_else(|| CodecError::new(format!("unknown benchmark `{}`", self.bench)))?;
+        if profile.fp != self.fp {
+            return Err(CodecError::new(format!(
+                "benchmark `{}` has fp={} but the record says fp={}",
+                self.bench, profile.fp, self.fp
+            )));
+        }
+        Ok(RunResult { bench: profile.name, fp: profile.fp, metrics: self.metrics })
+    }
+}
+
+/// The first line of a shard file: which campaign the shard belongs to
+/// (enough to re-derive the plan deterministically) and which slice of
+/// it the worker executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignHeader {
+    /// Scenario names, in campaign order (`all` already expanded).
+    pub scenarios: Vec<String>,
+    /// Measured instructions per benchmark.
+    pub insts: u64,
+    /// Warmup instructions per benchmark.
+    pub warmup: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Whether the reduced `--quick` sweeps were planned.
+    pub quick: bool,
+    /// This worker's shard index (`I` of `I/N`).
+    pub shard: usize,
+    /// Total shard count (`N` of `I/N`).
+    pub of: usize,
+    /// Total number of specs in the flattened campaign plan (sanity
+    /// check against the re-derived plan).
+    pub runs: usize,
+}
+
+impl CampaignHeader {
+    /// Builds the header for one shard of a campaign planned under
+    /// `opts` (`jobs` is intra-process and deliberately not recorded).
+    pub fn new(
+        scenarios: Vec<String>,
+        opts: &ExperimentOpts,
+        shard: usize,
+        of: usize,
+        runs: usize,
+    ) -> Self {
+        CampaignHeader {
+            scenarios,
+            insts: opts.insts,
+            warmup: opts.warmup,
+            seed: opts.seed,
+            quick: opts.quick,
+            shard,
+            of,
+            runs,
+        }
+    }
+
+    /// The options the campaign was planned under (worker threads reset
+    /// to the default).
+    pub fn opts(&self) -> ExperimentOpts {
+        ExperimentOpts {
+            insts: self.insts,
+            warmup: self.warmup,
+            seed: self.seed,
+            quick: self.quick,
+            ..ExperimentOpts::default()
+        }
+    }
+
+    /// Whether two headers describe the same campaign (everything but
+    /// the shard index must agree for their files to be mergeable).
+    pub fn same_campaign(&self, other: &CampaignHeader) -> bool {
+        self.scenarios == other.scenarios
+            && self.insts == other.insts
+            && self.warmup == other.warmup
+            && self.seed == other.seed
+            && self.quick == other.quick
+            && self.of == other.of
+            && self.runs == other.runs
+    }
+
+    /// Encodes the header as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let names: Vec<String> =
+            self.scenarios.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+        format!(
+            "{{\"scenarios\": [{}], \"insts\": {}, \"warmup\": {}, \"seed\": {}, \"quick\": {}, \"shard\": {}, \"of\": {}, \"runs\": {}}}",
+            names.join(", "),
+            self.insts,
+            self.warmup,
+            self.seed,
+            self.quick,
+            self.shard,
+            self.of,
+            self.runs,
+        )
+    }
+
+    /// Decodes one header line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on malformed JSON, a malformed header, or
+    /// an inconsistent shard slice (`of` = 0 or `shard` ≥ `of`).
+    pub fn parse(line: &str) -> Result<Self, CodecError> {
+        let v = parse_json(line).map_err(|e| CodecError::new(e.to_string()))?;
+        let scenarios = field(&v, "scenarios")?
+            .as_array()
+            .ok_or_else(|| CodecError::new("field `scenarios` is not an array"))?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| CodecError::new("non-string entry in `scenarios`"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let header = CampaignHeader {
+            scenarios,
+            insts: u64_field(&v, "insts")?,
+            warmup: u64_field(&v, "warmup")?,
+            seed: u64_field(&v, "seed")?,
+            quick: bool_field(&v, "quick")?,
+            shard: usize_field(&v, "shard")?,
+            of: usize_field(&v, "of")?,
+            runs: usize_field(&v, "runs")?,
+        };
+        if header.of == 0 {
+            return Err(CodecError::new("shard count 0/0 is invalid"));
+        }
+        if header.shard >= header.of {
+            return Err(CodecError::new(format!(
+                "shard index {} must be less than shard count {}",
+                header.shard, header.of
+            )));
+        }
+        Ok(header)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::RunSpec;
+    use rfcache_core::{RegFileConfig, SingleBankConfig};
+
+    fn simulated_metrics() -> SimMetrics {
+        let spec = RunSpec::new("li", RegFileConfig::Single(SingleBankConfig::one_cycle()))
+            .insts(2_000)
+            .warmup(400);
+        spec.run().metrics
+    }
+
+    #[test]
+    fn real_simulation_metrics_round_trip() {
+        let m = simulated_metrics();
+        let decoded = decode_metrics_str(&encode_metrics(&m)).unwrap();
+        assert_eq!(m, decoded);
+    }
+
+    #[test]
+    fn extreme_counters_round_trip() {
+        let m = SimMetrics {
+            cycles: u64::MAX,
+            committed: u64::MAX - 1,
+            rf_int: RegFileStats { values_read_many: u64::MAX, ..Default::default() },
+            rf_fp: RegFileStats { prefetch_dropped: u64::MAX, ..Default::default() },
+            fetch: FetchStats { mispredicted_branches: u64::MAX, ..Default::default() },
+            dcache_hit_rate: Some(0.1 + 0.2), // a value with no short decimal form
+            occupancy_value: OccupancyHistogram::from_parts(vec![0, u64::MAX, 3], u64::MAX),
+            ..Default::default()
+        };
+        let decoded = decode_metrics_str(&encode_metrics(&m)).unwrap();
+        assert_eq!(m, decoded);
+        assert_eq!(decoded.cycles, u64::MAX);
+        assert_eq!(decoded.occupancy_value.counts(), &[0, u64::MAX, 3]);
+    }
+
+    #[test]
+    fn default_metrics_round_trip() {
+        let m = SimMetrics::default();
+        assert_eq!(m, decode_metrics_str(&encode_metrics(&m)).unwrap());
+    }
+
+    #[test]
+    fn decode_rejects_missing_and_mistyped_fields() {
+        let good = encode_metrics(&SimMetrics::default());
+        assert!(decode_metrics_str(&good.replace("\"cycles\"", "\"cycle\"")).is_err());
+        assert!(
+            decode_metrics_str(&good.replace("\"committed\": 0", "\"committed\": \"0\"")).is_err()
+        );
+        assert!(decode_metrics_str("not json").is_err());
+    }
+
+    #[test]
+    fn shard_record_round_trips_and_resolves_the_profile() {
+        let spec = RunSpec::new("swim", RegFileConfig::Single(SingleBankConfig::one_cycle()))
+            .insts(1_500)
+            .warmup(300);
+        let result = spec.run();
+        let record = ShardRecord::from_result(7, spec.fingerprint(), &result);
+        let parsed = ShardRecord::parse(&record.to_line()).unwrap();
+        assert_eq!(record, parsed);
+        let back = parsed.into_run_result().unwrap();
+        assert_eq!(back.bench, "swim");
+        assert!(back.fp);
+        assert_eq!(back.metrics, result.metrics);
+    }
+
+    #[test]
+    fn shard_record_rejects_unknown_bench_and_fp_mismatch() {
+        let mut record = ShardRecord {
+            index: 0,
+            fingerprint: 1,
+            bench: "quake".into(),
+            fp: false,
+            metrics: SimMetrics::default(),
+        };
+        assert!(record.clone().into_run_result().is_err());
+        record.bench = "li".into();
+        record.fp = true; // li is SpecInt95
+        assert!(record.into_run_result().is_err());
+    }
+
+    #[test]
+    fn campaign_header_round_trips_and_validates_the_slice() {
+        let opts = ExperimentOpts::smoke();
+        let header = CampaignHeader::new(vec!["fig6".into(), "table2".into()], &opts, 1, 4, 36);
+        let parsed = CampaignHeader::parse(&header.to_line()).unwrap();
+        assert_eq!(header, parsed);
+        assert!(header.same_campaign(&parsed));
+        assert_eq!(parsed.opts().insts, opts.insts);
+        assert_eq!(parsed.opts().quick, opts.quick);
+
+        let mut other = header.clone();
+        other.shard = 2;
+        assert!(header.same_campaign(&other), "shard index is not campaign identity");
+        other.insts += 1;
+        assert!(!header.same_campaign(&other));
+
+        let bad = header.to_line().replace("\"shard\": 1, \"of\": 4", "\"shard\": 4, \"of\": 4");
+        assert!(CampaignHeader::parse(&bad).unwrap_err().to_string().contains("less than"));
+        let zero = header.to_line().replace("\"of\": 4", "\"of\": 0");
+        assert!(CampaignHeader::parse(&zero).is_err());
+    }
+}

@@ -89,6 +89,28 @@ impl RunSpec {
         self
     }
 
+    /// A stable 64-bit fingerprint over every field of the spec (FNV-1a
+    /// of the `Debug` rendering, which covers profile, architecture,
+    /// pipeline, instruction budget, warmup and seed).
+    ///
+    /// Shard workers stamp each emitted result with the fingerprint of
+    /// the spec that produced it, so the merge path can detect *plan
+    /// drift* — a coordinator and a worker that derived different
+    /// campaign plans (mismatched options, binary versions, or registry
+    /// order) — before folding results into the wrong report. The value
+    /// is only meaningful between processes built from the same sources:
+    /// it is not a persistent format.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
     /// Simulates the spec and returns the result.
     pub fn run(&self) -> RunResult {
         let trace = TraceGenerator::new(self.profile, self.seed);
@@ -223,6 +245,22 @@ mod tests {
         assert_eq!(spec.warmup, opts.warmup);
         assert_eq!(spec.insts, DEFAULT_INSTS);
         assert_eq!(spec.insts, opts.insts);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let spec = RunSpec::new("li", one_cycle());
+        assert_eq!(spec.fingerprint(), spec.clone().fingerprint(), "clone must agree");
+        // Every field participates: flipping any one changes the hash.
+        let variants = [
+            RunSpec::new("go", one_cycle()),
+            spec.clone().insts(spec.insts + 1),
+            spec.clone().warmup(spec.warmup + 1),
+            spec.clone().seed(spec.seed + 1),
+        ];
+        for v in &variants {
+            assert_ne!(spec.fingerprint(), v.fingerprint(), "{v:?}");
+        }
     }
 
     #[test]

@@ -28,11 +28,12 @@
 //! assert!(report.series().iter().any(|(_, v)| !v.is_empty()));
 //! ```
 
+use crate::executor::{Executor, ExecutorError, InProcess};
 use crate::experiments::{
     ablation, fig1, fig2, fig3, fig5, fig6, fig7, fig8, fig9, onelevel, readstats, sources, table2,
     ExperimentOpts,
 };
-use crate::run::{par_indexed, run_suite_jobs, RunResult, RunSpec};
+use crate::run::{run_suite_jobs, RunResult, RunSpec};
 use crate::table::TextTable;
 use std::fmt;
 
@@ -169,13 +170,60 @@ pub fn run_campaign_planned(
     opts: &ExperimentOpts,
     plans: Vec<Vec<RunSpec>>,
 ) -> Vec<Box<dyn ScenarioReport>> {
+    run_campaign_planned_with(&InProcess::new(opts.jobs), scenarios, opts, plans)
+        .expect("the in-process executor is infallible")
+}
+
+/// [`run_campaign_planned`] through an explicit execution backend —
+/// the seam the multi-process (and, later, multi-host) backends plug
+/// into. The executor sees the flattened plan and must return one
+/// result per spec in plan order; the reports are byte-identical across
+/// backends.
+///
+/// # Errors
+///
+/// Propagates the executor's failure (worker crash, corrupt shard file,
+/// plan drift); the in-process backend never fails.
+///
+/// # Panics
+///
+/// Panics if `plans` and `scenarios` differ in length.
+pub fn run_campaign_planned_with(
+    executor: &dyn Executor,
+    scenarios: &[&Scenario],
+    opts: &ExperimentOpts,
+    plans: Vec<Vec<RunSpec>>,
+) -> Result<Vec<Box<dyn ScenarioReport>>, ExecutorError> {
     assert_eq!(plans.len(), scenarios.len(), "one plan per scenario");
     let flat: Vec<&RunSpec> = plans.iter().flatten().collect();
-    let results = par_indexed(flat.len(), opts.jobs, |i| flat[i].run());
+    let results = executor.execute(&flat)?;
+    Ok(run_campaign_from_parts(scenarios, opts, &plans, results))
+}
+
+/// The assemble half of a campaign: folds an already complete,
+/// plan-ordered result vector back through each scenario's
+/// [`assemble`](Scenario::assemble). This is what the `merge` CLI path
+/// uses after decoding shard files — the simulation happened elsewhere,
+/// possibly in several processes.
+///
+/// # Panics
+///
+/// Panics if `plans` and `scenarios` differ in length, or if `results`
+/// does not contain exactly one result per planned spec (shard readers
+/// verify coverage before calling this).
+pub fn run_campaign_from_parts(
+    scenarios: &[&Scenario],
+    opts: &ExperimentOpts,
+    plans: &[Vec<RunSpec>],
+    results: Vec<RunResult>,
+) -> Vec<Box<dyn ScenarioReport>> {
+    assert_eq!(plans.len(), scenarios.len(), "one plan per scenario");
+    let total: usize = plans.iter().map(Vec::len).sum();
+    assert_eq!(results.len(), total, "one result per planned spec");
     let mut results = results.into_iter();
     scenarios
         .iter()
-        .zip(&plans)
+        .zip(plans)
         .map(|(s, plan)| s.assemble(opts, results.by_ref().take(plan.len()).collect()))
         .collect()
 }

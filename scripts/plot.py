@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""Charts for the `experiments --json DIR` exports. Stdlib only.
+
+Reads every ``<scenario>.json`` table (``{"header": [...], "rows":
+[[...], ...]}``) in a directory and renders one chart per scenario:
+
+* default — an SVG per scenario (line chart when the x column is
+  numeric, e.g. the fig1/fig3 sweeps; grouped bars otherwise),
+* ``--ascii`` — horizontal bar charts on stdout, for terminals and CI
+  logs.
+
+Usage::
+
+    experiments all --quick --json results/
+    python3 scripts/plot.py results/ --out plots/
+    python3 scripts/plot.py results/ --ascii
+"""
+
+import argparse
+import contextlib
+import json
+import math
+import signal
+import sys
+from pathlib import Path
+
+# Die quietly when piped into `head` instead of tracebacking.
+with contextlib.suppress(AttributeError, ValueError):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+# Fixed-order categorical palette (validated: lightness band, chroma
+# floor, CVD pair separation >= 8, contrast on the light surface).
+# Series beyond the 8th are not drawn; identity would be unreadable.
+PALETTE = [
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+]
+SURFACE = "#fcfcfb"
+INK = "#0b0b0b"
+INK_SOFT = "#52514e"
+GRID = "#e8e7e4"
+
+WIDTH, HEIGHT = 760, 440
+MARGIN = {"left": 64, "right": 16, "top": 48, "bottom": 72}
+
+
+def parse_cell(cell):
+    """The cell as a float, or None for labels / n/a."""
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+def split_columns(header, rows):
+    """Splits the table into leading label columns and numeric series.
+
+    A column is numeric when every one of its cells parses as a float;
+    the label block is the prefix of non-numeric columns (at least one
+    column, so an all-numeric table keeps its first column as x).
+    """
+    numeric = [all(parse_cell(row[i]) is not None for row in rows) for i in range(len(header))]
+    first_series = next((i for i in range(1, len(header)) if numeric[i]), None)
+    if first_series is None:
+        return header, [], [], []
+    label_cols = list(range(first_series))
+    series_cols = [i for i in range(first_series, len(header)) if numeric[i]]
+    labels = [" ".join(row[i] for i in label_cols) for row in rows]
+    series = [(header[i], [parse_cell(row[i]) for row in rows]) for i in series_cols]
+    x_numeric = all(numeric[i] for i in label_cols) and len(label_cols) == 1
+    xs = [parse_cell(row[label_cols[0]]) for row in rows] if x_numeric else None
+    return labels, series, xs, [header[i] for i in label_cols]
+
+
+def nice_ticks(top, count=5):
+    """Rounded tick positions from 0 up to at least `top`."""
+    if top <= 0:
+        top = 1.0
+    raw = top / count
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step * count >= top:
+            break
+    return [step * i for i in range(count + 1)]
+
+
+def esc(text):
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def svg_chart(name, labels, series, xs):
+    """One scenario's chart as an SVG document string."""
+    series = series[: len(PALETTE)]
+    plot_w = WIDTH - MARGIN["left"] - MARGIN["right"]
+    plot_h = HEIGHT - MARGIN["top"] - MARGIN["bottom"]
+    values = [v for _, vs in series for v in vs if v is not None]
+    ticks = nice_ticks(max(values) if values else 1.0)
+    y_top = ticks[-1]
+
+    def sy(v):
+        return MARGIN["top"] + plot_h * (1 - v / y_top)
+
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" '
+        f'viewBox="0 0 {WIDTH} {HEIGHT}" font-family="system-ui, sans-serif">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="{SURFACE}"/>',
+        f'<text x="{MARGIN["left"]}" y="24" font-size="15" font-weight="600" '
+        f'fill="{INK}">{esc(name)}</text>',
+    ]
+    # Recessive grid + y-axis labels.
+    for t in ticks:
+        y = sy(t)
+        out.append(
+            f'<line x1="{MARGIN["left"]}" y1="{y:.1f}" x2="{WIDTH - MARGIN["right"]}" '
+            f'y2="{y:.1f}" stroke="{GRID}" stroke-width="1"/>'
+        )
+        out.append(
+            f'<text x="{MARGIN["left"] - 8}" y="{y + 4:.1f}" font-size="11" '
+            f'fill="{INK_SOFT}" text-anchor="end">{t:g}</text>'
+        )
+
+    if xs is not None and len(xs) > 1:  # numeric x: line chart
+        x_lo, x_hi = min(xs), max(xs)
+        span = (x_hi - x_lo) or 1.0
+
+        def sx(v):
+            return MARGIN["left"] + plot_w * (v - x_lo) / span
+
+        for si, (sname, vs) in enumerate(series):
+            color = PALETTE[si]
+            points = [(sx(x), sy(v)) for x, v in zip(xs, vs) if v is not None]
+            path = " ".join(f"{'M' if i == 0 else 'L'}{px:.1f},{py:.1f}"
+                            for i, (px, py) in enumerate(points))
+            out.append(f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>')
+            for (px, py), x, v in zip(points, xs, vs):
+                out.append(
+                    f'<circle cx="{px:.1f}" cy="{py:.1f}" r="3" fill="{color}">'
+                    f"<title>{esc(sname)}: x={x:g}, y={v:g}</title></circle>"
+                )
+        for x in sorted(set(xs)):
+            out.append(
+                f'<text x="{sx(x):.1f}" y="{HEIGHT - MARGIN["bottom"] + 18}" font-size="11" '
+                f'fill="{INK_SOFT}" text-anchor="middle">{x:g}</text>'
+            )
+    else:  # categorical x: grouped bars, 2px gaps, rounded data ends
+        groups = len(labels)
+        group_w = plot_w / max(groups, 1)
+        bar_w = max((group_w - 8) / max(len(series), 1) - 2, 2)
+        for gi, label in enumerate(labels):
+            gx = MARGIN["left"] + gi * group_w
+            for si, (sname, vs) in enumerate(series):
+                v = vs[gi]
+                if v is None:
+                    continue
+                bx = gx + 4 + si * (bar_w + 2)
+                by = sy(v)
+                bh = max(MARGIN["top"] + plot_h - by, 0.5)
+                out.append(
+                    f'<path d="M{bx:.1f},{by + bh:.1f} v-{max(bh - 2, 0):.1f} '
+                    f"q0,-2 2,-2 h{bar_w - 4:.1f} q2,0 2,2 "
+                    f'v{max(bh - 2, 0):.1f} z" fill="{PALETTE[si]}">'
+                    f"<title>{esc(label)} — {esc(sname)}: {v:g}</title></path>"
+                )
+            rotate = group_w < 56
+            tx, ty = gx + group_w / 2, HEIGHT - MARGIN["bottom"] + 18
+            transform = f' transform="rotate(-35 {tx:.1f} {ty})"' if rotate else ""
+            anchor = "end" if rotate else "middle"
+            out.append(
+                f'<text x="{tx:.1f}" y="{ty}" font-size="11" fill="{INK_SOFT}" '
+                f'text-anchor="{anchor}"{transform}>{esc(label)}</text>'
+            )
+
+    # Legend (only for >= 2 series; a single series is named by the title).
+    if len(series) > 1:
+        lx = MARGIN["left"]
+        for si, (sname, _) in enumerate(series):
+            out.append(
+                f'<rect x="{lx}" y="{MARGIN["top"] - 16}" width="10" height="10" rx="2" '
+                f'fill="{PALETTE[si]}"/>'
+            )
+            out.append(
+                f'<text x="{lx + 14}" y="{MARGIN["top"] - 7}" font-size="11" '
+                f'fill="{INK}">{esc(sname)}</text>'
+            )
+            lx += 14 + 7 * len(sname) + 16
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+def ascii_chart(name, labels, series, width=40):
+    """One scenario's chart as indented text bars."""
+    lines = [f"{name}"]
+    values = [v for _, vs in series for v in vs if v is not None]
+    top = max(values) if values else 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    for sname, vs in series:
+        lines.append(f"  {sname}")
+        for label, v in zip(labels, vs):
+            if v is None:
+                lines.append(f"    {label:<{label_w}}      n/a")
+                continue
+            bar = "#" * max(round(width * v / top), 1) if top else ""
+            lines.append(f"    {label:<{label_w}}  {v:>10.4g}  {bar}")
+    return "\n".join(lines) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("json_dir", type=Path, help="directory of experiments --json exports")
+    ap.add_argument("--out", type=Path, help="SVG output directory (default: json_dir)")
+    ap.add_argument("--ascii", action="store_true", help="print text charts instead of SVGs")
+    args = ap.parse_args()
+
+    files = sorted(args.json_dir.glob("*.json"))
+    if not files:
+        print(f"no .json exports in {args.json_dir}", file=sys.stderr)
+        return 1
+    out_dir = args.out or args.json_dir
+    written = 0
+    for path in files:
+        table = json.loads(path.read_text())
+        header, rows = table["header"], table["rows"]
+        if not rows:
+            print(f"{path.name}: empty table, skipped", file=sys.stderr)
+            continue
+        labels, series, xs, _ = split_columns(header, rows)
+        if not series:
+            print(f"{path.name}: no numeric columns, skipped", file=sys.stderr)
+            continue
+        if args.ascii:
+            print(ascii_chart(path.stem, labels, series))
+        else:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            target = out_dir / f"{path.stem}.svg"
+            target.write_text(svg_chart(path.stem, labels, series, xs))
+            written += 1
+    if not args.ascii:
+        print(f"wrote {written} SVG chart(s) to {out_dir}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

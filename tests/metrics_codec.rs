@@ -1,0 +1,115 @@
+//! Property tests for the shard-file metrics codec: every field of
+//! [`SimMetrics`] — including zero and `u64::MAX` counters — must
+//! survive encode → decode exactly, because merged shard reports are
+//! required to be byte-identical to single-process reports.
+
+use proptest::prelude::*;
+use rfcache_core::RegFileStats;
+use rfcache_frontend::FetchStats;
+use rfcache_pipeline::{OccupancyHistogram, SimMetrics};
+use rfcache_sim::metrics_codec::{decode_metrics_str, encode_metrics};
+
+/// Draws the next counter from the generated pool.
+fn rf_stats(next: &mut impl FnMut() -> u64) -> RegFileStats {
+    RegFileStats {
+        bypass_reads: next(),
+        regfile_reads: next(),
+        writebacks: next(),
+        cached_results: next(),
+        policy_skipped: next(),
+        port_skipped: next(),
+        evictions: next(),
+        demand_transfers: next(),
+        prefetch_transfers: next(),
+        prefetch_dropped: next(),
+        read_port_stalls: next(),
+        upper_miss_stalls: next(),
+        write_port_stalls: next(),
+        values_never_read: next(),
+        values_read_once: next(),
+        values_read_many: next(),
+    }
+}
+
+fn fetch_stats(next: &mut impl FnMut() -> u64) -> FetchStats {
+    FetchStats {
+        fetched: next(),
+        blocks: next(),
+        taken_breaks: next(),
+        icache_stalls: next(),
+        btb_bubbles: next(),
+        branches: next(),
+        mispredicted_branches: next(),
+    }
+}
+
+/// Builds a `SimMetrics` consuming exactly 50 counters (11 scalars +
+/// 2 × 16 register-file stats + 7 fetch stats) plus the histogram and
+/// hit-rate inputs.
+fn metrics_from(
+    counters: &[u64],
+    hit_rate: Option<f64>,
+    value_counts: Vec<u64>,
+    ready_counts: Vec<u64>,
+    samples: (u64, u64),
+) -> SimMetrics {
+    let mut it = counters.iter().copied();
+    let mut next = move || it.next().expect("50 counters");
+    SimMetrics {
+        cycles: next(),
+        committed: next(),
+        branches: next(),
+        mispredicted: next(),
+        squashed: next(),
+        commit_idle_cycles: next(),
+        stall_rob_full: next(),
+        stall_window_full: next(),
+        stall_no_phys_reg: next(),
+        stall_lsq_full: next(),
+        stall_branch_limit: next(),
+        rf_int: rf_stats(&mut next),
+        rf_fp: rf_stats(&mut next),
+        fetch: fetch_stats(&mut next),
+        dcache_hit_rate: hit_rate,
+        occupancy_value: OccupancyHistogram::from_parts(value_counts, samples.0),
+        occupancy_ready: OccupancyHistogram::from_parts(ready_counts, samples.1),
+    }
+}
+
+proptest! {
+    /// Arbitrary counters anywhere in the u64 range — the codec must
+    /// not lose a single bit (an f64 intermediate would).
+    #[test]
+    fn every_field_survives_encode_decode(
+        counters in proptest::collection::vec(0u64..=u64::MAX, 50..51),
+        hit_kind in 0u32..3,
+        hit in 0.0f64..=1.0,
+        value_counts in proptest::collection::vec(0u64..=u64::MAX, 0..6),
+        ready_counts in proptest::collection::vec(0u64..=u64::MAX, 0..6),
+        samples in (0u64..=u64::MAX, 0u64..=u64::MAX),
+    ) {
+        // hit_kind folds Option and boundary cases into one draw:
+        // absent, an arbitrary in-range rate, or exactly 1.0.
+        let hit_rate = match hit_kind {
+            0 => None,
+            1 => Some(hit),
+            _ => Some(1.0),
+        };
+        let m = metrics_from(&counters, hit_rate, value_counts, ready_counts, samples);
+        let encoded = encode_metrics(&m);
+        let decoded = decode_metrics_str(&encoded).expect("codec output must decode");
+        prop_assert_eq!(&m, &decoded, "round trip lost data; encoded: {}", encoded);
+        // A second trip is a fixed point: the encoding is canonical.
+        prop_assert_eq!(encoded.clone(), encode_metrics(&decoded));
+    }
+}
+
+#[test]
+fn all_zero_and_all_max_counters_round_trip() {
+    for fill in [0u64, u64::MAX] {
+        let m = metrics_from(&[fill; 50], Some(0.0), vec![fill, fill], vec![fill], (fill, fill));
+        assert_eq!(m, decode_metrics_str(&encode_metrics(&m)).unwrap());
+    }
+    let default = SimMetrics::default();
+    assert_eq!(default, decode_metrics_str(&encode_metrics(&default)).unwrap());
+}
