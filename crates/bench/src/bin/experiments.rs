@@ -4,9 +4,13 @@
 //! ```text
 //! experiments --list
 //! experiments <name>... | all [--insts N] [--warmup N] [--seed N] [--quick] [--jobs N]
-//!                             [--csv DIR] [--json DIR] [--workers N]
+//!                             [--csv DIR] [--json DIR] [--workers N] [--dist-workers N]
 //! experiments <name>... | all [opts] --shard I/N [--out FILE]
 //! experiments merge FILE... [--csv DIR] [--json DIR]
+//! experiments serve --bind ADDR [--expect K] [--lease-timeout SECS] [--chunk N]
+//!                   <name>... | all [opts] [--csv DIR] [--json DIR]
+//! experiments work --connect ADDR [--jobs N] [--connect-timeout SECS]
+//!                  [--quit-after-leases N]
 //! ```
 //!
 //! `--list` enumerates the registered scenarios; `all` runs every one in
@@ -33,6 +37,20 @@
 //! `--workers N` does the whole round trip in one command by spawning
 //! `N` shard subprocesses of this binary (the `Subprocess` executor).
 //!
+//! **Distributed campaigns.** `serve` turns the invocation into a TCP
+//! coordinator (the `Distributed` executor): it plans the campaign,
+//! listens on `--bind ADDR`, and leases plan-index ranges to every
+//! `work --connect ADDR` process that joins — on this host or others.
+//! Workers re-derive the plan from the `hello` frame and prove it with
+//! a campaign fingerprint; a worker that disconnects or stalls past
+//! `--lease-timeout` has its in-flight indices re-issued, duplicates
+//! are deduplicated by index, and the assembled reports/exports are
+//! byte-identical to the single-process run. `--dist-workers N` is the
+//! one-command localhost path: serve on an ephemeral port and
+//! self-spawn `N` local `work` subprocesses. (`--quit-after-leases N`
+//! is fault injection for tests: the worker simulates a crash after
+//! completing `N` leases.)
+//!
 //! All diagnostics (warnings, progress, errors) go to stderr; stdout
 //! carries only reports or, in shard-worker mode, shard records.
 //!
@@ -40,22 +58,29 @@
 //! (`rfcache_sim::DEFAULT_INSTS` / `DEFAULT_WARMUP`; the paper simulates
 //! 100M after skipping initialization).
 
-use rfcache_sim::executor::{assemble_shard_results, read_shard_file, run_shard, Subprocess};
+use rfcache_sim::executor::{
+    assemble_shard_results, read_shard_file, run_shard, Distributed, Subprocess,
+};
 use rfcache_sim::experiments::ExperimentOpts;
 use rfcache_sim::metrics_codec::CampaignHeader;
+use rfcache_sim::transport::{self, ServeOptions, WorkOptions};
 use rfcache_sim::{
     run_campaign_from_parts, run_campaign_planned, run_campaign_planned_with, scenario, write_csv,
     write_json, RunSpec, ScenarioReport,
 };
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: experiments --list
        experiments <name>... | all [--insts N] [--warmup N] [--seed N] [--quick] [--jobs N]
-                                   [--csv DIR] [--json DIR] [--workers N]
+                                   [--csv DIR] [--json DIR] [--workers N] [--dist-workers N]
        experiments <name>... | all [opts] --shard I/N [--out FILE]
        experiments merge FILE... [--csv DIR] [--json DIR]
+       experiments serve --bind ADDR [--expect K] [--lease-timeout SECS] [--chunk N]
+                         <name>... | all [opts] [--csv DIR] [--json DIR]
+       experiments work --connect ADDR [--jobs N] [--connect-timeout SECS]
+                        [--quit-after-leases N]
 run `experiments --list` for the registered scenario names";
 
 fn main() {
@@ -68,10 +93,11 @@ fn main() {
         list();
         return;
     }
-    if args[0] == "merge" {
-        merge_main(&args[1..]);
-    } else {
-        run_main(&args);
+    match args[0].as_str() {
+        "merge" => merge_main(&args[1..]),
+        "serve" => serve_main(&args[1..]),
+        "work" => work_main(&args[1..]),
+        _ => run_main(&args),
     }
 }
 
@@ -82,6 +108,7 @@ fn run_main(args: &[String]) {
     let mut shard: Option<(usize, usize)> = None;
     let mut out_file: Option<PathBuf> = None;
     let mut workers: Option<usize> = None;
+    let mut dist_workers: Option<usize> = None;
     let mut names: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -96,11 +123,10 @@ fn run_main(args: &[String]) {
             "--shard" => shard = Some(parse_shard(it.next())),
             "--out" => out_file = Some(parse_path("--out", it.next())),
             "--workers" => {
-                let n = parse_num("--workers", it.next()) as usize;
-                if n == 0 {
-                    usage_error("invalid value 0 for --workers: worker count must be positive");
-                }
-                workers = Some(n);
+                workers = Some(parse_positive("--workers", it.next()));
+            }
+            "--dist-workers" => {
+                dist_workers = Some(parse_positive("--dist-workers", it.next()));
             }
             flag if flag.starts_with("--") => {
                 usage_error(&format!("unknown option {flag}"));
@@ -119,6 +145,9 @@ fn run_main(args: &[String]) {
     }
     if shard.is_some() && (csv_dir.is_some() || json_dir.is_some() || workers.is_some()) {
         usage_error("--shard emits a shard file, not reports: drop --csv/--json/--workers");
+    }
+    if dist_workers.is_some() && (shard.is_some() || workers.is_some()) {
+        usage_error("--dist-workers picks the distributed backend: drop --shard/--workers");
     }
 
     let selected = select_scenarios(&names);
@@ -139,35 +168,147 @@ fn run_main(args: &[String]) {
         return;
     }
 
-    let reports = match workers {
-        Some(count) => {
-            let exe = std::env::current_exe()
-                .unwrap_or_else(|e| die(&format!("cannot locate this executable: {e}")));
-            let scratch =
-                std::env::temp_dir().join(format!("rfcache_shards_{}", std::process::id()));
-            // Split the thread budget across the workers: N shards each
-            // running a full per-core pool would oversubscribe the CPU.
-            let total_jobs = if opts.jobs == 0 {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-            } else {
-                opts.jobs
-            };
-            let worker_opts = ExperimentOpts { jobs: (total_jobs / count).max(1), ..opts };
-            let executor =
-                Subprocess::new(exe, campaign_args(&selected, &worker_opts), count, &scratch);
-            let reports = run_campaign_planned_with(&executor, &selected, &opts, plans)
-                .unwrap_or_else(|e| die(&format!("sharded campaign failed: {e}")));
-            let _ = std::fs::remove_dir_all(&scratch);
-            reports
-        }
-        None => run_campaign_planned(&selected, &opts, plans),
+    let reports = if let Some(count) = workers {
+        let exe = std::env::current_exe()
+            .unwrap_or_else(|e| die(&format!("cannot locate this executable: {e}")));
+        let scratch = std::env::temp_dir().join(format!("rfcache_shards_{}", std::process::id()));
+        let worker_opts = ExperimentOpts { jobs: split_jobs(opts.jobs, count), ..opts };
+        let executor =
+            Subprocess::new(exe, campaign_args(&selected, &worker_opts), count, &scratch);
+        let reports = run_campaign_planned_with(&executor, &selected, &opts, plans)
+            .unwrap_or_else(|e| die(&format!("sharded campaign failed: {e}")));
+        let _ = std::fs::remove_dir_all(&scratch);
+        reports
+    } else if let Some(count) = dist_workers {
+        let exe = std::env::current_exe()
+            .unwrap_or_else(|e| die(&format!("cannot locate this executable: {e}")));
+        let serve_opts = ServeOptions { expect: count, ..ServeOptions::default() };
+        let executor = Distributed::new(
+            "127.0.0.1:0",
+            selected.iter().map(|s| s.name.to_string()).collect(),
+            &opts,
+            serve_opts,
+        )
+        .self_spawn(exe, count, split_jobs(opts.jobs, count));
+        run_campaign_planned_with(&executor, &selected, &opts, plans)
+            .unwrap_or_else(|e| die(&e.to_string()))
+    } else {
+        run_campaign_planned(&selected, &opts, plans)
     };
     emit_reports(&selected, &reports, csv_dir.as_deref(), json_dir.as_deref());
+    let backend = match (workers, dist_workers) {
+        (Some(n), _) => format!("{n} subprocess shard(s)"),
+        (None, Some(n)) => format!("{n} distributed worker(s)"),
+        (None, None) => "in-process".to_string(),
+    };
     eprintln!(
-        "[campaign: {} scenario(s), {} simulation(s), {}, {:.1}s]",
+        "[campaign: {} scenario(s), {} simulation(s), {backend}, {:.1}s]",
         selected.len(),
         runs,
-        workers.map_or("in-process".to_string(), |n| format!("{n} subprocess shard(s)")),
+        start.elapsed().as_secs_f64()
+    );
+}
+
+/// Splits the thread budget across `count` worker processes: each
+/// running a full per-core pool would oversubscribe the CPU.
+fn split_jobs(jobs: usize, count: usize) -> usize {
+    let total = if jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        jobs
+    };
+    (total / count).max(1)
+}
+
+/// Runs the campaign as a distributed TCP coordinator.
+fn serve_main(args: &[String]) {
+    let mut opts = ExperimentOpts::default();
+    let mut serve_opts = ServeOptions::default();
+    let mut bind: Option<String> = None;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut json_dir: Option<PathBuf> = None;
+    let mut names: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bind" => bind = Some(parse_value("--bind", it.next())),
+            "--expect" => serve_opts.expect = parse_num("--expect", it.next()) as usize,
+            "--lease-timeout" => {
+                serve_opts.lease_timeout =
+                    Duration::from_secs(parse_positive("--lease-timeout", it.next()) as u64);
+            }
+            "--chunk" => serve_opts.chunk = parse_num("--chunk", it.next()) as usize,
+            "--insts" => opts.insts = parse_num("--insts", it.next()),
+            "--warmup" => opts.warmup = parse_num("--warmup", it.next()),
+            "--seed" => opts.seed = parse_num("--seed", it.next()),
+            "--quick" => opts.quick = true,
+            "--csv" => csv_dir = Some(parse_path("--csv", it.next())),
+            "--json" => json_dir = Some(parse_path("--json", it.next())),
+            flag if flag.starts_with("--") => usage_error(&format!("unknown option {flag}")),
+            name => {
+                if names.contains(&name) {
+                    eprintln!("warning: duplicate scenario name {name} ignored");
+                } else {
+                    names.push(name);
+                }
+            }
+        }
+    }
+    let Some(bind) = bind else {
+        usage_error("serve needs --bind ADDR (e.g. --bind 0.0.0.0:7841)");
+    };
+    let selected = select_scenarios(&names);
+    let plans: Vec<_> = selected.iter().map(|s| s.plan(&opts)).collect();
+    let runs: usize = plans.iter().map(Vec::len).sum();
+    let start = Instant::now();
+    let executor = Distributed::new(
+        bind,
+        selected.iter().map(|s| s.name.to_string()).collect(),
+        &opts,
+        serve_opts,
+    );
+    let reports = run_campaign_planned_with(&executor, &selected, &opts, plans)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    emit_reports(&selected, &reports, csv_dir.as_deref(), json_dir.as_deref());
+    eprintln!(
+        "[campaign: {} scenario(s), {} simulation(s), distributed coordinator, {:.1}s]",
+        selected.len(),
+        runs,
+        start.elapsed().as_secs_f64()
+    );
+}
+
+/// Runs as a distributed campaign worker until the coordinator says done.
+fn work_main(args: &[String]) {
+    let mut connect: Option<String> = None;
+    let mut work_opts = WorkOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = Some(parse_value("--connect", it.next())),
+            "--connect-timeout" => {
+                work_opts.connect_timeout =
+                    Duration::from_secs(parse_num("--connect-timeout", it.next()));
+            }
+            "--jobs" => work_opts.jobs = parse_num("--jobs", it.next()) as usize,
+            "--quit-after-leases" => {
+                work_opts.quit_after_leases =
+                    Some(parse_num("--quit-after-leases", it.next()) as usize);
+            }
+            flag if flag.starts_with("--") => usage_error(&format!("unknown option {flag}")),
+            other => usage_error(&format!("unexpected argument {other} (work takes only flags)")),
+        }
+    }
+    let Some(addr) = connect else {
+        usage_error("work needs --connect ADDR (the coordinator's serve --bind address)");
+    };
+    let start = Instant::now();
+    let summary = transport::work(&addr, &work_opts).unwrap_or_else(|e| die(&e));
+    eprintln!(
+        "[work: {} simulation(s) in {} lease(s){}, {:.1}s]",
+        summary.simulated,
+        summary.leases,
+        if summary.quit_injected { ", quit injected" } else { "" },
         start.elapsed().as_secs_f64()
     );
 }
@@ -252,18 +393,13 @@ fn merge_main(args: &[String]) {
 
     // Re-derive the plan the workers executed and verify it matches.
     let opts = campaign.opts();
-    let selected: Vec<&'static scenario::Scenario> = campaign
-        .scenarios
-        .iter()
-        .map(|name| {
-            scenario::find(name).unwrap_or_else(|| {
-                die(&format!(
-                    "shard files reference unknown scenario {name} (written by a different \
-                     binary version?)"
-                ))
-            })
-        })
-        .collect();
+    let selected: Vec<&'static scenario::Scenario> = scenario::resolve(&campaign.scenarios)
+        .unwrap_or_else(|name| {
+            die(&format!(
+                "shard files reference unknown scenario {name} (written by a different \
+                 binary version?)"
+            ))
+        });
     let plans: Vec<_> = selected.iter().map(|s| s.plan(&opts)).collect();
     let flat: Vec<&RunSpec> = plans.iter().flatten().collect();
     if flat.len() != campaign.runs {
@@ -376,12 +512,24 @@ fn parse_num(flag: &str, arg: Option<&String>) -> u64 {
 }
 
 fn parse_path(flag: &str, arg: Option<&String>) -> PathBuf {
-    // A following `--flag` is not a path: without this check,
+    PathBuf::from(parse_value(flag, arg))
+}
+
+fn parse_value(flag: &str, arg: Option<&String>) -> String {
+    // A following `--flag` is not a value: without this check,
     // `--csv --quick` would silently swallow the next flag as its value.
     match arg {
-        Some(arg) if !arg.starts_with("--") => PathBuf::from(arg),
+        Some(arg) if !arg.starts_with("--") => arg.clone(),
         _ => usage_error(&format!("missing value for {flag}")),
     }
+}
+
+fn parse_positive(flag: &str, arg: Option<&String>) -> usize {
+    let n = parse_num(flag, arg) as usize;
+    if n == 0 {
+        usage_error(&format!("invalid value 0 for {flag}: count must be positive"));
+    }
+    n
 }
 
 /// Parses and validates the `I/N` argument of `--shard`.

@@ -145,6 +145,65 @@ fn seed_flag_selects_the_workload_stream() {
 }
 
 #[test]
+fn merge_names_the_missing_and_duplicated_indices() {
+    let dir = temp_out("coverage");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = ["fig6", "--quick", "--insts", "1500", "--warmup", "300"];
+    let s0 = dir.join("s0.jsonl");
+    let s1 = dir.join("s1.jsonl");
+    for (shard, path) in [("0/2", &s0), ("1/2", &s1)] {
+        let out = experiments()
+            .args(base)
+            .args(["--shard", shard, "--out", path.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    }
+
+    // Drop shard 1's first record (the campaign index right after the
+    // header line) — the coverage error must name that index, not just
+    // report a count.
+    let intact = std::fs::read_to_string(&s1).unwrap();
+    let lines: Vec<&str> = intact.lines().collect();
+    assert!(lines.len() >= 3, "need a header and at least two records");
+    let dropped = lines[1];
+    let marker = "\"index\": ";
+    let at = dropped.find(marker).unwrap() + marker.len();
+    let index: String = dropped[at..].chars().take_while(char::is_ascii_digit).collect();
+    let mut tampered: Vec<&str> = lines.clone();
+    tampered.remove(1);
+    std::fs::write(&s1, format!("{}\n", tampered.join("\n"))).unwrap();
+
+    let s0_records = std::fs::read_to_string(&s0).unwrap().lines().count() - 1;
+    let plan_size = s0_records + (lines.len() - 1);
+    let merge = experiments()
+        .args(["merge", s0.to_str().unwrap(), s1.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!merge.status.success());
+    let stderr = String::from_utf8_lossy(&merge.stderr);
+    assert!(
+        stderr.contains(&format!("missing 1 of {plan_size} campaign index(es): [{index}]")),
+        "stderr: {stderr}"
+    );
+
+    // Duplicate a record instead: the error must name it as duplicated.
+    std::fs::write(&s1, format!("{intact}{dropped}\n")).unwrap();
+    let merge = experiments()
+        .args(["merge", s0.to_str().unwrap(), s1.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!merge.status.success());
+    let stderr = String::from_utf8_lossy(&merge.stderr);
+    assert!(
+        stderr.contains(&format!("duplicated campaign index(es): [{index}]")),
+        "stderr: {stderr}"
+    );
+    assert!(!stderr.contains("missing"), "a pure duplicate must not report gaps: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn rejects_unknown_scenarios_and_empty_selection() {
     let out = experiments().args(["fig4"]).output().expect("binary runs");
     assert!(!out.status.success());

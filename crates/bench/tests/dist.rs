@@ -1,0 +1,176 @@
+//! End-to-end tests of the distributed TCP backend: `serve` + `work`
+//! processes (and the one-command `--dist-workers` path) must reproduce
+//! the single-process run byte for byte — stdout reports and CSV/JSON
+//! exports alike — including when a worker dies mid-campaign and its
+//! leases are re-issued.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+
+/// A two-scenario campaign: big enough for several leases, small enough
+/// to keep the debug-build test quick.
+const CAMPAIGN: &[&str] = &["fig6", "fig5", "--quick", "--insts", "2000", "--warmup", "500"];
+
+fn experiments(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments")).args(args).output().expect("binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rfcache_dist_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every file in `dir`, name → bytes.
+fn dir_contents(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        out.insert(name, std::fs::read(&path).unwrap());
+    }
+    out
+}
+
+fn run_reference(dir: &Path) -> Output {
+    let out = experiments(
+        &[CAMPAIGN, &["--csv", dir.to_str().unwrap(), "--json", dir.to_str().unwrap()]].concat(),
+    );
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    out
+}
+
+#[test]
+fn dist_workers_is_byte_identical_to_single_process() {
+    let work = temp_dir("workers");
+    let ref_dir = work.join("ref");
+    let dist_dir = work.join("dist");
+    let reference = run_reference(&ref_dir);
+
+    let dist = experiments(
+        &[
+            CAMPAIGN,
+            &[
+                "--dist-workers",
+                "2",
+                "--csv",
+                dist_dir.to_str().unwrap(),
+                "--json",
+                dist_dir.to_str().unwrap(),
+            ],
+        ]
+        .concat(),
+    );
+    assert!(dist.status.success(), "stderr: {}", String::from_utf8_lossy(&dist.stderr));
+    assert_eq!(
+        String::from_utf8_lossy(&reference.stdout),
+        String::from_utf8_lossy(&dist.stdout),
+        "distributed stdout reports diverge from the single-process run"
+    );
+    assert_eq!(dir_contents(&ref_dir), dir_contents(&dist_dir));
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+/// Spawns `serve` on an ephemeral port and returns the child plus the
+/// address it logged, draining the rest of its stderr in a thread (a
+/// full pipe would deadlock the coordinator).
+fn spawn_serve(dist_dir: &Path) -> (Child, String, std::sync::mpsc::Receiver<String>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["serve", "--bind", "127.0.0.1:0", "--chunk", "1", "--lease-timeout", "600"])
+        .args(CAMPAIGN)
+        .args(["--csv", dist_dir.to_str().unwrap(), "--json", dist_dir.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let stderr = child.stderr.take().unwrap();
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let (log_tx, log_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut log = String::new();
+        for line in BufReader::new(stderr).lines() {
+            let line = line.unwrap_or_default();
+            if let Some(rest) = line.strip_prefix("[serve: listening on ") {
+                let addr = rest.split(',').next().unwrap_or(rest).trim_end_matches(']');
+                let _ = addr_tx.send(addr.to_string());
+            }
+            log.push_str(&line);
+            log.push('\n');
+        }
+        let _ = log_tx.send(log);
+    });
+    let addr = addr_rx
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("serve logs its listening address");
+    (child, addr, log_rx)
+}
+
+#[test]
+fn killed_worker_leases_are_reissued_and_output_converges() {
+    let work = temp_dir("reissue");
+    let ref_dir = work.join("ref");
+    let dist_dir = work.join("dist");
+    let reference = run_reference(&ref_dir);
+
+    let (serve, addr, serve_log) = spawn_serve(&dist_dir);
+
+    // Worker 1 completes exactly one lease, then simulates a crash:
+    // it exits on receiving its second lease without processing it —
+    // that lease is in flight from the coordinator's point of view.
+    let faulty =
+        experiments(&["work", "--connect", &addr, "--jobs", "1", "--quit-after-leases", "1"]);
+    assert!(faulty.status.success(), "stderr: {}", String::from_utf8_lossy(&faulty.stderr));
+    let faulty_log = String::from_utf8_lossy(&faulty.stderr);
+    assert!(faulty_log.contains("fault injection"), "stderr: {faulty_log}");
+
+    // Worker 2 joins afterwards and must pick up the re-queued lease
+    // plus everything still pending.
+    let survivor = experiments(&["work", "--connect", &addr]);
+    assert!(survivor.status.success(), "stderr: {}", String::from_utf8_lossy(&survivor.stderr));
+
+    let out = serve.wait_with_output().expect("serve exits");
+    let log = serve_log.recv_timeout(std::time::Duration::from_secs(10)).unwrap_or_default();
+    assert!(out.status.success(), "serve stderr: {log}");
+    assert!(log.contains("re-queued"), "the dead worker's lease must be re-queued: {log}");
+
+    assert_eq!(
+        String::from_utf8_lossy(&reference.stdout),
+        String::from_utf8_lossy(&out.stdout),
+        "post-crash reports diverge from the single-process run"
+    );
+    assert_eq!(dir_contents(&ref_dir), dir_contents(&dist_dir));
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn work_and_serve_name_their_required_flags() {
+    let out = experiments(&["work"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("work needs --connect"), "stderr: {stderr}");
+
+    let out = experiments(&["serve", "fig6"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("serve needs --bind"), "stderr: {stderr}");
+
+    let out = experiments(&["fig6", "--dist-workers", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid value 0 for --dist-workers"), "stderr: {stderr}");
+
+    let out = experiments(&["fig6", "--dist-workers", "2", "--workers", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("drop --shard/--workers"), "stderr: {stderr}");
+
+    // A worker pointed at nothing fails with the address in the message
+    // (short retry window so the test stays fast).
+    let out = experiments(&["work", "--connect", "127.0.0.1:1", "--connect-timeout", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("127.0.0.1:1"), "stderr: {stderr}");
+}

@@ -1,7 +1,7 @@
 //! Pluggable campaign execution backends.
 //!
 //! [`run_campaign`](crate::scenario::run_campaign) plans a flat list of
-//! [`RunSpec`]s; an [`Executor`] decides *where* those specs run. Two
+//! [`RunSpec`]s; an [`Executor`] decides *where* those specs run. Three
 //! backends ship:
 //!
 //! * [`InProcess`] — the original shared-work-queue thread pool
@@ -14,17 +14,24 @@
 //!   plan-ordered result vector, verifying each record's spec
 //!   fingerprint so *plan drift* between coordinator and worker is an
 //!   error instead of a silently scrambled report.
+//! * [`Distributed`] — a TCP coordinator ([`crate::transport`]) leasing
+//!   plan-index ranges to an elastic pool of `experiments work`
+//!   processes on any host, with disconnect re-queue, lease-timeout
+//!   re-issue for stragglers, and per-record fingerprint verification.
 //!
-//! Both backends return results in plan order, so every scenario's
+//! All backends return results in plan order, so every scenario's
 //! `assemble()` sees exactly what a sequential run would have produced —
-//! merged output is byte-identical across backends and shard counts.
+//! merged output is byte-identical across backends, shard counts and
+//! worker pools.
 
+use crate::experiments::ExperimentOpts;
 use crate::metrics_codec::{CampaignHeader, ShardRecord};
 use crate::run::{par_indexed, RunResult, RunSpec};
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
+use std::sync::Mutex;
 
 /// Why a campaign execution failed.
 #[derive(Debug)]
@@ -60,7 +67,13 @@ pub enum ExecutorError {
     },
     /// The shard files do not cover the plan exactly once.
     Coverage {
-        /// Which index is missing or duplicated.
+        /// Which indices are missing or duplicated.
+        detail: String,
+    },
+    /// The distributed transport could not complete the campaign
+    /// (aborted, or every worker was lost).
+    Transport {
+        /// What went wrong.
         detail: String,
     },
 }
@@ -79,6 +92,9 @@ impl fmt::Display for ExecutorError {
                 write!(f, "plan drift at campaign index {index}: {detail}")
             }
             ExecutorError::Coverage { detail } => write!(f, "incomplete shard coverage: {detail}"),
+            ExecutorError::Transport { detail } => {
+                write!(f, "distributed campaign failed: {detail}")
+            }
         }
     }
 }
@@ -93,7 +109,7 @@ impl std::error::Error for ExecutorError {
 }
 
 impl ExecutorError {
-    fn io(context: impl Into<String>, source: io::Error) -> Self {
+    pub(crate) fn io(context: impl Into<String>, source: io::Error) -> Self {
         ExecutorError::Io { context: context.into(), source }
     }
 }
@@ -267,6 +283,157 @@ impl Executor for Subprocess {
     }
 }
 
+/// The distributed TCP backend: a lease-based coordinator
+/// ([`crate::transport::serve`]) over an elastic pool of `experiments
+/// work` processes, on this host or others.
+///
+/// Workers re-derive the campaign plan from the `hello` frame's
+/// [`CampaignHeader`] and prove it with a campaign fingerprint, then
+/// stream fingerprint-verified records back lease by lease; a worker
+/// that disconnects or stalls past the lease timeout has its in-flight
+/// indices re-issued, and duplicate records are deduplicated by plan
+/// index — so the assembled results (and therefore all reports and
+/// exports) are byte-identical to [`InProcess`] no matter how many
+/// workers join, leave, or crash along the way.
+///
+/// With [`self_spawn`](Self::self_spawn) the backend also launches `N`
+/// local worker subprocesses and supervises them (the CLI's
+/// `--dist-workers N` path): if every self-spawned worker exits before
+/// the campaign completes, the campaign aborts instead of waiting for
+/// workers that will never come.
+#[derive(Debug, Clone)]
+pub struct Distributed {
+    bind: String,
+    scenarios: Vec<String>,
+    opts: ExperimentOpts,
+    serve_opts: crate::transport::ServeOptions,
+    self_spawn: Option<SelfSpawn>,
+}
+
+/// Self-spawned local worker pool configuration (the one-command
+/// localhost path).
+#[derive(Debug, Clone)]
+pub struct SelfSpawn {
+    /// The worker binary (normally the `experiments` CLI itself).
+    pub worker: PathBuf,
+    /// How many worker processes to launch.
+    pub count: usize,
+    /// `--jobs` threads per worker.
+    pub jobs: usize,
+}
+
+impl Distributed {
+    /// Configures the backend: listen on `bind` (e.g. `0.0.0.0:7841`,
+    /// or port `0` for an ephemeral port — the chosen address is logged
+    /// to stderr) and serve the campaign described by `scenarios` +
+    /// `opts` under the given lease policy.
+    pub fn new(
+        bind: impl Into<String>,
+        scenarios: Vec<String>,
+        opts: &ExperimentOpts,
+        serve_opts: crate::transport::ServeOptions,
+    ) -> Self {
+        Distributed { bind: bind.into(), scenarios, opts: *opts, serve_opts, self_spawn: None }
+    }
+
+    /// Additionally spawn and supervise `count` local worker processes
+    /// (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn self_spawn(mut self, worker: impl Into<PathBuf>, count: usize, jobs: usize) -> Self {
+        assert!(count > 0, "at least one worker");
+        self.self_spawn = Some(SelfSpawn { worker: worker.into(), count, jobs });
+        self
+    }
+}
+
+impl Executor for Distributed {
+    fn name(&self) -> String {
+        match &self.self_spawn {
+            Some(sp) => format!("distributed ({} self-spawned worker(s))", sp.count),
+            None => "distributed (TCP coordinator)".into(),
+        }
+    }
+
+    fn execute(&self, specs: &[&RunSpec]) -> Result<Vec<RunResult>, ExecutorError> {
+        let listener = std::net::TcpListener::bind(&self.bind)
+            .map_err(|e| ExecutorError::io(format!("cannot bind {}", self.bind), e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ExecutorError::io("cannot read the bound address", e))?;
+        eprintln!("[serve: listening on {addr}, {} simulation(s)]", specs.len());
+        let header = CampaignHeader::new(self.scenarios.clone(), &self.opts, 0, 1, specs.len());
+
+        let children = Mutex::new(Vec::new());
+        if let Some(sp) = &self.self_spawn {
+            let mut spawned = children.lock().expect("no prior panic");
+            for _ in 0..sp.count {
+                let child = Command::new(&sp.worker)
+                    .arg("work")
+                    .arg("--connect")
+                    .arg(addr.to_string())
+                    .arg("--jobs")
+                    .arg(sp.jobs.to_string())
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::null())
+                    // stderr inherits: worker diagnostics surface directly.
+                    .spawn()
+                    .map_err(|e| {
+                        ExecutorError::io(format!("cannot spawn {}", sp.worker.display()), e)
+                    });
+                match child {
+                    Ok(child) => spawned.push(child),
+                    Err(e) => {
+                        for mut c in spawned.drain(..) {
+                            let _ = c.kill();
+                            let _ = c.wait();
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        let signals = crate::transport::ServeSignals::new();
+        let result = std::thread::scope(|scope| {
+            if let Some(sp) = &self.self_spawn {
+                // Watcher: a campaign whose whole self-spawned pool died
+                // must abort, not wait forever for workers that will
+                // never reconnect.
+                scope.spawn(|| {
+                    while !signals.finished() {
+                        std::thread::sleep(std::time::Duration::from_millis(200));
+                        let mut kids = children.lock().expect("no prior panic");
+                        let all_gone = kids.iter_mut().all(|c| matches!(c.try_wait(), Ok(Some(_))));
+                        drop(kids);
+                        if all_gone {
+                            signals.abort(&format!(
+                                "all {} self-spawned worker(s) exited before the campaign \
+                                 completed",
+                                sp.count
+                            ));
+                            break;
+                        }
+                    }
+                });
+            }
+            crate::transport::serve(&listener, &header, specs, &self.serve_opts, &signals)
+        });
+
+        // The campaign is over either way: reap the worker pool. On
+        // success workers have been sent `done` and are exiting; on
+        // failure they would block on a dead coordinator.
+        for mut child in children.into_inner().expect("no prior panic").drain(..) {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        result
+    }
+}
+
 /// Runs the worker half of a sharded campaign: executes the plan indices
 /// `i % header.of == header.shard` on `jobs` threads (0 = one per
 /// available core) and writes the header plus one record per completed
@@ -336,12 +503,15 @@ pub fn read_shard_file(path: &Path) -> Result<(CampaignHeader, Vec<ShardRecord>)
 ///
 /// Returns [`ExecutorError::PlanDrift`] on a fingerprint mismatch or
 /// unknown benchmark, [`ExecutorError::Coverage`] on missing, duplicate
-/// or out-of-range indices.
+/// or out-of-range indices. A coverage failure names *every* missing
+/// and duplicated index (range-compressed), not just the first — which
+/// shard to re-run is then obvious from the index arithmetic.
 pub fn assemble_shard_results(
     specs: &[&RunSpec],
     records: Vec<ShardRecord>,
 ) -> Result<Vec<RunResult>, ExecutorError> {
     let mut slots: Vec<Option<RunResult>> = (0..specs.len()).map(|_| None).collect();
+    let mut duplicated: Vec<usize> = Vec::new();
     for record in records {
         let index = record.index;
         if index >= specs.len() {
@@ -361,24 +531,59 @@ pub fn assemble_shard_results(
             });
         }
         if slots[index].is_some() {
-            return Err(ExecutorError::Coverage {
-                detail: format!("campaign index {index} appears in more than one record"),
-            });
+            duplicated.push(index);
+            continue;
         }
         let result = record
             .into_run_result()
             .map_err(|e| ExecutorError::PlanDrift { index, detail: e.to_string() })?;
         slots[index] = Some(result);
     }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| {
-            slot.ok_or_else(|| ExecutorError::Coverage {
-                detail: format!("no record for campaign index {i}"),
-            })
-        })
-        .collect()
+    let missing: Vec<usize> =
+        slots.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(i, _)| i).collect();
+    if !missing.is_empty() || !duplicated.is_empty() {
+        duplicated.sort_unstable();
+        duplicated.dedup();
+        let mut parts = Vec::new();
+        if !missing.is_empty() {
+            parts.push(format!(
+                "missing {} of {} campaign index(es): {}",
+                missing.len(),
+                specs.len(),
+                format_index_ranges(&missing)
+            ));
+        }
+        if !duplicated.is_empty() {
+            parts.push(format!(
+                "duplicated campaign index(es): {}",
+                format_index_ranges(&duplicated)
+            ));
+        }
+        return Err(ExecutorError::Coverage { detail: parts.join("; ") });
+    }
+    Ok(slots.into_iter().map(|slot| slot.expect("gaps were reported above")).collect())
+}
+
+/// Renders sorted indices as compact ranges: `[0-3, 7, 9-12]`. Long
+/// lists are truncated after 16 ranges with an elision count.
+fn format_index_ranges(sorted: &[usize]) -> String {
+    const MAX_RANGES: usize = 16;
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for &i in sorted {
+        match ranges.last_mut() {
+            Some((_, end)) if *end + 1 == i => *end = i,
+            _ => ranges.push((i, i)),
+        }
+    }
+    let shown = ranges.len().min(MAX_RANGES);
+    let mut parts: Vec<String> = ranges[..shown]
+        .iter()
+        .map(|&(a, b)| if a == b { a.to_string() } else { format!("{a}-{b}") })
+        .collect();
+    if ranges.len() > MAX_RANGES {
+        parts.push(format!("… ({} more range(s))", ranges.len() - MAX_RANGES));
+    }
+    format!("[{}]", parts.join(", "))
 }
 
 #[cfg(test)]
@@ -450,14 +655,21 @@ mod tests {
         let err = assemble_shard_results(&refs, vec![drifted, record(1), record(2)]).unwrap_err();
         assert!(matches!(err, ExecutorError::PlanDrift { index: 0, .. }), "{err}");
 
-        // Duplicate index.
+        // Duplicate index: named, not just counted.
         let err = assemble_shard_results(&refs, vec![record(0), record(0), record(1), record(2)])
             .unwrap_err();
         assert!(matches!(err, ExecutorError::Coverage { .. }), "{err}");
+        assert!(err.to_string().contains("duplicated campaign index(es): [0]"), "{err}");
 
-        // Missing index.
+        // Missing index: named, with the plan size for context.
         let err = assemble_shard_results(&refs, vec![record(0), record(2)]).unwrap_err();
-        assert!(err.to_string().contains("no record for campaign index 1"), "{err}");
+        assert!(err.to_string().contains("missing 1 of 3 campaign index(es): [1]"), "{err}");
+
+        // Both at once: one error reports the full coverage picture.
+        let err = assemble_shard_results(&refs, vec![record(0), record(0)]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("missing 2 of 3 campaign index(es): [1-2]"), "{msg}");
+        assert!(msg.contains("duplicated campaign index(es): [0]"), "{msg}");
 
         // Out of range.
         let mut wild = record(2);
@@ -469,6 +681,18 @@ mod tests {
         let ok = assemble_shard_results(&refs, vec![record(2), record(0), record(1)]).unwrap();
         assert_eq!(ok[0].bench, "li");
         assert_eq!(ok[2].bench, "swim");
+    }
+
+    #[test]
+    fn index_ranges_compress_and_truncate() {
+        assert_eq!(format_index_ranges(&[1]), "[1]");
+        assert_eq!(format_index_ranges(&[0, 1, 2, 3, 7, 9, 10, 11, 12]), "[0-3, 7, 9-12]");
+        // 20 isolated indices → 16 ranges shown, 4 elided.
+        let sparse: Vec<usize> = (0..20).map(|i| i * 2).collect();
+        let rendered = format_index_ranges(&sparse);
+        assert!(rendered.contains("30"), "{rendered}");
+        assert!(!rendered.contains("38"), "{rendered}");
+        assert!(rendered.contains("(4 more range(s))"), "{rendered}");
     }
 
     #[test]

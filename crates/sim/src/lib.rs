@@ -29,14 +29,16 @@ pub mod metrics_codec;
 mod run;
 pub mod scenario;
 mod table;
+pub mod transport;
 
 pub use csv::write_csv;
-pub use executor::{Executor, ExecutorError, InProcess, Subprocess};
+pub use executor::{Distributed, Executor, ExecutorError, InProcess, Subprocess};
 pub use json::{parse_json, write_json, JsonParseError, JsonValue};
 pub use means::{geometric_mean, harmonic_mean};
 pub use rfcache_area::{pareto_frontier, ParetoPoint};
 pub use run::{
-    par_indexed, run_suite, run_suite_jobs, RunResult, RunSpec, DEFAULT_INSTS, DEFAULT_WARMUP,
+    campaign_fingerprint, par_indexed, run_suite, run_suite_jobs, RunResult, RunSpec,
+    DEFAULT_INSTS, DEFAULT_WARMUP,
 };
 pub use scenario::{
     run_campaign, run_campaign_from_parts, run_campaign_planned, run_campaign_planned_with,

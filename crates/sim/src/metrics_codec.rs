@@ -228,15 +228,24 @@ impl ShardRecord {
     ///
     /// Returns [`CodecError`] on malformed JSON or a malformed record.
     pub fn parse(line: &str) -> Result<Self, CodecError> {
-        let v = parse_json(line).map_err(|e| CodecError::new(e.to_string()))?;
-        let fingerprint = u64::from_str_radix(str_field(&v, "fingerprint")?, 16)
+        Self::from_value(&parse_json(line).map_err(|e| CodecError::new(e.to_string()))?)
+    }
+
+    /// Decodes an already parsed record object (also used for `record`
+    /// frames of the distributed transport, which carry the same fields).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on a malformed record.
+    pub fn from_value(v: &JsonValue) -> Result<Self, CodecError> {
+        let fingerprint = u64::from_str_radix(str_field(v, "fingerprint")?, 16)
             .map_err(|_| CodecError::new("field `fingerprint` is not a hex u64"))?;
         Ok(ShardRecord {
-            index: usize_field(&v, "index")?,
+            index: usize_field(v, "index")?,
             fingerprint,
-            bench: str_field(&v, "bench")?.to_string(),
-            fp: bool_field(&v, "fp")?,
-            metrics: decode_metrics(field(&v, "metrics")?)?,
+            bench: str_field(v, "bench")?.to_string(),
+            fp: bool_field(v, "fp")?,
+            metrics: decode_metrics(field(v, "metrics")?)?,
         })
     }
 
@@ -355,8 +364,18 @@ impl CampaignHeader {
     /// Returns [`CodecError`] on malformed JSON, a malformed header, or
     /// an inconsistent shard slice (`of` = 0 or `shard` ≥ `of`).
     pub fn parse(line: &str) -> Result<Self, CodecError> {
-        let v = parse_json(line).map_err(|e| CodecError::new(e.to_string()))?;
-        let scenarios = field(&v, "scenarios")?
+        Self::from_value(&parse_json(line).map_err(|e| CodecError::new(e.to_string()))?)
+    }
+
+    /// Decodes an already parsed header object (also used for the
+    /// campaign description inside a `hello` frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on a malformed header or an inconsistent
+    /// shard slice.
+    pub fn from_value(v: &JsonValue) -> Result<Self, CodecError> {
+        let scenarios = field(v, "scenarios")?
             .as_array()
             .ok_or_else(|| CodecError::new("field `scenarios` is not an array"))?
             .iter()
@@ -368,13 +387,13 @@ impl CampaignHeader {
             .collect::<Result<Vec<_>, _>>()?;
         let header = CampaignHeader {
             scenarios,
-            insts: u64_field(&v, "insts")?,
-            warmup: u64_field(&v, "warmup")?,
-            seed: u64_field(&v, "seed")?,
-            quick: bool_field(&v, "quick")?,
-            shard: usize_field(&v, "shard")?,
-            of: usize_field(&v, "of")?,
-            runs: usize_field(&v, "runs")?,
+            insts: u64_field(v, "insts")?,
+            warmup: u64_field(v, "warmup")?,
+            seed: u64_field(v, "seed")?,
+            quick: bool_field(v, "quick")?,
+            shard: usize_field(v, "shard")?,
+            of: usize_field(v, "of")?,
+            runs: usize_field(v, "runs")?,
         };
         if header.of == 0 {
             return Err(CodecError::new("shard count 0/0 is invalid"));
@@ -386,6 +405,111 @@ impl CampaignHeader {
             )));
         }
         Ok(header)
+    }
+}
+
+/// One frame of the distributed campaign protocol
+/// ([`crate::transport`]): newline-delimited JSON over TCP, reusing the
+/// shard-file codec for the payload types.
+///
+/// The conversation is:
+///
+/// 1. coordinator → worker: [`Hello`](Frame::Hello) carrying the
+///    [`CampaignHeader`] (enough to re-derive the plan) and the
+///    coordinator's campaign fingerprint;
+/// 2. worker → coordinator: `Hello` with the fingerprint of the plan
+///    the *worker* derived (no campaign — drift check);
+/// 3. coordinator → worker: [`Lease`](Frame::Lease) with the plan
+///    indices to simulate;
+/// 4. worker → coordinator: one [`Record`](Frame::Record) per completed
+///    index, then [`Done`](Frame::Done) to acknowledge the lease;
+/// 5. steps 3–4 repeat until the coordinator answers with `Done`
+///    instead of a new lease: the campaign is complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Handshake. The coordinator's hello carries the campaign; the
+    /// worker's reply omits it and echoes the fingerprint it computed
+    /// from its own re-derived plan.
+    Hello {
+        /// The campaign description (coordinator → worker only).
+        campaign: Option<CampaignHeader>,
+        /// [`crate::run::campaign_fingerprint`] of the flattened plan.
+        fingerprint: u64,
+    },
+    /// A work-item lease: plan indices for the worker to simulate.
+    Lease {
+        /// Coordinator-assigned lease id (diagnostics; re-issued leases
+        /// get fresh ids).
+        id: u64,
+        /// The campaign plan indices to simulate.
+        indices: Vec<usize>,
+    },
+    /// One completed simulation (worker → coordinator). Boxed: the
+    /// full metrics set dwarfs the other variants.
+    Record(Box<ShardRecord>),
+    /// Worker → coordinator: the current lease's records are all sent.
+    /// Coordinator → worker: no work remains, disconnect cleanly.
+    Done,
+}
+
+impl Frame {
+    /// Encodes the frame as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Frame::Hello { campaign, fingerprint } => match campaign {
+                Some(header) => format!(
+                    "{{\"type\": \"hello\", \"fingerprint\": \"{fingerprint:016x}\", \
+                     \"campaign\": {}}}",
+                    header.to_line()
+                ),
+                None => format!("{{\"type\": \"hello\", \"fingerprint\": \"{fingerprint:016x}\"}}"),
+            },
+            Frame::Lease { id, indices } => {
+                let list: Vec<String> = indices.iter().map(usize::to_string).collect();
+                format!("{{\"type\": \"lease\", \"id\": {id}, \"indices\": [{}]}}", list.join(", "))
+            }
+            // A record frame is a shard record plus the `type` tag, so
+            // the two codecs cannot drift apart.
+            Frame::Record(record) => format!("{{\"type\": \"record\", {}", &record.to_line()[1..]),
+            Frame::Done => "{\"type\": \"done\"}".to_string(),
+        }
+    }
+
+    /// Decodes one frame line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on malformed JSON, an unknown frame type,
+    /// or a malformed payload.
+    pub fn parse(line: &str) -> Result<Self, CodecError> {
+        let v = parse_json(line).map_err(|e| CodecError::new(e.to_string()))?;
+        match str_field(&v, "type")? {
+            "hello" => {
+                let fingerprint = u64::from_str_radix(str_field(&v, "fingerprint")?, 16)
+                    .map_err(|_| CodecError::new("field `fingerprint` is not a hex u64"))?;
+                let campaign = match v.get("campaign") {
+                    Some(header) => Some(CampaignHeader::from_value(header)?),
+                    None => None,
+                };
+                Ok(Frame::Hello { campaign, fingerprint })
+            }
+            "lease" => {
+                let indices = field(&v, "indices")?
+                    .as_array()
+                    .ok_or_else(|| CodecError::new("field `indices` is not an array"))?
+                    .iter()
+                    .map(|i| {
+                        i.as_u64()
+                            .and_then(|i| usize::try_from(i).ok())
+                            .ok_or_else(|| CodecError::new("non-usize entry in `indices`"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Frame::Lease { id: u64_field(&v, "id")?, indices })
+            }
+            "record" => Ok(Frame::Record(Box::new(ShardRecord::from_value(&v)?))),
+            "done" => Ok(Frame::Done),
+            other => Err(CodecError::new(format!("unknown frame type `{other}`"))),
+        }
     }
 }
 
@@ -493,5 +617,41 @@ mod tests {
         assert!(CampaignHeader::parse(&bad).unwrap_err().to_string().contains("less than"));
         let zero = header.to_line().replace("\"of\": 4", "\"of\": 0");
         assert!(CampaignHeader::parse(&zero).is_err());
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        let opts = ExperimentOpts::smoke();
+        let header = CampaignHeader::new(vec!["fig6".into()], &opts, 0, 1, 12);
+        let spec = RunSpec::new("li", RegFileConfig::Single(SingleBankConfig::one_cycle()))
+            .insts(1_500)
+            .warmup(300);
+        let record = ShardRecord::from_result(3, spec.fingerprint(), &spec.run());
+        let frames = [
+            Frame::Hello { campaign: Some(header), fingerprint: 0x00ab_cdef_0123_4567 },
+            Frame::Hello { campaign: None, fingerprint: u64::MAX },
+            Frame::Lease { id: 7, indices: vec![0, 5, 11] },
+            Frame::Lease { id: 8, indices: vec![] },
+            Frame::Record(Box::new(record)),
+            Frame::Done,
+        ];
+        for frame in &frames {
+            let line = frame.to_line();
+            assert!(!line.contains('\n'), "frames must be single lines: {line}");
+            assert_eq!(&Frame::parse(&line).unwrap(), frame, "{line}");
+        }
+    }
+
+    #[test]
+    fn frame_parse_rejects_unknown_types_and_bad_payloads() {
+        assert!(Frame::parse("{\"type\": \"nope\"}").unwrap_err().to_string().contains("nope"));
+        assert!(Frame::parse("{\"id\": 1}").is_err(), "missing type field");
+        assert!(Frame::parse("{\"type\": \"lease\", \"id\": 1}").is_err(), "missing indices");
+        assert!(
+            Frame::parse("{\"type\": \"lease\", \"id\": 1, \"indices\": [-1]}").is_err(),
+            "negative index"
+        );
+        assert!(Frame::parse("{\"type\": \"hello\", \"fingerprint\": \"xyz\"}").is_err());
+        assert!(Frame::parse("not json").is_err());
     }
 }

@@ -124,6 +124,28 @@ impl RunSpec {
     }
 }
 
+/// A stable fingerprint of an entire campaign plan: FNV-1a folded over
+/// every spec's [`RunSpec::fingerprint`] in plan order.
+///
+/// The distributed transport's handshake compares the coordinator's and
+/// each worker's campaign fingerprint, so a worker that derived a
+/// different plan (mismatched options, binary versions, or registry
+/// order) is rejected before any lease is issued. Like the per-spec
+/// fingerprint, the value is only meaningful between processes built
+/// from the same sources.
+pub fn campaign_fingerprint(specs: &[&RunSpec]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for spec in specs {
+        for byte in spec.fingerprint().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
 /// Result of one simulation.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -267,6 +289,18 @@ mod tests {
     #[should_panic(expected = "unknown benchmark")]
     fn unknown_bench_panics() {
         let _ = RunSpec::new("quake", one_cycle());
+    }
+
+    #[test]
+    fn campaign_fingerprint_is_order_and_content_sensitive() {
+        let a = RunSpec::new("li", one_cycle());
+        let b = RunSpec::new("go", one_cycle());
+        let ab = campaign_fingerprint(&[&a, &b]);
+        assert_eq!(ab, campaign_fingerprint(&[&a, &b]), "deterministic");
+        assert_ne!(ab, campaign_fingerprint(&[&b, &a]), "plan order matters");
+        assert_ne!(ab, campaign_fingerprint(&[&a]), "plan length matters");
+        let c = a.clone().seed(a.seed + 1);
+        assert_ne!(ab, campaign_fingerprint(&[&a, &c]), "spec content matters");
     }
 
     /// The work queue really fans out: with as many barrier-waiting tasks

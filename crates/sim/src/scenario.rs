@@ -261,6 +261,18 @@ pub fn find(name: &str) -> Option<&'static Scenario> {
     registry().iter().find(|s| s.name == name)
 }
 
+/// Resolves a list of scenario names against the registry, preserving
+/// input order. Shard-file merging and the distributed transport both
+/// re-derive campaign plans from recorded names through this.
+///
+/// # Errors
+///
+/// Returns the first unknown name (typically: the names were recorded
+/// by a different binary version).
+pub fn resolve(names: &[String]) -> Result<Vec<&'static Scenario>, String> {
+    names.iter().map(|name| find(name).ok_or_else(|| name.clone())).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +288,16 @@ mod tests {
             assert_eq!(find(name).unwrap().name, name);
         }
         assert!(find("fig4").is_none(), "the paper has no figure 4");
+    }
+
+    #[test]
+    fn resolve_preserves_order_and_names_the_unknown() {
+        let names: Vec<String> = vec!["fig6".into(), "table2".into()];
+        let resolved = resolve(&names).unwrap();
+        assert_eq!(resolved[0].name, "fig6");
+        assert_eq!(resolved[1].name, "table2");
+        let bad: Vec<String> = vec!["fig6".into(), "fig4".into()];
+        assert_eq!(resolve(&bad).unwrap_err(), "fig4");
     }
 
     #[test]

@@ -1,0 +1,816 @@
+//! TCP transport for distributed campaigns: a lease-based
+//! coordinator/worker protocol over newline-delimited JSON frames.
+//!
+//! The coordinator ([`serve`]) owns the deterministic campaign plan. It
+//! never ships a [`RunSpec`] over the wire — a connecting worker
+//! ([`work`]) receives the [`CampaignHeader`] in the `hello` frame,
+//! re-derives the *same* plan from the scenario registry, and proves it
+//! did by echoing the plan's [`campaign_fingerprint`]. After that
+//! handshake the coordinator hands out **leases** (small index ranges of
+//! the flat plan) and folds the streamed `record` frames into a
+//! plan-ordered result vector, so reports assembled from a distributed
+//! run are byte-identical to a single-process run.
+//!
+//! **Fault tolerance.** Completed indices are tracked per lease in a
+//! [`LeaseTable`]:
+//!
+//! * a worker that *disconnects* (crash, kill, network drop) has its
+//!   unfinished lease indices re-queued immediately;
+//! * a worker that *stalls* past the lease timeout keeps its connection,
+//!   but an idle worker asking for work will be re-issued the overdue
+//!   indices (straggler mitigation);
+//! * duplicate records — inevitable when a straggler finishes after its
+//!   lease was re-issued — are deduplicated by plan index, and every
+//!   record's spec fingerprint is verified before it fills a slot, so a
+//!   drifting worker is a loud [`ExecutorError::PlanDrift`] instead of a
+//!   silently scrambled report.
+//!
+//! The protocol framing is [`Frame`]; partial TCP reads are reassembled
+//! by [`LineBuffer`], which is property-tested against arbitrary byte
+//! splits in `tests/metrics_codec.rs`.
+
+use crate::executor::ExecutorError;
+use crate::metrics_codec::{CampaignHeader, Frame, ShardRecord};
+use crate::run::{campaign_fingerprint, par_indexed, RunResult, RunSpec};
+use crate::scenario;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How often blocked loops re-check shared state.
+const POLL: Duration = Duration::from_millis(25);
+/// Socket read timeout: the granularity at which record readers notice
+/// aborts and completion.
+const READ_TICK: Duration = Duration::from_millis(100);
+/// How long the coordinator waits for a connecting worker's hello.
+const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Reassembles newline-delimited frames from arbitrarily split byte
+/// chunks (TCP reads stop at packet boundaries, not line boundaries).
+///
+/// Invalid UTF-8 is replaced rather than panicking — the replacement
+/// characters then fail [`Frame::parse`] with a useful error.
+#[derive(Debug, Default)]
+pub struct LineBuffer {
+    buf: Vec<u8>,
+}
+
+impl LineBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes from the wire.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete line (without its `\n`, tolerating `\r\n`),
+    /// or `None` if no full line has arrived yet.
+    pub fn next_line(&mut self) -> Option<String> {
+        let nl = self.buf.iter().position(|&b| b == b'\n')?;
+        let mut line: Vec<u8> = self.buf.drain(..=nl).collect();
+        line.pop(); // the \n
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Some(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    /// Bytes of a trailing partial line still waiting for its `\n`.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// One issued lease: the id the coordinator assigned and the plan
+/// indices the worker must simulate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Lease {
+    id: u64,
+    indices: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    id: u64,
+    indices: Vec<usize>,
+    issued: Instant,
+}
+
+/// Pure bookkeeping for lease issue, completion, re-queue on disconnect
+/// and re-issue on timeout. Time is injected, so the straggler logic is
+/// unit-testable without waiting.
+#[derive(Debug)]
+struct LeaseTable {
+    chunk: usize,
+    timeout: Duration,
+    pending: VecDeque<usize>,
+    in_flight: Vec<InFlight>,
+    filled: Vec<bool>,
+    completed: usize,
+    next_id: u64,
+}
+
+impl LeaseTable {
+    /// `chunk` = indices per lease (0 = auto: ~64 leases per campaign).
+    fn new(runs: usize, chunk: usize, timeout: Duration) -> Self {
+        let chunk = if chunk == 0 { (runs / 64).max(1) } else { chunk };
+        LeaseTable {
+            chunk,
+            timeout,
+            pending: (0..runs).collect(),
+            in_flight: Vec::new(),
+            filled: vec![false; runs],
+            completed: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Takes the next lease: fresh pending work first, otherwise the
+    /// unfilled remainder of the most overdue timed-out lease (straggler
+    /// re-issue — the original worker keeps streaming, duplicates are
+    /// dropped by [`record`](Self::record)'s filled check).
+    fn grab(&mut self, now: Instant) -> Option<Lease> {
+        let indices: Vec<usize> = if self.pending.is_empty() {
+            let overdue = self
+                .in_flight
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| now.duration_since(l.issued) >= self.timeout)
+                .min_by_key(|(_, l)| l.issued)
+                .map(|(at, _)| at)?;
+            let old = self.in_flight.swap_remove(overdue);
+            old.indices.into_iter().filter(|&i| !self.filled[i]).collect()
+        } else {
+            let n = self.chunk.min(self.pending.len());
+            self.pending.drain(..n).collect()
+        };
+        if indices.is_empty() {
+            // A fully-filled lease lingered; retry (terminates: each call
+            // shrinks in_flight or drains pending).
+            return self.grab(now);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.in_flight.push(InFlight { id, indices: indices.clone(), issued: now });
+        Some(Lease { id, indices })
+    }
+
+    /// Marks a plan index as completed. Returns `false` for a duplicate
+    /// (already filled — e.g. a straggler finishing re-issued work).
+    fn record(&mut self, index: usize) -> bool {
+        if self.filled[index] {
+            return false;
+        }
+        self.filled[index] = true;
+        self.completed += 1;
+        // Leases whose every index is now filled are retired.
+        self.in_flight.retain(|l| l.indices.iter().any(|&i| !self.filled[i]));
+        true
+    }
+
+    /// Re-queues a disconnected worker's unfinished lease indices.
+    fn release(&mut self, id: u64) -> usize {
+        let Some(at) = self.in_flight.iter().position(|l| l.id == id) else {
+            return 0; // already satisfied or superseded
+        };
+        let lease = self.in_flight.swap_remove(at);
+        let mut requeued = 0;
+        for i in lease.indices {
+            if !self.filled[i] {
+                self.pending.push_back(i);
+                requeued += 1;
+            }
+        }
+        requeued
+    }
+
+    fn is_filled(&self, index: usize) -> bool {
+        self.filled[index]
+    }
+
+    fn complete(&self) -> bool {
+        self.completed == self.filled.len()
+    }
+}
+
+/// Tuning knobs for [`serve`] (and the `Distributed` executor).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Hold every lease until this many workers have completed the
+    /// handshake (0 = lease to the first worker immediately). Spreads
+    /// the initial leases when the worker count is known up front. The
+    /// gate expires after [`lease_timeout`](Self::lease_timeout): a
+    /// worker that dies before its handshake delays the campaign, but
+    /// cannot hang it.
+    pub expect: usize,
+    /// A lease older than this may be re-issued to an idle worker
+    /// (straggler mitigation). Disconnects re-queue immediately
+    /// regardless.
+    pub lease_timeout: Duration,
+    /// Plan indices per lease (0 = auto: ~64 leases per campaign).
+    pub chunk: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { expect: 0, lease_timeout: Duration::from_secs(60), chunk: 0 }
+    }
+}
+
+/// Out-of-band control shared between [`serve`] and its supervisor
+/// (e.g. the `Distributed` executor's self-spawned-worker watcher):
+/// the supervisor can abort a doomed campaign, and can observe when
+/// serving has finished.
+#[derive(Debug, Default)]
+pub struct ServeSignals {
+    abort: AtomicBool,
+    finished: AtomicBool,
+    reason: Mutex<Option<String>>,
+}
+
+impl ServeSignals {
+    /// Creates a fresh signal pair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Asks [`serve`] to give up (first reason wins).
+    pub fn abort(&self, reason: &str) {
+        let mut slot = self.reason.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(reason.to_string());
+        }
+        self.abort.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`serve`] has returned (successfully or not).
+    pub fn finished(&self) -> bool {
+        self.finished.load(Ordering::SeqCst)
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::SeqCst)
+    }
+
+    fn abort_reason(&self) -> String {
+        self.reason.lock().unwrap().clone().unwrap_or_else(|| "aborted".into())
+    }
+}
+
+/// Everything a connection handler needs, bundled so the lock ordering
+/// (always `state`, nothing nested) stays obvious.
+struct ServeCtx<'a> {
+    header: &'a CampaignHeader,
+    fingerprint: u64,
+    specs: &'a [&'a RunSpec],
+    opts: &'a ServeOptions,
+    signals: &'a ServeSignals,
+    state: &'a Mutex<ServeState>,
+    connected: &'a AtomicUsize,
+    started: Instant,
+}
+
+impl ServeCtx<'_> {
+    /// Whether leases may be issued yet: the `expect` worker quorum has
+    /// joined, or the quorum gate has expired (one lease timeout after
+    /// serving started — an expected worker that never arrives must not
+    /// hang the campaign).
+    fn quorum_open(&self) -> bool {
+        self.connected.load(Ordering::SeqCst) >= self.opts.expect
+            || self.started.elapsed() >= self.opts.lease_timeout
+    }
+}
+
+struct ServeState {
+    table: LeaseTable,
+    slots: Vec<Option<RunResult>>,
+    fatal: Option<ExecutorError>,
+}
+
+impl ServeState {
+    fn stop(&self) -> bool {
+        self.fatal.is_some() || self.table.complete()
+    }
+}
+
+/// Runs the coordinator half of a distributed campaign on an
+/// already-bound listener: accepts workers, verifies their handshakes,
+/// leases out the plan, and returns one result per spec in plan order —
+/// byte-identical input to `assemble()` as any other backend.
+///
+/// Returns when every plan index has a verified result, or on a fatal
+/// error (plan drift, protocol corruption, abort via `signals`).
+/// Individual worker failures are *not* fatal: their leases are
+/// re-queued and the campaign continues with the remaining workers.
+///
+/// # Errors
+///
+/// Returns [`ExecutorError::PlanDrift`] when a worker's campaign or
+/// record fingerprints disagree with the plan, [`ExecutorError::Io`] on
+/// listener failures, and [`ExecutorError::Transport`] when aborted.
+pub fn serve(
+    listener: &TcpListener,
+    header: &CampaignHeader,
+    specs: &[&RunSpec],
+    opts: &ServeOptions,
+    signals: &ServeSignals,
+) -> Result<Vec<RunResult>, ExecutorError> {
+    let state = Mutex::new(ServeState {
+        table: LeaseTable::new(specs.len(), opts.chunk, opts.lease_timeout),
+        slots: (0..specs.len()).map(|_| None).collect(),
+        fatal: None,
+    });
+    let connected = AtomicUsize::new(0);
+    let ctx = ServeCtx {
+        header,
+        fingerprint: campaign_fingerprint(specs),
+        specs,
+        opts,
+        signals,
+        state: &state,
+        connected: &connected,
+        started: Instant::now(),
+    };
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ExecutorError::io("cannot poll the campaign listener", e))?;
+
+    std::thread::scope(|scope| {
+        loop {
+            if ctx.state.lock().unwrap().stop() || signals.aborted() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    let ctx = &ctx;
+                    scope.spawn(move || {
+                        if let Err(e) = handle_worker(stream, ctx) {
+                            eprintln!("[serve: worker {peer} dropped: {e}]");
+                        }
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) => {
+                    let mut st = ctx.state.lock().unwrap();
+                    if st.fatal.is_none() {
+                        st.fatal = Some(ExecutorError::io("campaign listener failed", e));
+                    }
+                    break;
+                }
+            }
+        }
+        // Handler loops watch `finished`; setting it before the scope's
+        // implicit join lets a handler blocked on a stalled worker bail
+        // out instead of wedging the coordinator.
+        signals.finished.store(true, Ordering::SeqCst);
+    });
+
+    let state = state.into_inner().unwrap();
+    if let Some(e) = state.fatal {
+        return Err(e);
+    }
+    if !state.table.complete() {
+        return Err(ExecutorError::Transport { detail: signals.abort_reason() });
+    }
+    Ok(state
+        .slots
+        .into_iter()
+        .map(|slot| slot.expect("complete table implies full slots"))
+        .collect())
+}
+
+fn send_line(stream: &mut TcpStream, frame: &Frame) -> io::Result<()> {
+    let mut line = frame.to_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+/// Reads frames until `want` matches, honoring the read-timeout tick so
+/// shutdown signals are never missed. `None` = the deadline passed.
+fn read_frame(
+    stream: &mut TcpStream,
+    buf: &mut LineBuffer,
+    deadline: Instant,
+) -> io::Result<Option<Frame>> {
+    let mut scratch = [0u8; 16 * 1024];
+    loop {
+        if let Some(line) = buf.next_line() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Frame::parse(&line)
+                .map(Some)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+        }
+        if Instant::now() >= deadline {
+            return Ok(None);
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => buf.push(&scratch[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One worker connection: handshake, then lease/record rounds until the
+/// campaign completes (send `done`, return) or the worker drops.
+fn handle_worker(mut stream: TcpStream, ctx: &ServeCtx<'_>) -> io::Result<()> {
+    let peer = stream.peer_addr().map_or_else(|_| "?".to_string(), |a| a.to_string());
+    // Accepted sockets must be blocking regardless of what they inherit
+    // from the nonblocking listener; reads tick via the timeout instead.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_nodelay(true).ok();
+    let mut buf = LineBuffer::new();
+
+    send_line(
+        &mut stream,
+        &Frame::Hello { campaign: Some(ctx.header.clone()), fingerprint: ctx.fingerprint },
+    )?;
+    let hello = read_frame(&mut stream, &mut buf, Instant::now() + HANDSHAKE_DEADLINE)?;
+    match hello {
+        Some(Frame::Hello { fingerprint, .. }) if fingerprint == ctx.fingerprint => {}
+        Some(Frame::Hello { fingerprint, .. }) => {
+            // A worker that planned a different campaign is fatal: it
+            // means mismatched binaries/options somewhere in the fleet,
+            // and every result it would send is suspect.
+            let mut st = ctx.state.lock().unwrap();
+            if st.fatal.is_none() {
+                st.fatal = Some(ExecutorError::PlanDrift {
+                    index: 0,
+                    detail: format!(
+                        "worker {peer} planned campaign fingerprint {fingerprint:016x}, \
+                         coordinator planned {:016x} (mismatched binaries or options)",
+                        ctx.fingerprint
+                    ),
+                });
+            }
+            return Ok(());
+        }
+        Some(other) => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected hello, got {other:?}"),
+            ));
+        }
+        None => return Err(io::Error::new(io::ErrorKind::TimedOut, "no hello before deadline")),
+    }
+    let joined = ctx.connected.fetch_add(1, Ordering::SeqCst) + 1;
+    eprintln!("[serve: worker {peer} joined ({joined} connected)]");
+
+    loop {
+        // Acquire the next lease (or learn the campaign is over).
+        let lease = loop {
+            {
+                let mut st = ctx.state.lock().unwrap();
+                if st.table.complete() {
+                    drop(st);
+                    send_line(&mut stream, &Frame::Done)?;
+                    return Ok(());
+                }
+                if st.fatal.is_some() {
+                    return Ok(());
+                }
+                if ctx.quorum_open() {
+                    if let Some(lease) = st.table.grab(Instant::now()) {
+                        break lease;
+                    }
+                }
+            }
+            if ctx.signals.aborted() || ctx.signals.finished() {
+                return Ok(());
+            }
+            std::thread::sleep(POLL);
+        };
+        let frame = Frame::Lease { id: lease.id, indices: lease.indices.clone() };
+        if let Err(e) = send_line(&mut stream, &frame) {
+            requeue(ctx, &peer, lease.id);
+            return Err(e);
+        }
+        // Collect records until the worker acknowledges the lease.
+        if let Err(e) = collect_records(&mut stream, &mut buf, ctx) {
+            requeue(ctx, &peer, lease.id);
+            return Err(e);
+        }
+        // Belt and braces: a worker may acknowledge without covering
+        // every index; anything unfilled goes back in the queue.
+        requeue(ctx, &peer, lease.id);
+    }
+}
+
+fn requeue(ctx: &ServeCtx<'_>, peer: &str, lease_id: u64) {
+    let requeued = ctx.state.lock().unwrap().table.release(lease_id);
+    if requeued > 0 {
+        eprintln!("[serve: re-queued {requeued} index(es) from worker {peer}]");
+    }
+}
+
+/// Reads `record` frames until the worker's `done` acknowledgment.
+fn collect_records(
+    stream: &mut TcpStream,
+    buf: &mut LineBuffer,
+    ctx: &ServeCtx<'_>,
+) -> io::Result<()> {
+    loop {
+        if ctx.signals.aborted() || ctx.signals.finished() || ctx.state.lock().unwrap().stop() {
+            // The campaign ended while this worker was mid-lease (e.g.
+            // its straggling lease was re-issued and finished elsewhere).
+            return Ok(());
+        }
+        match read_frame(stream, buf, Instant::now() + READ_TICK) {
+            Ok(Some(Frame::Record(record))) => accept_record(ctx, *record),
+            Ok(Some(Frame::Done)) => return Ok(()),
+            Ok(Some(other)) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected record/done, got {other:?}"),
+                ));
+            }
+            Ok(None) => continue, // tick: re-check signals
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Verifies and stores one record: out-of-plan indices and fingerprint
+/// mismatches are fatal plan drift; duplicates are silently dropped.
+fn accept_record(ctx: &ServeCtx<'_>, record: ShardRecord) {
+    let mut st = ctx.state.lock().unwrap();
+    if st.fatal.is_some() {
+        return;
+    }
+    let index = record.index;
+    if index >= ctx.specs.len() {
+        st.fatal = Some(ExecutorError::Coverage {
+            detail: format!("record index {index} exceeds the {}-spec plan", ctx.specs.len()),
+        });
+        return;
+    }
+    let expected = ctx.specs[index].fingerprint();
+    if record.fingerprint != expected {
+        st.fatal = Some(ExecutorError::PlanDrift {
+            index,
+            detail: format!(
+                "expected spec fingerprint {expected:016x}, record carries {:016x}",
+                record.fingerprint
+            ),
+        });
+        return;
+    }
+    if st.table.is_filled(index) {
+        return; // duplicate from a superseded straggler
+    }
+    match record.into_run_result() {
+        Ok(result) => {
+            st.slots[index] = Some(result);
+            st.table.record(index);
+        }
+        Err(e) => {
+            st.fatal = Some(ExecutorError::PlanDrift { index, detail: e.to_string() });
+        }
+    }
+}
+
+/// Tuning knobs for [`work`].
+#[derive(Debug, Clone)]
+pub struct WorkOptions {
+    /// Worker threads per lease (0 = one per available core).
+    pub jobs: usize,
+    /// How long to keep retrying the initial connect (covers the
+    /// "worker launched before the coordinator" race).
+    pub connect_timeout: Duration,
+    /// Fault injection for tests/CI: after completing this many leases,
+    /// exit abruptly on the next lease instead of processing it —
+    /// simulating a worker crash so lease re-issue can be exercised
+    /// deterministically.
+    pub quit_after_leases: Option<usize>,
+}
+
+impl Default for WorkOptions {
+    fn default() -> Self {
+        WorkOptions { jobs: 0, connect_timeout: Duration::from_secs(10), quit_after_leases: None }
+    }
+}
+
+/// What a completed [`work`] session did, for the CLI summary line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkSummary {
+    /// Leases completed.
+    pub leases: usize,
+    /// Simulations executed (sum of lease sizes).
+    pub simulated: usize,
+    /// Whether the session ended via `quit_after_leases` fault
+    /// injection rather than a coordinator `done`.
+    pub quit_injected: bool,
+}
+
+/// Runs the worker half of a distributed campaign: connects to a
+/// [`serve`] coordinator, re-derives the campaign plan from the `hello`
+/// frame, then simulates leases until the coordinator says `done`.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the coordinator is
+/// unreachable, the handshake reveals plan drift, or the connection
+/// breaks mid-campaign.
+pub fn work(addr: &str, opts: &WorkOptions) -> Result<WorkSummary, String> {
+    let mut stream = connect_retry(addr, opts.connect_timeout)?;
+    stream.set_nodelay(true).ok();
+    let mut buf = LineBuffer::new();
+    let read_err = |e: io::Error| format!("coordinator {addr}: {e}");
+
+    // Handshake: campaign in, our fingerprint of the re-derived plan out.
+    let first = read_frame(&mut stream, &mut buf, Instant::now() + HANDSHAKE_DEADLINE)
+        .map_err(read_err)?
+        .ok_or_else(|| format!("coordinator {addr}: no hello before deadline"))?;
+    let Frame::Hello { campaign: Some(header), fingerprint: coordinator_fp } = first else {
+        return Err(format!("coordinator {addr}: expected hello with campaign, got {first:?}"));
+    };
+    let scenarios = scenario::resolve(&header.scenarios).map_err(|name| {
+        format!("coordinator campaign references unknown scenario {name} (different binary?)")
+    })?;
+    let exp_opts = header.opts();
+    let plans: Vec<Vec<RunSpec>> = scenarios.iter().map(|s| s.plan(&exp_opts)).collect();
+    let flat: Vec<&RunSpec> = plans.iter().flatten().collect();
+    let fingerprint = campaign_fingerprint(&flat);
+    send_line(&mut stream, &Frame::Hello { campaign: None, fingerprint }).map_err(read_err)?;
+    if flat.len() != header.runs || fingerprint != coordinator_fp {
+        return Err(format!(
+            "plan drift: coordinator announced {} run(s) with campaign fingerprint {:016x}, \
+             this worker planned {} run(s) with {:016x} (mismatched binaries or options)",
+            header.runs,
+            coordinator_fp,
+            flat.len(),
+            fingerprint
+        ));
+    }
+    eprintln!("[work: joined {addr}: {} run(s), fingerprint {fingerprint:016x}]", flat.len());
+
+    let mut summary = WorkSummary { leases: 0, simulated: 0, quit_injected: false };
+    loop {
+        let frame = read_frame(&mut stream, &mut buf, Instant::now() + READ_TICK).map_err(read_err);
+        let frame = match frame {
+            Ok(Some(frame)) => frame,
+            Ok(None) => continue, // idle: coordinator is waiting on other workers
+            Err(e) => return Err(format!("{e} (before campaign completion)")),
+        };
+        match frame {
+            Frame::Lease { id, indices } => {
+                if summary.quit_injected
+                    || opts.quit_after_leases.is_some_and(|limit| summary.leases >= limit)
+                {
+                    eprintln!(
+                        "[work: quitting before lease {id} after {} lease(s) (fault injection)]",
+                        summary.leases
+                    );
+                    summary.quit_injected = true;
+                    return Ok(summary);
+                }
+                if let Some(&bad) = indices.iter().find(|&&i| i >= flat.len()) {
+                    return Err(format!(
+                        "lease {id} index {bad} exceeds the {}-run plan",
+                        flat.len()
+                    ));
+                }
+                let results = par_indexed(indices.len(), opts.jobs, |k| flat[indices[k]].run());
+                for (&index, result) in indices.iter().zip(&results) {
+                    let record = ShardRecord::from_result(index, flat[index].fingerprint(), result);
+                    send_line(&mut stream, &Frame::Record(Box::new(record))).map_err(read_err)?;
+                }
+                send_line(&mut stream, &Frame::Done).map_err(read_err)?;
+                summary.leases += 1;
+                summary.simulated += indices.len();
+            }
+            Frame::Done => return Ok(summary),
+            other => return Err(format!("coordinator {addr}: unexpected frame {other:?}")),
+        }
+    }
+}
+
+fn connect_retry(addr: &str, window: Duration) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + window;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream
+                    .set_read_timeout(Some(READ_TICK))
+                    .map_err(|e| format!("cannot set read timeout on {addr}: {e}"))?;
+                return Ok(stream);
+            }
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(POLL * 4);
+            }
+            Err(e) => return Err(format!("cannot connect to coordinator {addr}: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_buffer_reassembles_split_lines() {
+        let mut buf = LineBuffer::new();
+        buf.push(b"hel");
+        assert_eq!(buf.next_line(), None);
+        buf.push(b"lo\nwor");
+        assert_eq!(buf.next_line(), Some("hello".to_string()));
+        assert_eq!(buf.next_line(), None);
+        assert_eq!(buf.pending(), 3);
+        buf.push(b"ld\r\n\n");
+        assert_eq!(buf.next_line(), Some("world".to_string()));
+        assert_eq!(buf.next_line(), Some(String::new()));
+        assert_eq!(buf.next_line(), None);
+        assert_eq!(buf.pending(), 0);
+    }
+
+    fn at(base: Instant, secs: u64) -> Instant {
+        base + Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn lease_table_chunks_completes_and_dedupes() {
+        let t0 = Instant::now();
+        let mut table = LeaseTable::new(5, 2, Duration::from_secs(60));
+        let a = table.grab(t0).unwrap();
+        assert_eq!(a.indices, vec![0, 1]);
+        let b = table.grab(t0).unwrap();
+        assert_eq!(b.indices, vec![2, 3]);
+        let c = table.grab(t0).unwrap();
+        assert_eq!(c.indices, vec![4]);
+        assert!(table.grab(t0).is_none(), "nothing pending, nothing overdue");
+
+        for i in 0..5 {
+            assert!(table.record(i), "first fill is fresh");
+        }
+        assert!(!table.record(3), "second fill is a duplicate");
+        assert!(table.complete());
+    }
+
+    #[test]
+    fn lease_table_requeues_on_release_and_reissues_on_timeout() {
+        let t0 = Instant::now();
+        let mut table = LeaseTable::new(4, 2, Duration::from_secs(60));
+        let a = table.grab(t0).unwrap();
+        let b = table.grab(at(t0, 1)).unwrap();
+        assert_eq!((a.indices.clone(), b.indices.clone()), (vec![0, 1], vec![2, 3]));
+
+        // Worker of lease `a` completed half, then disconnected.
+        assert!(table.record(0));
+        assert_eq!(table.release(a.id), 1, "only the unfilled index re-queues");
+        let a2 = table.grab(at(t0, 2)).unwrap();
+        assert_eq!(a2.indices, vec![1], "released index is pending again");
+        assert_eq!(table.release(a.id), 0, "stale release is a no-op");
+
+        // Lease `b` stalls: not overdue at +30s, overdue at +61s.
+        assert!(table.grab(at(t0, 30)).is_none());
+        let b2 = table.grab(at(t0, 61)).unwrap();
+        assert_eq!(b2.indices, vec![2, 3], "overdue lease re-issued");
+        assert_ne!(b2.id, b.id, "re-issue gets a fresh lease id");
+
+        // The straggler's late records still count once.
+        assert!(table.record(2));
+        assert!(table.record(3));
+        assert!(table.record(1));
+        assert!(table.complete());
+        assert_eq!(table.release(b2.id), 0, "satisfied lease has nothing to re-queue");
+    }
+
+    #[test]
+    fn lease_table_reissues_only_unfilled_indices() {
+        let t0 = Instant::now();
+        let mut table = LeaseTable::new(3, 3, Duration::from_secs(10));
+        let a = table.grab(t0).unwrap();
+        assert_eq!(a.indices, vec![0, 1, 2]);
+        assert!(table.record(1), "straggler delivered one of three");
+        let a2 = table.grab(at(t0, 11)).unwrap();
+        assert_eq!(a2.indices, vec![0, 2], "filled index not re-issued");
+    }
+
+    #[test]
+    fn auto_chunk_scales_with_the_campaign() {
+        assert_eq!(LeaseTable::new(640, 0, Duration::from_secs(1)).chunk, 10);
+        assert_eq!(LeaseTable::new(5, 0, Duration::from_secs(1)).chunk, 1);
+        assert_eq!(LeaseTable::new(0, 0, Duration::from_secs(1)).chunk, 1);
+        assert!(LeaseTable::new(0, 0, Duration::from_secs(1)).complete(), "empty plan is done");
+    }
+}

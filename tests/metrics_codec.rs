@@ -7,7 +7,8 @@ use proptest::prelude::*;
 use rfcache_core::RegFileStats;
 use rfcache_frontend::FetchStats;
 use rfcache_pipeline::{OccupancyHistogram, SimMetrics};
-use rfcache_sim::metrics_codec::{decode_metrics_str, encode_metrics};
+use rfcache_sim::metrics_codec::{decode_metrics_str, encode_metrics, Frame, ShardRecord};
+use rfcache_sim::transport::LineBuffer;
 
 /// Draws the next counter from the generated pool.
 fn rf_stats(next: &mut impl FnMut() -> u64) -> RegFileStats {
@@ -101,6 +102,65 @@ proptest! {
         prop_assert_eq!(&m, &decoded, "round trip lost data; encoded: {}", encoded);
         // A second trip is a fixed point: the encoding is canonical.
         prop_assert_eq!(encoded.clone(), encode_metrics(&decoded));
+    }
+}
+
+proptest! {
+    /// Transport framing: a stream of `record` frames (the distributed
+    /// protocol's wire format) split at *arbitrary* byte boundaries —
+    /// as TCP will — must reassemble into exactly the records sent.
+    /// Chunk boundaries land inside numbers, keys, and multi-byte
+    /// sequences alike; `LineBuffer` must not care.
+    #[test]
+    fn record_frame_stream_survives_arbitrary_chunking(
+        counters in proptest::collection::vec(0u64..=u64::MAX, 50..51),
+        indices in proptest::collection::vec(0u64..1_000_000, 1..5),
+        cuts in proptest::collection::vec(0usize..4096, 0..24),
+    ) {
+        // One record per index, each with distinct (rotated) counters so
+        // no two frames are byte-identical.
+        let records: Vec<ShardRecord> = indices
+            .iter()
+            .enumerate()
+            .map(|(k, &index)| {
+                let mut rotated = counters.clone();
+                let shift = k % rotated.len();
+                rotated.rotate_left(shift);
+                ShardRecord {
+                    index: index as usize,
+                    fingerprint: index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    bench: "li".to_string(),
+                    fp: false,
+                    metrics: metrics_from(&rotated, Some(0.5), vec![k as u64], vec![], (1, 2)),
+                }
+            })
+            .collect();
+        let stream: String =
+            records.iter().map(|r| Frame::Record(Box::new(r.clone())).to_line() + "\n").collect();
+        let bytes = stream.as_bytes();
+
+        // Sorted, deduplicated cut points inside the stream define the
+        // chunking; 0 cuts = one chunk, max cuts = many tiny chunks.
+        let mut points: Vec<usize> = cuts.iter().map(|c| c % bytes.len()).collect();
+        points.sort_unstable();
+        points.dedup();
+        points.push(bytes.len());
+
+        let mut buf = LineBuffer::new();
+        let mut reassembled = Vec::new();
+        let mut start = 0;
+        for end in points {
+            buf.push(&bytes[start..end]);
+            start = end;
+            while let Some(line) = buf.next_line() {
+                match Frame::parse(&line).expect("chunking must not corrupt frames") {
+                    Frame::Record(r) => reassembled.push(*r),
+                    other => prop_assert!(false, "unexpected frame {other:?}"),
+                }
+            }
+        }
+        prop_assert_eq!(buf.pending(), 0, "stream ends on a frame boundary");
+        prop_assert_eq!(&reassembled, &records, "chunked reassembly lost or altered records");
     }
 }
 
