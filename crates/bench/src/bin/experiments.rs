@@ -8,9 +8,12 @@
 //! experiments <name>... | all [opts] --shard I/N [--out FILE]
 //! experiments merge FILE... [--csv DIR] [--json DIR]
 //! experiments serve --bind ADDR [--expect K] [--lease-timeout SECS] [--chunk N]
+//!                   [--journal FILE [--journal-sync N]]
 //!                   <name>... | all [opts] [--csv DIR] [--json DIR]
 //! experiments work --connect ADDR [--jobs N] [--connect-timeout SECS]
 //!                  [--quit-after-leases N]
+//! experiments resume --journal FILE --bind ADDR [--expect K] [--lease-timeout SECS]
+//!                    [--chunk N] [--journal-sync N] [--csv DIR] [--json DIR]
 //! ```
 //!
 //! `--list` enumerates the registered scenarios; `all` runs every one in
@@ -51,6 +54,19 @@
 //! is fault injection for tests: the worker simulates a crash after
 //! completing `N` leases.)
 //!
+//! **Crash-durable campaigns.** `--journal FILE` (on `serve` and
+//! `--dist-workers`) write-ahead journals the campaign: the header line
+//! at start, then every verified record as it is accepted — each line
+//! one `write`, `sync_data` every `--journal-sync N` records (default
+//! 1; 0 = only at completion) — so the file is always a valid
+//! shard-file prefix. If the coordinator crashes, `resume --journal
+//! FILE --bind ADDR` re-derives the plan from the journaled header,
+//! verifies the stamped campaign fingerprint, replays the completed
+//! records into the slot table (deduplicated and fingerprint-verified
+//! exactly like live records; a torn final line is dropped, never
+//! mis-parsed), and serves only the remaining indices — reports and
+//! exports come out byte-identical to an uninterrupted run.
+//!
 //! All diagnostics (warnings, progress, errors) go to stderr; stdout
 //! carries only reports or, in shard-worker mode, shard records.
 //!
@@ -59,7 +75,7 @@
 //! 100M after skipping initialization).
 
 use rfcache_sim::executor::{
-    assemble_shard_results, read_shard_file, run_shard, Distributed, Subprocess,
+    assemble_shard_results, read_shard_file, run_shard, Distributed, JournalSpec, Subprocess,
 };
 use rfcache_sim::experiments::ExperimentOpts;
 use rfcache_sim::metrics_codec::CampaignHeader;
@@ -68,7 +84,7 @@ use rfcache_sim::{
     run_campaign_from_parts, run_campaign_planned, run_campaign_planned_with, scenario, write_csv,
     write_json, RunSpec, ScenarioReport,
 };
-use std::io::Write as _;
+use std::io::{BufRead as _, Write as _};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -78,9 +94,12 @@ const USAGE: &str = "usage: experiments --list
        experiments <name>... | all [opts] --shard I/N [--out FILE]
        experiments merge FILE... [--csv DIR] [--json DIR]
        experiments serve --bind ADDR [--expect K] [--lease-timeout SECS] [--chunk N]
+                         [--journal FILE [--journal-sync N]]
                          <name>... | all [opts] [--csv DIR] [--json DIR]
        experiments work --connect ADDR [--jobs N] [--connect-timeout SECS]
                         [--quit-after-leases N]
+       experiments resume --journal FILE --bind ADDR [--expect K] [--lease-timeout SECS]
+                          [--chunk N] [--journal-sync N] [--csv DIR] [--json DIR]
 run `experiments --list` for the registered scenario names";
 
 fn main() {
@@ -97,6 +116,7 @@ fn main() {
         "merge" => merge_main(&args[1..]),
         "serve" => serve_main(&args[1..]),
         "work" => work_main(&args[1..]),
+        "resume" => resume_main(&args[1..]),
         _ => run_main(&args),
     }
 }
@@ -109,6 +129,8 @@ fn run_main(args: &[String]) {
     let mut out_file: Option<PathBuf> = None;
     let mut workers: Option<usize> = None;
     let mut dist_workers: Option<usize> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut journal_sync: Option<usize> = None;
     let mut names: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -127,6 +149,10 @@ fn run_main(args: &[String]) {
             }
             "--dist-workers" => {
                 dist_workers = Some(parse_positive("--dist-workers", it.next()));
+            }
+            "--journal" => journal = Some(parse_path("--journal", it.next())),
+            "--journal-sync" => {
+                journal_sync = Some(parse_num("--journal-sync", it.next()) as usize);
             }
             flag if flag.starts_with("--") => {
                 usage_error(&format!("unknown option {flag}"));
@@ -148,6 +174,12 @@ fn run_main(args: &[String]) {
     }
     if dist_workers.is_some() && (shard.is_some() || workers.is_some()) {
         usage_error("--dist-workers picks the distributed backend: drop --shard/--workers");
+    }
+    if journal.is_some() && dist_workers.is_none() {
+        usage_error("--journal requires --dist-workers (or the serve/resume subcommands)");
+    }
+    if journal_sync.is_some() && journal.is_none() {
+        usage_error("--journal-sync requires --journal");
     }
 
     let selected = select_scenarios(&names);
@@ -183,13 +215,20 @@ fn run_main(args: &[String]) {
         let exe = std::env::current_exe()
             .unwrap_or_else(|e| die(&format!("cannot locate this executable: {e}")));
         let serve_opts = ServeOptions { expect: count, ..ServeOptions::default() };
-        let executor = Distributed::new(
+        let mut executor = Distributed::new(
             "127.0.0.1:0",
             selected.iter().map(|s| s.name.to_string()).collect(),
             &opts,
             serve_opts,
         )
         .self_spawn(exe, count, split_jobs(opts.jobs, count));
+        if let Some(path) = journal {
+            executor = executor.journal(JournalSpec {
+                path,
+                sync_every: journal_sync.unwrap_or(1),
+                resume: false,
+            });
+        }
         run_campaign_planned_with(&executor, &selected, &opts, plans)
             .unwrap_or_else(|e| die(&e.to_string()))
     } else {
@@ -227,6 +266,8 @@ fn serve_main(args: &[String]) {
     let mut bind: Option<String> = None;
     let mut csv_dir: Option<PathBuf> = None;
     let mut json_dir: Option<PathBuf> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut journal_sync: Option<usize> = None;
     let mut names: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -238,6 +279,10 @@ fn serve_main(args: &[String]) {
                     Duration::from_secs(parse_positive("--lease-timeout", it.next()) as u64);
             }
             "--chunk" => serve_opts.chunk = parse_num("--chunk", it.next()) as usize,
+            "--journal" => journal = Some(parse_path("--journal", it.next())),
+            "--journal-sync" => {
+                journal_sync = Some(parse_num("--journal-sync", it.next()) as usize);
+            }
             "--insts" => opts.insts = parse_num("--insts", it.next()),
             "--warmup" => opts.warmup = parse_num("--warmup", it.next()),
             "--seed" => opts.seed = parse_num("--seed", it.next()),
@@ -257,21 +302,126 @@ fn serve_main(args: &[String]) {
     let Some(bind) = bind else {
         usage_error("serve needs --bind ADDR (e.g. --bind 0.0.0.0:7841)");
     };
+    if journal_sync.is_some() && journal.is_none() {
+        usage_error("--journal-sync requires --journal");
+    }
     let selected = select_scenarios(&names);
     let plans: Vec<_> = selected.iter().map(|s| s.plan(&opts)).collect();
     let runs: usize = plans.iter().map(Vec::len).sum();
+    let start = Instant::now();
+    let mut executor = Distributed::new(
+        bind,
+        selected.iter().map(|s| s.name.to_string()).collect(),
+        &opts,
+        serve_opts,
+    );
+    if let Some(path) = journal {
+        executor = executor.journal(JournalSpec {
+            path,
+            sync_every: journal_sync.unwrap_or(1),
+            resume: false,
+        });
+    }
+    let reports = run_campaign_planned_with(&executor, &selected, &opts, plans)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    emit_reports(&selected, &reports, csv_dir.as_deref(), json_dir.as_deref());
+    eprintln!(
+        "[campaign: {} scenario(s), {} simulation(s), distributed coordinator, {:.1}s]",
+        selected.len(),
+        runs,
+        start.elapsed().as_secs_f64()
+    );
+}
+
+/// Resumes an interrupted journaled campaign: the plan is re-derived
+/// from the journaled header (no scenario names on the command line),
+/// completed records are replayed, and only the remainder is served.
+fn resume_main(args: &[String]) {
+    let mut serve_opts = ServeOptions::default();
+    let mut bind: Option<String> = None;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut json_dir: Option<PathBuf> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut journal_sync: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bind" => bind = Some(parse_value("--bind", it.next())),
+            "--expect" => serve_opts.expect = parse_num("--expect", it.next()) as usize,
+            "--lease-timeout" => {
+                serve_opts.lease_timeout =
+                    Duration::from_secs(parse_positive("--lease-timeout", it.next()) as u64);
+            }
+            "--chunk" => serve_opts.chunk = parse_num("--chunk", it.next()) as usize,
+            "--journal" => journal = Some(parse_path("--journal", it.next())),
+            "--journal-sync" => {
+                journal_sync = Some(parse_num("--journal-sync", it.next()) as usize);
+            }
+            "--csv" => csv_dir = Some(parse_path("--csv", it.next())),
+            "--json" => json_dir = Some(parse_path("--json", it.next())),
+            flag if flag.starts_with("--") => usage_error(&format!("unknown option {flag}")),
+            other => usage_error(&format!(
+                "unexpected argument {other} (resume re-derives the campaign from the journal)"
+            )),
+        }
+    }
+    let Some(journal) = journal else {
+        usage_error("resume needs --journal FILE (the interrupted campaign's journal)");
+    };
+    let Some(bind) = bind else {
+        usage_error("resume needs --bind ADDR (e.g. --bind 0.0.0.0:7841)");
+    };
+
+    // The journal header is the campaign description; only the first
+    // line is read here — the executor reads the file once and replays
+    // every record with full verification, so pulling a potentially
+    // huge journal into memory twice would be pure waste.
+    let file = std::fs::File::open(&journal)
+        .unwrap_or_else(|e| die(&format!("cannot open journal {}: {e}", journal.display())));
+    let mut header_line = String::new();
+    std::io::BufReader::new(file)
+        .read_line(&mut header_line)
+        .unwrap_or_else(|e| die(&format!("cannot read journal {}: {e}", journal.display())));
+    if !header_line.ends_with('\n') {
+        die(&format!(
+            "journal {} has no complete header line (crash before the first sync?)",
+            journal.display()
+        ));
+    }
+    let header = CampaignHeader::parse(header_line.trim_end())
+        .unwrap_or_else(|e| die(&format!("corrupt journal {}: line 1: {e}", journal.display())));
+    let opts = header.opts();
+    let selected = scenario::resolve(&header.scenarios).unwrap_or_else(|name| {
+        die(&format!(
+            "journal references unknown scenario {name} (written by a different binary version?)"
+        ))
+    });
+    let plans: Vec<_> = selected.iter().map(|s| s.plan(&opts)).collect();
+    let runs: usize = plans.iter().map(Vec::len).sum();
+    if runs != header.runs {
+        die(&format!(
+            "journal describes a {}-run campaign but this binary plans {runs} runs (plan drift)",
+            header.runs
+        ));
+    }
+    eprintln!("[resume: resuming a {runs}-run campaign from {}]", journal.display());
     let start = Instant::now();
     let executor = Distributed::new(
         bind,
         selected.iter().map(|s| s.name.to_string()).collect(),
         &opts,
         serve_opts,
-    );
+    )
+    .journal(JournalSpec {
+        path: journal,
+        sync_every: journal_sync.unwrap_or(1),
+        resume: true,
+    });
     let reports = run_campaign_planned_with(&executor, &selected, &opts, plans)
         .unwrap_or_else(|e| die(&e.to_string()));
     emit_reports(&selected, &reports, csv_dir.as_deref(), json_dir.as_deref());
     eprintln!(
-        "[campaign: {} scenario(s), {} simulation(s), distributed coordinator, {:.1}s]",
+        "[campaign: {} scenario(s), {} simulation(s), resumed coordinator, {:.1}s]",
         selected.len(),
         runs,
         start.elapsed().as_secs_f64()
@@ -286,9 +436,14 @@ fn work_main(args: &[String]) {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--connect" => connect = Some(parse_value("--connect", it.next())),
+            // Positive like --lease-timeout: a zero window collapses
+            // the retry loop to a single attempt, silently defeating
+            // the launched-before-the-coordinator race this flag exists
+            // to cover — reject it by name rather than accept a value
+            // that does not mean what it appears to.
             "--connect-timeout" => {
                 work_opts.connect_timeout =
-                    Duration::from_secs(parse_num("--connect-timeout", it.next()));
+                    Duration::from_secs(parse_positive("--connect-timeout", it.next()) as u64);
             }
             "--jobs" => work_opts.jobs = parse_num("--jobs", it.next()) as usize,
             "--quit-after-leases" => {
@@ -506,7 +661,13 @@ fn parse_num(flag: &str, arg: Option<&String>) -> u64 {
     let Some(arg) = arg else {
         usage_error(&format!("missing value for {flag}"));
     };
-    arg.replace('_', "").parse().unwrap_or_else(|_| {
+    // Underscore grouping (1_000_000) is stripped before parsing, but
+    // the error must name the token the user typed, never the mangled
+    // one — `--insts _` strips to the empty string, whose stock parse
+    // error ("cannot parse integer from empty string") would point at
+    // nothing the user can see on their command line.
+    let digits = arg.replace('_', "");
+    digits.parse().unwrap_or_else(|_| {
         usage_error(&format!("invalid value {arg} for {flag}: expected a number"));
     })
 }

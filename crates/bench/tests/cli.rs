@@ -58,6 +58,20 @@ fn reports_which_flag_is_missing_its_value() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("invalid value many for --jobs"), "stderr: {stderr}");
 
+    // Underscore grouping is stripped before parsing (1_000 is fine),
+    // but the error must name the token the user typed: `_` strips to
+    // the empty string, and the old message surfaced that mangled form.
+    let out = experiments().args(["fig6", "--insts", "_"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid value _ for --insts"), "stderr: {stderr}");
+
+    let out = experiments()
+        .args(["fig6", "--quick", "--insts", "2_000", "--warmup", "500"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "grouped numbers must still parse");
+
     let out = experiments().args(["fig6", "--csv"]).output().expect("binary runs");
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);

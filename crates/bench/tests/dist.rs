@@ -74,18 +74,16 @@ fn dist_workers_is_byte_identical_to_single_process() {
     let _ = std::fs::remove_dir_all(&work);
 }
 
-/// Spawns `serve` on an ephemeral port and returns the child plus the
-/// address it logged, draining the rest of its stderr in a thread (a
-/// full pipe would deadlock the coordinator).
-fn spawn_serve(dist_dir: &Path) -> (Child, String, std::sync::mpsc::Receiver<String>) {
+/// Spawns a coordinator (`serve` or `resume`) on an ephemeral port and
+/// returns the child plus the address it logged, draining the rest of
+/// its stderr in a thread (a full pipe would deadlock the coordinator).
+fn spawn_coordinator(args: &[&str]) -> (Child, String, std::sync::mpsc::Receiver<String>) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_experiments"))
-        .args(["serve", "--bind", "127.0.0.1:0", "--chunk", "1", "--lease-timeout", "600"])
-        .args(CAMPAIGN)
-        .args(["--csv", dist_dir.to_str().unwrap(), "--json", dist_dir.to_str().unwrap()])
+        .args(args)
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
         .spawn()
-        .expect("serve spawns");
+        .expect("coordinator spawns");
     let stderr = child.stderr.take().unwrap();
     let (addr_tx, addr_rx) = std::sync::mpsc::channel();
     let (log_tx, log_rx) = std::sync::mpsc::channel();
@@ -104,8 +102,23 @@ fn spawn_serve(dist_dir: &Path) -> (Child, String, std::sync::mpsc::Receiver<Str
     });
     let addr = addr_rx
         .recv_timeout(std::time::Duration::from_secs(30))
-        .expect("serve logs its listening address");
+        .expect("the coordinator logs its listening address");
     (child, addr, log_rx)
+}
+
+/// [`spawn_coordinator`] for a fresh `serve` over [`CAMPAIGN`], one
+/// index per lease.
+fn spawn_serve(dist_dir: &Path) -> (Child, String, std::sync::mpsc::Receiver<String>) {
+    let mut args: Vec<&str> =
+        vec!["serve", "--bind", "127.0.0.1:0", "--chunk", "1", "--lease-timeout", "600"];
+    args.extend_from_slice(CAMPAIGN);
+    args.extend_from_slice(&[
+        "--csv",
+        dist_dir.to_str().unwrap(),
+        "--json",
+        dist_dir.to_str().unwrap(),
+    ]);
+    spawn_coordinator(&args)
 }
 
 #[test]
@@ -167,10 +180,143 @@ fn work_and_serve_name_their_required_flags() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("drop --shard/--workers"), "stderr: {stderr}");
 
+    // A zero connect window would make the deadline expire before the
+    // first attempt; like --lease-timeout, it must be rejected by name.
+    let out = experiments(&["work", "--connect", "127.0.0.1:1", "--connect-timeout", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid value 0 for --connect-timeout"), "stderr: {stderr}");
+
     // A worker pointed at nothing fails with the address in the message
     // (short retry window so the test stays fast).
-    let out = experiments(&["work", "--connect", "127.0.0.1:1", "--connect-timeout", "0"]);
+    let out = experiments(&["work", "--connect", "127.0.0.1:1", "--connect-timeout", "1"]);
     assert_eq!(out.status.code(), Some(1));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("127.0.0.1:1"), "stderr: {stderr}");
+
+    // resume names its two required flags.
+    let out = experiments(&["resume", "--bind", "127.0.0.1:0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("resume needs --journal"), "stderr: {stderr}");
+
+    let out = experiments(&["resume", "--journal", "nope.jsonl"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("resume needs --bind"), "stderr: {stderr}");
+
+    // --journal outside the distributed backends is a usage error.
+    let out = experiments(&["fig6", "--journal", "x.jsonl"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--journal requires --dist-workers"), "stderr: {stderr}");
+}
+
+#[test]
+fn killed_coordinator_resumes_from_its_journal_byte_identically() {
+    let work = temp_dir("resume");
+    let ref_dir = work.join("ref");
+    let dist_dir = work.join("dist");
+    let journal = work.join("campaign.journal");
+    let journal_str = journal.to_str().unwrap().to_string();
+    let reference = run_reference(&ref_dir);
+
+    // A journaling coordinator, one index per lease so the worker below
+    // completes exactly three records before "crashing".
+    let mut serve_args: Vec<&str> = vec![
+        "serve",
+        "--bind",
+        "127.0.0.1:0",
+        "--chunk",
+        "1",
+        "--lease-timeout",
+        "600",
+        "--journal",
+        &journal_str,
+        "--journal-sync",
+        "1",
+    ];
+    serve_args.extend_from_slice(CAMPAIGN);
+    serve_args.extend_from_slice(&[
+        "--csv",
+        dist_dir.to_str().unwrap(),
+        "--json",
+        dist_dir.to_str().unwrap(),
+    ]);
+    let (mut serve, addr, _serve_log) = spawn_coordinator(&serve_args);
+
+    // Three leases land in the journal, then the worker quits; records
+    // are accepted (and journaled) before the next lease is issued, so
+    // the journal is guaranteed to hold them once the worker exits.
+    let faulty =
+        experiments(&["work", "--connect", &addr, "--jobs", "1", "--quit-after-leases", "3"]);
+    assert!(faulty.status.success(), "stderr: {}", String::from_utf8_lossy(&faulty.stderr));
+
+    // Crash the coordinator outright: its in-memory slot table is gone,
+    // only the journal survives.
+    serve.kill().expect("coordinator killed");
+    let _ = serve.wait();
+    let journaled = std::fs::read_to_string(&journal).unwrap();
+    assert!(
+        journaled.lines().count() >= 4,
+        "journal should hold the header plus three records: {journaled}"
+    );
+
+    // Tear the final line, as a crash mid-`write` would.
+    let torn = format!("{journaled}{{\"index\": 0, \"finge");
+    std::fs::write(&journal, torn).unwrap();
+
+    // A fresh serve must refuse to clobber the resumable journal.
+    let clobber = experiments(&serve_args);
+    assert_eq!(clobber.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&clobber.stderr);
+    assert!(stderr.contains("already exists"), "stderr: {stderr}");
+
+    // Resume: the campaign (scenarios, options, plan) comes from the
+    // journal header; the torn line is dropped, the three complete
+    // records are replayed, and only the remainder is served.
+    let (resume, addr, resume_log) = spawn_coordinator(&[
+        "resume",
+        "--journal",
+        &journal_str,
+        "--bind",
+        "127.0.0.1:0",
+        "--chunk",
+        "1",
+        "--lease-timeout",
+        "600",
+        "--csv",
+        dist_dir.to_str().unwrap(),
+        "--json",
+        dist_dir.to_str().unwrap(),
+    ]);
+    let survivor = experiments(&["work", "--connect", &addr]);
+    assert!(survivor.status.success(), "stderr: {}", String::from_utf8_lossy(&survivor.stderr));
+
+    let out = resume.wait_with_output().expect("resume exits");
+    let log = resume_log.recv_timeout(std::time::Duration::from_secs(10)).unwrap_or_default();
+    assert!(out.status.success(), "resume stderr: {log}");
+    assert!(log.contains("torn"), "the torn final line must be reported: {log}");
+    assert!(
+        log.contains("replayed 3 of"),
+        "exactly the three journaled records must be replayed: {log}"
+    );
+
+    assert_eq!(
+        String::from_utf8_lossy(&reference.stdout),
+        String::from_utf8_lossy(&out.stdout),
+        "resumed reports diverge from the single-process run"
+    );
+    assert_eq!(dir_contents(&ref_dir), dir_contents(&dist_dir));
+
+    // The finished journal is a valid one-shard shard file: merge alone
+    // reproduces the same reports.
+    let merged = experiments(&["merge", &journal_str]);
+    assert!(merged.status.success(), "stderr: {}", String::from_utf8_lossy(&merged.stderr));
+    assert_eq!(
+        String::from_utf8_lossy(&reference.stdout),
+        String::from_utf8_lossy(&merged.stdout),
+        "merging the completed journal diverges from the single-process run"
+    );
+    let _ = std::fs::remove_dir_all(&work);
 }

@@ -25,10 +25,10 @@
 //! worker pools.
 
 use crate::experiments::ExperimentOpts;
-use crate::metrics_codec::{CampaignHeader, ShardRecord};
-use crate::run::{par_indexed, RunResult, RunSpec};
+use crate::metrics_codec::{CampaignHeader, RecordFile, ShardRecord, TailPolicy};
+use crate::run::{campaign_fingerprint, par_indexed, RunResult, RunSpec};
 use std::fmt;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::sync::Mutex;
@@ -308,6 +308,25 @@ pub struct Distributed {
     opts: ExperimentOpts,
     serve_opts: crate::transport::ServeOptions,
     self_spawn: Option<SelfSpawn>,
+    journal: Option<JournalSpec>,
+}
+
+/// Write-ahead journal configuration for [`Distributed`]: where the
+/// coordinator checkpoints accepted records, and whether this run is a
+/// fresh campaign or the resumption of an interrupted one.
+#[derive(Debug, Clone)]
+pub struct JournalSpec {
+    /// The journal file. Fresh runs refuse an existing file (it may be
+    /// an interrupted campaign worth resuming); `resume` requires one.
+    pub path: PathBuf,
+    /// `sync_data` after every this-many accepted records (0 = only at
+    /// campaign completion; every record still reaches the OS
+    /// immediately — the interval only bounds what a *host* crash can
+    /// lose, a coordinator crash loses nothing).
+    pub sync_every: usize,
+    /// Replay the journal's records into the slot table and serve only
+    /// the remaining plan indices.
+    pub resume: bool,
 }
 
 /// Self-spawned local worker pool configuration (the one-command
@@ -333,7 +352,14 @@ impl Distributed {
         opts: &ExperimentOpts,
         serve_opts: crate::transport::ServeOptions,
     ) -> Self {
-        Distributed { bind: bind.into(), scenarios, opts: *opts, serve_opts, self_spawn: None }
+        Distributed {
+            bind: bind.into(),
+            scenarios,
+            opts: *opts,
+            serve_opts,
+            self_spawn: None,
+            journal: None,
+        }
     }
 
     /// Additionally spawn and supervise `count` local worker processes
@@ -347,6 +373,78 @@ impl Distributed {
         assert!(count > 0, "at least one worker");
         self.self_spawn = Some(SelfSpawn { worker: worker.into(), count, jobs });
         self
+    }
+
+    /// Write-ahead journal the accepted records — and, with
+    /// [`JournalSpec::resume`], replay an interrupted campaign's journal
+    /// and serve only what remains (builder-style).
+    #[must_use]
+    pub fn journal(mut self, spec: JournalSpec) -> Self {
+        self.journal = Some(spec);
+        self
+    }
+
+    /// Opens (or resumes) the write-ahead journal for this campaign.
+    ///
+    /// On resume the journaled header must describe this exact campaign
+    /// and the stamped campaign fingerprint must match the re-derived
+    /// plan — the same drift check a live worker handshake gets.
+    fn open_journal(
+        &self,
+        spec: &JournalSpec,
+        header: &CampaignHeader,
+        specs: &[&RunSpec],
+    ) -> Result<crate::transport::Journal, ExecutorError> {
+        use crate::transport::{Journal, JournalReader, JournalWriter};
+        let fingerprint = campaign_fingerprint(specs);
+        if !spec.resume {
+            let writer = JournalWriter::create(&spec.path, header, fingerprint, spec.sync_every)
+                .map_err(|e| {
+                    let context = if e.kind() == io::ErrorKind::AlreadyExists {
+                        format!(
+                            "journal {} already exists — resume the interrupted campaign with \
+                             `experiments resume --journal {}`, or delete the file to start over",
+                            spec.path.display(),
+                            spec.path.display()
+                        )
+                    } else {
+                        format!("cannot create journal {}", spec.path.display())
+                    };
+                    ExecutorError::io(context, e)
+                })?;
+            return Ok(Journal { writer, replay: Vec::new() });
+        }
+        let replay = JournalReader::read(&spec.path)?;
+        if !replay.header.same_campaign(header) {
+            return Err(ExecutorError::Corrupt {
+                file: spec.path.clone(),
+                detail: "journal header describes a different campaign (scenarios/options/plan \
+                         size disagree)"
+                    .into(),
+            });
+        }
+        if let Some(journaled) = replay.campaign_fingerprint {
+            if journaled != fingerprint {
+                return Err(ExecutorError::PlanDrift {
+                    index: 0,
+                    detail: format!(
+                        "journal stamps campaign fingerprint {journaled:016x}, this binary plans \
+                         {fingerprint:016x} (mismatched binaries or options)"
+                    ),
+                });
+            }
+        }
+        if replay.torn > 0 {
+            eprintln!(
+                "[serve: dropping a torn {}-byte final journal line (crash mid-write)]",
+                replay.torn
+            );
+        }
+        let writer = JournalWriter::resume(&spec.path, replay.valid_len as u64, spec.sync_every)
+            .map_err(|e| {
+                ExecutorError::io(format!("cannot reopen journal {}", spec.path.display()), e)
+            })?;
+        Ok(Journal { writer, replay: replay.records })
     }
 }
 
@@ -366,6 +464,10 @@ impl Executor for Distributed {
             .map_err(|e| ExecutorError::io("cannot read the bound address", e))?;
         eprintln!("[serve: listening on {addr}, {} simulation(s)]", specs.len());
         let header = CampaignHeader::new(self.scenarios.clone(), &self.opts, 0, 1, specs.len());
+        let journal = match &self.journal {
+            Some(spec) => Some(self.open_journal(spec, &header, specs)?),
+            None => None,
+        };
 
         let children = Mutex::new(Vec::new());
         if let Some(sp) = &self.self_spawn {
@@ -420,7 +522,7 @@ impl Executor for Distributed {
                     }
                 });
             }
-            crate::transport::serve(&listener, &header, specs, &self.serve_opts, &signals)
+            crate::transport::serve(&listener, &header, specs, &self.serve_opts, &signals, journal)
         });
 
         // The campaign is over either way: reap the worker pool. On
@@ -466,33 +568,21 @@ pub fn run_shard<W: Write>(
 
 /// Reads one shard file: the campaign header line plus the records.
 ///
+/// Shard files are written complete or not at all, so an unterminated
+/// final line is corruption here — the coordinator journal, which *can*
+/// legitimately end mid-line after a crash, goes through
+/// [`crate::transport::JournalReader`] instead.
+///
 /// # Errors
 ///
 /// Returns [`ExecutorError::Io`] on filesystem errors and
 /// [`ExecutorError::Corrupt`] on malformed content.
 pub fn read_shard_file(path: &Path) -> Result<(CampaignHeader, Vec<ShardRecord>), ExecutorError> {
-    let file = std::fs::File::open(path)
+    let bytes = std::fs::read(path)
         .map_err(|e| ExecutorError::io(format!("cannot open {}", path.display()), e))?;
-    let mut lines = BufReader::new(file).lines().enumerate();
-    let corrupt = |line: usize, detail: String| ExecutorError::Corrupt {
-        file: path.to_path_buf(),
-        detail: format!("line {}: {detail}", line + 1),
-    };
-    let (_, first) =
-        lines.next().ok_or_else(|| corrupt(0, "empty file (missing campaign header)".into()))?;
-    let first =
-        first.map_err(|e| ExecutorError::io(format!("cannot read {}", path.display()), e))?;
-    let header = CampaignHeader::parse(&first).map_err(|e| corrupt(0, e.to_string()))?;
-    let mut records = Vec::new();
-    for (n, line) in lines {
-        let line =
-            line.map_err(|e| ExecutorError::io(format!("cannot read {}", path.display()), e))?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        records.push(ShardRecord::parse(&line).map_err(|e| corrupt(n, e.to_string()))?);
-    }
-    Ok((header, records))
+    let parsed = RecordFile::parse(&bytes, TailPolicy::Reject)
+        .map_err(|e| ExecutorError::Corrupt { file: path.to_path_buf(), detail: e.to_string() })?;
+    Ok((parsed.header, parsed.records))
 }
 
 /// Folds shard records into a complete result vector in plan order,

@@ -32,7 +32,7 @@ mod table;
 pub mod transport;
 
 pub use csv::write_csv;
-pub use executor::{Distributed, Executor, ExecutorError, InProcess, Subprocess};
+pub use executor::{Distributed, Executor, ExecutorError, InProcess, JournalSpec, Subprocess};
 pub use json::{parse_json, write_json, JsonParseError, JsonValue};
 pub use means::{geometric_mean, harmonic_mean};
 pub use rfcache_area::{pareto_frontier, ParetoPoint};

@@ -340,6 +340,17 @@ impl CampaignHeader {
             && self.runs == other.runs
     }
 
+    /// [`to_line`](Self::to_line) with the campaign fingerprint stamped
+    /// in as an extra field. A journaling coordinator writes this as the
+    /// journal's first line; [`RecordFile::parse`] surfaces the stamp so
+    /// `resume` can verify its re-derived plan against it. The line still
+    /// parses as a plain [`CampaignHeader`] (unknown fields are ignored),
+    /// so a completed journal doubles as a valid one-shard shard file.
+    pub fn to_journal_line(&self, fingerprint: u64) -> String {
+        let line = self.to_line();
+        format!("{}, \"campaign_fingerprint\": \"{fingerprint:016x}\"}}", &line[..line.len() - 1])
+    }
+
     /// Encodes the header as one JSON line (no trailing newline).
     pub fn to_line(&self) -> String {
         let names: Vec<String> =
@@ -405,6 +416,98 @@ impl CampaignHeader {
             )));
         }
         Ok(header)
+    }
+}
+
+/// How [`RecordFile::parse`] treats a final line with no trailing
+/// newline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailPolicy {
+    /// An incomplete final line is corruption. Right for finished shard
+    /// files: workers always terminate every record line.
+    Reject,
+    /// An incomplete final line is dropped and reported via
+    /// [`RecordFile::torn`]. Right for the journal of a crashed
+    /// coordinator, whose last `write` may have been cut mid-line.
+    DropTorn,
+}
+
+/// A parsed header+records JSON-lines file: the shard files workers
+/// emit and the write-ahead journal the distributed coordinator keeps
+/// share this exact shape, so one reader serves `merge`, the
+/// `Subprocess` executor, and `resume`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordFile {
+    /// The campaign header from the first line.
+    pub header: CampaignHeader,
+    /// Campaign fingerprint stamped next to the header by a journaling
+    /// coordinator ([`CampaignHeader::to_journal_line`]); `None` for
+    /// plain shard files.
+    pub campaign_fingerprint: Option<u64>,
+    /// One record per complete record line, in file order.
+    pub records: Vec<ShardRecord>,
+    /// Byte length of the valid prefix: everything up to and including
+    /// the last complete line. A resuming coordinator truncates the
+    /// journal here before appending.
+    pub valid_len: usize,
+    /// Bytes of the torn final line dropped under
+    /// [`TailPolicy::DropTorn`] (0 when the file ends cleanly).
+    pub torn: usize,
+}
+
+impl RecordFile {
+    /// Parses a header+records file from raw bytes.
+    ///
+    /// Only *complete* lines (terminated by `\n`) are parsed; a record
+    /// is therefore never assembled from a partially written line. What
+    /// happens to an unterminated tail is the `tail` policy's call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] (naming the 1-based line) when the header
+    /// or any complete record line is malformed, when no complete header
+    /// line exists, or — under [`TailPolicy::Reject`] — when the final
+    /// line is unterminated.
+    pub fn parse(bytes: &[u8], tail: TailPolicy) -> Result<Self, CodecError> {
+        let valid_len = match bytes.iter().rposition(|&b| b == b'\n') {
+            Some(last) => last + 1,
+            None => 0,
+        };
+        let torn = bytes.len() - valid_len;
+        if torn > 0 && tail == TailPolicy::Reject {
+            return Err(CodecError::new(format!(
+                "truncated final line ({torn} byte(s) with no trailing newline)"
+            )));
+        }
+        // Strict UTF-8: these files are machine-written, so a bad byte
+        // in a *complete* line is disk corruption and must not be
+        // smoothed over into a "valid" record. A multi-byte character
+        // torn by a crash lives past the last newline, outside this
+        // slice, so journal recovery is unaffected.
+        let text = std::str::from_utf8(&bytes[..valid_len])
+            .map_err(|e| CodecError::new(format!("invalid UTF-8 at byte {}", e.valid_up_to())))?;
+        let mut lines = text.lines().enumerate();
+        let (_, first) =
+            lines.next().ok_or_else(|| CodecError::new("empty file (missing campaign header)"))?;
+        let at_line = |n: usize, e: CodecError| CodecError::new(format!("line {}: {e}", n + 1));
+        let v = parse_json(first).map_err(|e| at_line(0, CodecError::new(e.to_string())))?;
+        let header = CampaignHeader::from_value(&v).map_err(|e| at_line(0, e))?;
+        let campaign_fingerprint = match v.get("campaign_fingerprint") {
+            Some(fp) => {
+                Some(fp.as_str().and_then(|s| u64::from_str_radix(s, 16).ok()).ok_or_else(
+                    || at_line(0, CodecError::new("field `campaign_fingerprint` is not a hex u64")),
+                )?)
+            }
+            None => None,
+        };
+        let mut records = Vec::new();
+        for (n, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            records.push(ShardRecord::parse(line).map_err(|e| at_line(n, e))?);
+        }
+        Ok(RecordFile { header, campaign_fingerprint, records, valid_len, torn })
     }
 }
 
@@ -617,6 +720,62 @@ mod tests {
         assert!(CampaignHeader::parse(&bad).unwrap_err().to_string().contains("less than"));
         let zero = header.to_line().replace("\"of\": 4", "\"of\": 0");
         assert!(CampaignHeader::parse(&zero).is_err());
+    }
+
+    #[test]
+    fn record_file_parses_shard_and_journal_shapes() {
+        let opts = ExperimentOpts::smoke();
+        let header = CampaignHeader::new(vec!["fig6".into()], &opts, 0, 1, 2);
+        let spec = RunSpec::new("li", RegFileConfig::Single(SingleBankConfig::one_cycle()))
+            .insts(1_500)
+            .warmup(300);
+        let record = ShardRecord::from_result(0, spec.fingerprint(), &spec.run());
+
+        // Plain shard file: no fingerprint stamp.
+        let shard = format!("{}\n{}\n", header.to_line(), record.to_line());
+        let parsed = RecordFile::parse(shard.as_bytes(), TailPolicy::Reject).unwrap();
+        assert_eq!(parsed.header, header);
+        assert_eq!(parsed.campaign_fingerprint, None);
+        assert_eq!(parsed.records, vec![record.clone()]);
+        assert_eq!(parsed.valid_len, shard.len());
+        assert_eq!(parsed.torn, 0);
+
+        // Journal: fingerprint stamped, still a parseable plain header.
+        let journal = format!("{}\n{}\n", header.to_journal_line(0xfeed), record.to_line());
+        assert_eq!(CampaignHeader::parse(journal.lines().next().unwrap()).unwrap(), header);
+        let parsed = RecordFile::parse(journal.as_bytes(), TailPolicy::Reject).unwrap();
+        assert_eq!(parsed.campaign_fingerprint, Some(0xfeed));
+        assert_eq!(parsed.records.len(), 1);
+
+        // A torn tail is fatal for shard files, recovered for journals.
+        let torn = format!("{journal}{{\"index\": 1, \"finge");
+        let err = RecordFile::parse(torn.as_bytes(), TailPolicy::Reject).unwrap_err();
+        assert!(err.to_string().contains("truncated final line"), "{err}");
+        let parsed = RecordFile::parse(torn.as_bytes(), TailPolicy::DropTorn).unwrap();
+        assert_eq!(parsed.records, vec![record]);
+        assert_eq!(parsed.valid_len, journal.len());
+        assert_eq!(parsed.torn, torn.len() - journal.len());
+
+        // A malformed *complete* line is corruption under either policy,
+        // and the error names the line.
+        let corrupt = format!("{journal}not json\n");
+        for policy in [TailPolicy::Reject, TailPolicy::DropTorn] {
+            let err = RecordFile::parse(corrupt.as_bytes(), policy).unwrap_err();
+            assert!(err.to_string().starts_with("line 3:"), "{err}");
+        }
+
+        // No complete header line: empty file or torn header.
+        assert!(RecordFile::parse(b"", TailPolicy::DropTorn).is_err());
+        let head = header.to_journal_line(1);
+        let torn_header = &head.as_bytes()[..head.len() / 2];
+        assert!(RecordFile::parse(torn_header, TailPolicy::DropTorn).is_err());
+
+        // A corrupt byte inside a complete line is an error, not a
+        // U+FFFD-mangled "valid" record.
+        let mut mangled = journal.clone().into_bytes();
+        mangled[journal.find("\"bench\"").unwrap() + 2] = 0xFF;
+        let err = RecordFile::parse(&mangled, TailPolicy::DropTorn).unwrap_err();
+        assert!(err.to_string().contains("invalid UTF-8"), "{err}");
     }
 
     #[test]

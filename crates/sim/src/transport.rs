@@ -25,17 +25,31 @@
 //!   drifting worker is a loud [`ExecutorError::PlanDrift`] instead of a
 //!   silently scrambled report.
 //!
+//! **Durability.** With a [`Journal`], the coordinator write-ahead
+//! journals the campaign header and every accepted record to disk
+//! ([`JournalWriter`]; one `write` per line, `sync_data` on a
+//! configurable interval), so the file is always a valid shard-file
+//! prefix. After a coordinator crash, [`JournalReader`] recovers every
+//! complete record — a torn final line is dropped, never mis-parsed —
+//! and [`serve`] replays them into the slot table before leasing out
+//! only the remaining indices, producing results byte-identical to an
+//! uninterrupted run.
+//!
 //! The protocol framing is [`Frame`]; partial TCP reads are reassembled
 //! by [`LineBuffer`], which is property-tested against arbitrary byte
 //! splits in `tests/metrics_codec.rs`.
 
 use crate::executor::ExecutorError;
-use crate::metrics_codec::{CampaignHeader, Frame, ShardRecord};
+use crate::metrics_codec::{
+    CampaignHeader, CodecError, Frame, RecordFile, ShardRecord, TailPolicy,
+};
 use crate::run::{campaign_fingerprint, par_indexed, RunResult, RunSpec};
 use crate::scenario;
 use std::collections::VecDeque;
-use std::io::{self, Read, Write};
+use std::fs::OpenOptions;
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -85,6 +99,148 @@ impl LineBuffer {
     pub fn pending(&self) -> usize {
         self.buf.len()
     }
+}
+
+/// Write-ahead journal sink for the coordinator: the campaign header at
+/// creation, then every verified record as it is accepted, so the
+/// on-disk file is **always a valid shard-file prefix**. Each record is
+/// a single `write` (a crash tears at most the final line); `sync_data`
+/// runs every `sync_every` records and at campaign completion.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: std::fs::File,
+    sync_every: usize,
+    unsynced: usize,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal and writes (and syncs) the header line,
+    /// stamped with the campaign fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Refuses to overwrite an existing file — an interrupted campaign's
+    /// journal is exactly what `resume` needs, and clobbering it by
+    /// rerunning `serve` must not happen silently.
+    pub fn create(
+        path: &Path,
+        header: &CampaignHeader,
+        fingerprint: u64,
+        sync_every: usize,
+    ) -> io::Result<Self> {
+        let file = OpenOptions::new().write(true).create_new(true).open(path)?;
+        let mut writer = JournalWriter { file, sync_every, unsynced: 0 };
+        let mut line = header.to_journal_line(fingerprint);
+        line.push('\n');
+        writer.file.write_all(line.as_bytes())?;
+        writer.file.sync_data()?;
+        // The directory entry must be durable too: syncing only the
+        // file leaves a host crash free to forget the file ever
+        // existed, which would lose the whole campaign — the one thing
+        // the journal exists to prevent.
+        sync_parent_dir(path)?;
+        Ok(writer)
+    }
+
+    /// Reopens an interrupted campaign's journal for append: truncates
+    /// the torn tail (everything past `valid_len`, as reported by
+    /// [`JournalReader`]) so the file is a clean prefix again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/truncate failures.
+    pub fn resume(path: &Path, valid_len: u64, sync_every: usize) -> io::Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(JournalWriter { file, sync_every, unsynced: 0 })
+    }
+
+    /// Appends one accepted record line (the `\n` is added here, in the
+    /// same `write` call, so partial writes never fabricate a complete
+    /// line).
+    fn append(&mut self, record_line: &str) -> io::Result<()> {
+        let mut line = String::with_capacity(record_line.len() + 1);
+        line.push_str(record_line);
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.unsynced += 1;
+        if self.sync_every > 0 && self.unsynced >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far onto the disk.
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+/// Makes a freshly created file's *directory entry* durable: `fsync`
+/// on the file alone does not guarantee the file is findable after a
+/// power failure.
+#[cfg(unix)]
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
+}
+
+/// Directories cannot be opened as files off Unix; the rename-style
+/// durability guarantee is best-effort there.
+#[cfg(not(unix))]
+fn sync_parent_dir(_path: &Path) -> io::Result<()> {
+    Ok(())
+}
+
+/// Reads a coordinator journal back, tolerating the torn final line a
+/// mid-write crash leaves behind: complete lines parse exactly as shard
+/// records, an unterminated tail is dropped (never mis-parsed), and a
+/// malformed *complete* line is still corruption.
+pub struct JournalReader;
+
+impl JournalReader {
+    /// Parses journal bytes ([`TailPolicy::DropTorn`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] when the header or any complete record
+    /// line is malformed, or when no complete header line exists (a
+    /// crash before the first sync).
+    pub fn parse(bytes: &[u8]) -> Result<RecordFile, CodecError> {
+        RecordFile::parse(bytes, TailPolicy::DropTorn)
+    }
+
+    /// Reads and parses a journal file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecutorError::Io`] on filesystem errors and
+    /// [`ExecutorError::Corrupt`] on malformed content.
+    pub fn read(path: &Path) -> Result<RecordFile, ExecutorError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ExecutorError::io(format!("cannot open journal {}", path.display()), e))?;
+        Self::parse(&bytes)
+            .map_err(|e| ExecutorError::Corrupt { file: path.to_path_buf(), detail: e.to_string() })
+    }
+}
+
+/// Durability state handed to [`serve`]: the open journal sink plus the
+/// records replayed from it (empty on a fresh journaled run). Replayed
+/// records are verified and deduplicated exactly like live `record`
+/// frames, but not re-appended to the journal.
+#[derive(Debug)]
+pub struct Journal {
+    /// The open write-ahead sink.
+    pub writer: JournalWriter,
+    /// Records recovered from the interrupted run, to pre-fill the slot
+    /// table before any lease is issued.
+    pub replay: Vec<ShardRecord>,
 }
 
 /// One issued lease: the id the coordinator assigned and the plan
@@ -190,6 +346,15 @@ impl LeaseTable {
         requeued
     }
 
+    /// Drops already-filled indices from the pending queue. Journal
+    /// replay marks indices filled *before* any lease is issued; without
+    /// this, the initial queue would lease (and re-simulate) work the
+    /// interrupted run already finished.
+    fn prune_pending(&mut self) {
+        let filled = &self.filled;
+        self.pending.retain(|&i| !filled[i]);
+    }
+
     fn is_filled(&self, index: usize) -> bool {
         self.filled[index]
     }
@@ -285,17 +450,76 @@ impl ServeCtx<'_> {
         self.connected.load(Ordering::SeqCst) >= self.opts.expect
             || self.started.elapsed() >= self.opts.lease_timeout
     }
+
+    /// Whether this handler should give up: the campaign finished,
+    /// aborted, or hit a fatal error. Checked on every frame boundary so
+    /// one worker's `PlanDrift` unblocks every other handler — including
+    /// one still waiting out the handshake deadline — within a read tick.
+    fn done(&self) -> bool {
+        self.signals.aborted() || self.signals.finished() || self.state.lock().unwrap().stop()
+    }
 }
 
 struct ServeState {
     table: LeaseTable,
     slots: Vec<Option<RunResult>>,
     fatal: Option<ExecutorError>,
+    journal: Option<JournalWriter>,
 }
 
 impl ServeState {
     fn stop(&self) -> bool {
         self.fatal.is_some() || self.table.complete()
+    }
+
+    /// Verifies and stores one record — the single admission path shared
+    /// by live `record` frames and journal replay (`journal = false`,
+    /// which skips re-appending what was just read back). Out-of-plan
+    /// indices, fingerprint mismatches and journal-append failures are
+    /// fatal; duplicates are silently dropped (`Ok(false)`).
+    fn admit(
+        &mut self,
+        specs: &[&RunSpec],
+        record: ShardRecord,
+        journal: bool,
+    ) -> Result<bool, ExecutorError> {
+        let index = record.index;
+        if index >= specs.len() {
+            return Err(ExecutorError::Coverage {
+                detail: format!("record index {index} exceeds the {}-spec plan", specs.len()),
+            });
+        }
+        let expected = specs[index].fingerprint();
+        if record.fingerprint != expected {
+            return Err(ExecutorError::PlanDrift {
+                index,
+                detail: format!(
+                    "expected spec fingerprint {expected:016x}, record carries {:016x}",
+                    record.fingerprint
+                ),
+            });
+        }
+        if self.table.is_filled(index) {
+            return Ok(false); // duplicate from a superseded straggler
+        }
+        // Serialize only what will actually be appended: this runs under
+        // the global state mutex, and non-journaled campaigns (and
+        // replay, which re-reads what is already on disk) must not pay
+        // for encoding the full metrics set there.
+        let line = (journal && self.journal.is_some()).then(|| record.to_line());
+        let result = record
+            .into_run_result()
+            .map_err(|e| ExecutorError::PlanDrift { index, detail: e.to_string() })?;
+        // Write-ahead: the record reaches the journal before it counts
+        // as completed, so a crash never *loses* an accepted record.
+        if let (Some(line), Some(writer)) = (line, &mut self.journal) {
+            writer
+                .append(&line)
+                .map_err(|e| ExecutorError::io("cannot append to the campaign journal", e))?;
+        }
+        self.slots[index] = Some(result);
+        self.table.record(index);
+        Ok(true)
     }
 }
 
@@ -303,6 +527,13 @@ impl ServeState {
 /// already-bound listener: accepts workers, verifies their handshakes,
 /// leases out the plan, and returns one result per spec in plan order —
 /// byte-identical input to `assemble()` as any other backend.
+///
+/// With a [`Journal`], every accepted record is appended to the
+/// write-ahead sink before it counts as completed, and the journal's
+/// replayed records pre-fill the slot table (verified and deduplicated
+/// exactly like live records) so only the remaining indices are leased
+/// out — a resumed campaign produces the same result vector an
+/// uninterrupted one would.
 ///
 /// Returns when every plan index has a verified result, or on a fatal
 /// error (plan drift, protocol corruption, abort via `signals`).
@@ -312,20 +543,40 @@ impl ServeState {
 /// # Errors
 ///
 /// Returns [`ExecutorError::PlanDrift`] when a worker's campaign or
-/// record fingerprints disagree with the plan, [`ExecutorError::Io`] on
-/// listener failures, and [`ExecutorError::Transport`] when aborted.
+/// record fingerprints disagree with the plan (replayed journal records
+/// included), [`ExecutorError::Io`] on listener or journal failures,
+/// and [`ExecutorError::Transport`] when aborted.
 pub fn serve(
     listener: &TcpListener,
     header: &CampaignHeader,
     specs: &[&RunSpec],
     opts: &ServeOptions,
     signals: &ServeSignals,
+    journal: Option<Journal>,
 ) -> Result<Vec<RunResult>, ExecutorError> {
-    let state = Mutex::new(ServeState {
+    let mut initial = ServeState {
         table: LeaseTable::new(specs.len(), opts.chunk, opts.lease_timeout),
         slots: (0..specs.len()).map(|_| None).collect(),
         fatal: None,
-    });
+        journal: None,
+    };
+    if let Some(journal) = journal {
+        initial.journal = Some(journal.writer);
+        let mut replayed = 0usize;
+        for record in journal.replay {
+            if initial.admit(specs, record, false)? {
+                replayed += 1;
+            }
+        }
+        initial.table.prune_pending();
+        if replayed > 0 {
+            eprintln!(
+                "[serve: replayed {replayed} of {} plan index(es) from the journal]",
+                specs.len()
+            );
+        }
+    }
+    let state = Mutex::new(initial);
     let connected = AtomicUsize::new(0);
     let ctx = ServeCtx {
         header,
@@ -371,12 +622,20 @@ pub fn serve(
         signals.finished.store(true, Ordering::SeqCst);
     });
 
-    let state = state.into_inner().unwrap();
+    let mut state = state.into_inner().unwrap();
     if let Some(e) = state.fatal {
         return Err(e);
     }
     if !state.table.complete() {
         return Err(ExecutorError::Transport { detail: signals.abort_reason() });
+    }
+    if let Some(writer) = &mut state.journal {
+        // The campaign is complete and its results are in memory; a
+        // failed final sync only weakens the (now redundant) journal,
+        // so it warns instead of discarding a finished campaign.
+        if let Err(e) = writer.sync() {
+            eprintln!("[serve: warning: cannot sync the campaign journal: {e}]");
+        }
     }
     Ok(state
         .slots
@@ -392,11 +651,17 @@ fn send_line(stream: &mut TcpStream, frame: &Frame) -> io::Result<()> {
 }
 
 /// Reads frames until `want` matches, honoring the read-timeout tick so
-/// shutdown signals are never missed. `None` = the deadline passed.
+/// shutdown signals are never missed. `stop` is re-checked on every
+/// frame boundary and read tick — a handler blocked on a slow peer must
+/// notice a fatal error elsewhere promptly, not after its full deadline
+/// (the coordinator's handshake deadline is 30s; wedging the serve
+/// scope that long on an already-doomed campaign is the bug this
+/// guards against). `None` = the deadline passed or `stop` fired.
 fn read_frame(
     stream: &mut TcpStream,
     buf: &mut LineBuffer,
     deadline: Instant,
+    stop: &dyn Fn() -> bool,
 ) -> io::Result<Option<Frame>> {
     let mut scratch = [0u8; 16 * 1024];
     loop {
@@ -408,7 +673,7 @@ fn read_frame(
                 .map(Some)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
         }
-        if Instant::now() >= deadline {
+        if Instant::now() >= deadline || stop() {
             return Ok(None);
         }
         match stream.read(&mut scratch) {
@@ -444,7 +709,8 @@ fn handle_worker(mut stream: TcpStream, ctx: &ServeCtx<'_>) -> io::Result<()> {
         &mut stream,
         &Frame::Hello { campaign: Some(ctx.header.clone()), fingerprint: ctx.fingerprint },
     )?;
-    let hello = read_frame(&mut stream, &mut buf, Instant::now() + HANDSHAKE_DEADLINE)?;
+    let hello =
+        read_frame(&mut stream, &mut buf, Instant::now() + HANDSHAKE_DEADLINE, &|| ctx.done())?;
     match hello {
         Some(Frame::Hello { fingerprint, .. }) if fingerprint == ctx.fingerprint => {}
         Some(Frame::Hello { fingerprint, .. }) => {
@@ -470,6 +736,7 @@ fn handle_worker(mut stream: TcpStream, ctx: &ServeCtx<'_>) -> io::Result<()> {
                 format!("expected hello, got {other:?}"),
             ));
         }
+        None if ctx.done() => return Ok(()), // campaign over mid-handshake
         None => return Err(io::Error::new(io::ErrorKind::TimedOut, "no hello before deadline")),
     }
     let joined = ctx.connected.fetch_add(1, Ordering::SeqCst) + 1;
@@ -529,12 +796,12 @@ fn collect_records(
     ctx: &ServeCtx<'_>,
 ) -> io::Result<()> {
     loop {
-        if ctx.signals.aborted() || ctx.signals.finished() || ctx.state.lock().unwrap().stop() {
+        if ctx.done() {
             // The campaign ended while this worker was mid-lease (e.g.
             // its straggling lease was re-issued and finished elsewhere).
             return Ok(());
         }
-        match read_frame(stream, buf, Instant::now() + READ_TICK) {
+        match read_frame(stream, buf, Instant::now() + READ_TICK, &|| ctx.done()) {
             Ok(Some(Frame::Record(record))) => accept_record(ctx, *record),
             Ok(Some(Frame::Done)) => return Ok(()),
             Ok(Some(other)) => {
@@ -549,42 +816,16 @@ fn collect_records(
     }
 }
 
-/// Verifies and stores one record: out-of-plan indices and fingerprint
-/// mismatches are fatal plan drift; duplicates are silently dropped.
+/// Verifies, journals and stores one live record: out-of-plan indices,
+/// fingerprint mismatches and journal failures are fatal; duplicates
+/// are silently dropped.
 fn accept_record(ctx: &ServeCtx<'_>, record: ShardRecord) {
     let mut st = ctx.state.lock().unwrap();
     if st.fatal.is_some() {
         return;
     }
-    let index = record.index;
-    if index >= ctx.specs.len() {
-        st.fatal = Some(ExecutorError::Coverage {
-            detail: format!("record index {index} exceeds the {}-spec plan", ctx.specs.len()),
-        });
-        return;
-    }
-    let expected = ctx.specs[index].fingerprint();
-    if record.fingerprint != expected {
-        st.fatal = Some(ExecutorError::PlanDrift {
-            index,
-            detail: format!(
-                "expected spec fingerprint {expected:016x}, record carries {:016x}",
-                record.fingerprint
-            ),
-        });
-        return;
-    }
-    if st.table.is_filled(index) {
-        return; // duplicate from a superseded straggler
-    }
-    match record.into_run_result() {
-        Ok(result) => {
-            st.slots[index] = Some(result);
-            st.table.record(index);
-        }
-        Err(e) => {
-            st.fatal = Some(ExecutorError::PlanDrift { index, detail: e.to_string() });
-        }
+    if let Err(e) = st.admit(ctx.specs, record, true) {
+        st.fatal = Some(e);
     }
 }
 
@@ -637,7 +878,7 @@ pub fn work(addr: &str, opts: &WorkOptions) -> Result<WorkSummary, String> {
     let read_err = |e: io::Error| format!("coordinator {addr}: {e}");
 
     // Handshake: campaign in, our fingerprint of the re-derived plan out.
-    let first = read_frame(&mut stream, &mut buf, Instant::now() + HANDSHAKE_DEADLINE)
+    let first = read_frame(&mut stream, &mut buf, Instant::now() + HANDSHAKE_DEADLINE, &|| false)
         .map_err(read_err)?
         .ok_or_else(|| format!("coordinator {addr}: no hello before deadline"))?;
     let Frame::Hello { campaign: Some(header), fingerprint: coordinator_fp } = first else {
@@ -665,7 +906,8 @@ pub fn work(addr: &str, opts: &WorkOptions) -> Result<WorkSummary, String> {
 
     let mut summary = WorkSummary { leases: 0, simulated: 0, quit_injected: false };
     loop {
-        let frame = read_frame(&mut stream, &mut buf, Instant::now() + READ_TICK).map_err(read_err);
+        let frame = read_frame(&mut stream, &mut buf, Instant::now() + READ_TICK, &|| false)
+            .map_err(read_err);
         let frame = match frame {
             Ok(Some(frame)) => frame,
             Ok(None) => continue, // idle: coordinator is waiting on other workers
@@ -726,6 +968,9 @@ fn connect_retry(addr: &str, window: Duration) -> Result<TcpStream, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::ExperimentOpts;
+    use rfcache_core::{RegFileConfig, SingleBankConfig};
+    use rfcache_pipeline::SimMetrics;
 
     #[test]
     fn line_buffer_reassembles_split_lines() {
@@ -804,6 +1049,122 @@ mod tests {
         assert!(table.record(1), "straggler delivered one of three");
         let a2 = table.grab(at(t0, 11)).unwrap();
         assert_eq!(a2.indices, vec![0, 2], "filled index not re-issued");
+    }
+
+    #[test]
+    fn lease_table_prune_skips_replayed_indices() {
+        let t0 = Instant::now();
+        let mut table = LeaseTable::new(5, 2, Duration::from_secs(60));
+        // Journal replay fills 1 and 2 before any lease exists.
+        assert!(table.record(1));
+        assert!(table.record(2));
+        table.prune_pending();
+        let a = table.grab(t0).unwrap();
+        assert_eq!(a.indices, vec![0, 3], "replayed indices are never leased");
+        let b = table.grab(t0).unwrap();
+        assert_eq!(b.indices, vec![4]);
+        assert!(table.grab(t0).is_none());
+        assert!(table.record(0));
+        assert!(table.record(3));
+        assert!(table.record(4));
+        assert!(table.complete());
+    }
+
+    fn sample_record(index: usize, fingerprint: u64) -> ShardRecord {
+        ShardRecord {
+            index,
+            fingerprint,
+            bench: "li".into(),
+            fp: false,
+            metrics: SimMetrics::default(),
+        }
+    }
+
+    #[test]
+    fn journal_writer_creates_appends_resumes_and_refuses_overwrite() {
+        let dir = std::env::temp_dir().join(format!("rfcache_journal_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.journal");
+        let _ = std::fs::remove_file(&path);
+        let header = CampaignHeader::new(vec!["x".into()], &ExperimentOpts::smoke(), 0, 1, 3);
+        let record = sample_record(1, 7);
+
+        let mut writer = JournalWriter::create(&path, &header, 0xabc, 1).unwrap();
+        writer.append(&record.to_line()).unwrap();
+        drop(writer);
+        assert!(
+            JournalWriter::create(&path, &header, 0xabc, 1).is_err(),
+            "an existing journal must never be clobbered by a fresh serve"
+        );
+
+        // A crash tears the final line mid-write; the reader drops it.
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        let mut torn = OpenOptions::new().append(true).open(&path).unwrap();
+        torn.write_all(b"{\"index\": 2, \"finge").unwrap();
+        drop(torn);
+        let replay = JournalReader::read(&path).unwrap();
+        assert_eq!(replay.header, header);
+        assert_eq!(replay.campaign_fingerprint, Some(0xabc));
+        assert_eq!(replay.records, vec![record.clone()]);
+        assert_eq!(replay.valid_len as u64, clean_len);
+        assert!(replay.torn > 0);
+
+        // Resume truncates the torn tail and appends cleanly after it.
+        let mut writer = JournalWriter::resume(&path, replay.valid_len as u64, 0).unwrap();
+        writer.append(&sample_record(2, 9).to_line()).unwrap();
+        writer.sync().unwrap();
+        drop(writer);
+        let replay = JournalReader::read(&path).unwrap();
+        assert_eq!(replay.torn, 0);
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[1].index, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_drift_from_one_worker_unblocks_the_serve_scope_promptly() {
+        let specs: Vec<RunSpec> = ["li", "go"]
+            .iter()
+            .map(|b| {
+                RunSpec::new(b, RegFileConfig::Single(SingleBankConfig::one_cycle()))
+                    .insts(1_000)
+                    .warmup(200)
+            })
+            .collect();
+        let refs: Vec<&RunSpec> = specs.iter().collect();
+        let header =
+            CampaignHeader::new(vec!["x".into()], &ExperimentOpts::smoke(), 0, 1, refs.len());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let signals = ServeSignals::new();
+        let start = Instant::now();
+        let result = std::thread::scope(|scope| {
+            let coordinator = scope.spawn(|| {
+                serve(&listener, &header, &refs, &ServeOptions::default(), &signals, None)
+            });
+            // An idle client that never sends its hello: without the
+            // frame-boundary stop check, its handler would pin the
+            // serve scope for the full 30s handshake deadline after
+            // the drift below.
+            let idle = TcpStream::connect(addr).unwrap();
+            std::thread::sleep(Duration::from_millis(200));
+            let mut drifter = TcpStream::connect(addr).unwrap();
+            let mut line = Frame::Hello { campaign: None, fingerprint: 0xbad }.to_line();
+            line.push('\n');
+            drifter.write_all(line.as_bytes()).unwrap();
+            let result = coordinator.join().expect("serve does not panic");
+            drop(idle);
+            result
+        });
+        let elapsed = start.elapsed();
+        match result {
+            Err(ExecutorError::PlanDrift { .. }) => {}
+            other => panic!("expected plan drift, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "a fatal error must unblock pending handshakes promptly, took {elapsed:?}"
+        );
     }
 
     #[test]

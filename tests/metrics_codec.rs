@@ -7,8 +7,11 @@ use proptest::prelude::*;
 use rfcache_core::RegFileStats;
 use rfcache_frontend::FetchStats;
 use rfcache_pipeline::{OccupancyHistogram, SimMetrics};
-use rfcache_sim::metrics_codec::{decode_metrics_str, encode_metrics, Frame, ShardRecord};
-use rfcache_sim::transport::LineBuffer;
+use rfcache_sim::experiments::ExperimentOpts;
+use rfcache_sim::metrics_codec::{
+    decode_metrics_str, encode_metrics, CampaignHeader, Frame, ShardRecord,
+};
+use rfcache_sim::transport::{JournalReader, LineBuffer};
 
 /// Draws the next counter from the generated pool.
 fn rf_stats(next: &mut impl FnMut() -> u64) -> RegFileStats {
@@ -161,6 +164,74 @@ proptest! {
         }
         prop_assert_eq!(buf.pending(), 0, "stream ends on a frame boundary");
         prop_assert_eq!(&reassembled, &records, "chunked reassembly lost or altered records");
+    }
+}
+
+proptest! {
+    /// Crash recovery: a coordinator journal truncated at an *arbitrary*
+    /// byte offset — as a crash mid-`write` truncates it — must yield
+    /// exactly the records whose lines survived complete. The torn tail
+    /// is dropped, never mis-parsed into a record; only a cut inside the
+    /// header line (before anything was durably started) is an error.
+    /// Mirror of the `LineBuffer` arbitrary-split test above, on the
+    /// disk side of the same codec.
+    #[test]
+    fn journal_reader_recovers_every_complete_record_at_any_truncation(
+        counters in proptest::collection::vec(0u64..=u64::MAX, 50..51),
+        nrecords in 1usize..5,
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let opts = ExperimentOpts::smoke();
+        let header = CampaignHeader::new(vec!["fig6".into()], &opts, 0, 1, nrecords);
+        let records: Vec<ShardRecord> = (0..nrecords)
+            .map(|k| {
+                let mut rotated = counters.clone();
+                let shift = k % rotated.len();
+                rotated.rotate_left(shift);
+                ShardRecord {
+                    index: k,
+                    fingerprint: (k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    bench: "li".to_string(),
+                    fp: false,
+                    metrics: metrics_from(&rotated, Some(0.5), vec![k as u64], vec![], (1, 2)),
+                }
+            })
+            .collect();
+        let mut journal = header.to_journal_line(0xfeed_face) + "\n";
+        for record in &records {
+            journal.push_str(&record.to_line());
+            journal.push('\n');
+        }
+        let bytes = journal.as_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let cut = cut.min(bytes.len());
+        let truncated = &bytes[..cut];
+
+        let header_len = journal.find('\n').expect("header line") + 1;
+        match JournalReader::parse(truncated) {
+            Ok(recovered) => {
+                prop_assert!(cut >= header_len, "parse cannot succeed without a full header");
+                // Every byte up to the last newline is complete lines;
+                // one newline per record beyond the header's.
+                let complete =
+                    truncated.iter().filter(|&&b| b == b'\n').count().saturating_sub(1);
+                prop_assert_eq!(recovered.records.len(), complete);
+                prop_assert_eq!(&recovered.records[..], &records[..complete]);
+                prop_assert_eq!(recovered.campaign_fingerprint, Some(0xfeed_face));
+                let valid =
+                    truncated.iter().rposition(|&b| b == b'\n').map_or(0, |nl| nl + 1);
+                prop_assert_eq!(recovered.valid_len, valid);
+                prop_assert_eq!(recovered.torn, cut - valid);
+            }
+            Err(_) => {
+                prop_assert!(
+                    cut < header_len,
+                    "only a cut inside the header line may fail (cut {} of {})",
+                    cut,
+                    bytes.len()
+                );
+            }
+        }
     }
 }
 
