@@ -14,6 +14,8 @@
 //!                  [--quit-after-leases N]
 //! experiments resume --journal FILE --bind ADDR [--expect K] [--lease-timeout SECS]
 //!                    [--chunk N] [--journal-sync N] [--csv DIR] [--json DIR]
+//! experiments bench [--repeat N] [--warmup N] [--quick] [--label STR]
+//!                   [--out FILE] [--no-campaign]
 //! ```
 //!
 //! `--list` enumerates the registered scenarios; `all` runs every one in
@@ -67,6 +69,14 @@
 //! mis-parsed), and serves only the remaining indices — reports and
 //! exports come out byte-identical to an uninterrupted run.
 //!
+//! **Benchmarking.** `bench` measures *simulator* throughput (cycles/sec
+//! and instructions/sec of the cycle loop itself, not of the modelled
+//! machine) on a fixed suite — every register file model at smoke and
+//! quick scale plus the `all --quick` campaign wall time — and appends a
+//! schema-versioned snapshot to the perf trajectory (`--out`, default
+//! `BENCH_cycle_loop.json`). See `rfcache_bench::perf` and
+//! `scripts/bench_diff.py`.
+//!
 //! All diagnostics (warnings, progress, errors) go to stderr; stdout
 //! carries only reports or, in shard-worker mode, shard records.
 //!
@@ -100,6 +110,8 @@ const USAGE: &str = "usage: experiments --list
                         [--quit-after-leases N]
        experiments resume --journal FILE --bind ADDR [--expect K] [--lease-timeout SECS]
                           [--chunk N] [--journal-sync N] [--csv DIR] [--json DIR]
+       experiments bench [--repeat N] [--warmup N] [--quick] [--label STR]
+                         [--out FILE] [--no-campaign]
 run `experiments --list` for the registered scenario names";
 
 fn main() {
@@ -117,6 +129,7 @@ fn main() {
         "serve" => serve_main(&args[1..]),
         "work" => work_main(&args[1..]),
         "resume" => resume_main(&args[1..]),
+        "bench" => bench_main(&args[1..]),
         _ => run_main(&args),
     }
 }
@@ -246,6 +259,51 @@ fn run_main(args: &[String]) {
         runs,
         start.elapsed().as_secs_f64()
     );
+}
+
+/// Measures simulator throughput on the fixed bench suite and records a
+/// snapshot in the perf trajectory (`BENCH_cycle_loop.json` by default;
+/// created if missing, appended to otherwise).
+fn bench_main(args: &[String]) {
+    use rfcache_bench::perf;
+
+    let mut opts = perf::BenchOptions::default();
+    let mut out: PathBuf = PathBuf::from("BENCH_cycle_loop.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--repeat" => opts.repeat = parse_positive("--repeat", it.next()),
+            "--warmup" => opts.warmup_reps = parse_num("--warmup", it.next()) as usize,
+            "--quick" => opts.quick = true,
+            "--label" => opts.label = parse_value("--label", it.next()),
+            "--out" => out = parse_path("--out", it.next()),
+            "--no-campaign" => opts.skip_campaign = true,
+            flag => usage_error(&format!("unknown bench option {flag}")),
+        }
+    }
+    eprintln!(
+        "[bench: {} repetition(s) after {} warmup, {} scale]",
+        opts.repeat,
+        opts.warmup_reps,
+        if opts.quick { "quick" } else { "full" }
+    );
+    let mut progress = |stat: &perf::ScenarioStat| {
+        let rate = match stat.cycles_per_sec() {
+            Some(cps) => format!("{:>10.0} cycles/s", cps),
+            None => format!("{:>10.0} insts/s ", stat.insts_per_sec()),
+        };
+        eprintln!("  {:<24} {rate}  ({:.3}s min)", stat.name, stat.secs_min);
+    };
+    let snapshot = perf::run_bench(&opts, &mut progress);
+    let rendered = match std::fs::read_to_string(&out) {
+        Ok(existing) => perf::append_snapshot(&existing, &snapshot)
+            .unwrap_or_else(|e| die(&format!("cannot append to {}: {e}", out.display()))),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => perf::render_trajectory(&snapshot),
+        Err(e) => die(&format!("cannot read {}: {e}", out.display())),
+    };
+    std::fs::write(&out, rendered)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
+    eprintln!("[bench: snapshot \"{}\" written to {}]", snapshot.label, out.display());
 }
 
 /// Splits the thread budget across `count` worker processes: each

@@ -5,3 +5,7 @@
 //! * `benches/` — Criterion benchmarks: component micro-benchmarks
 //!   (predictor, caches, trace generation, register file models) and one
 //!   reduced-scale end-to-end benchmark per paper experiment.
+//! * [`perf`] — the `experiments bench` harness: simulator-throughput
+//!   measurement and the `BENCH_cycle_loop.json` perf trajectory.
+
+pub mod perf;

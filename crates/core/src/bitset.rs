@@ -1,0 +1,162 @@
+//! A fixed-capacity bitset over dense physical-register indices.
+//!
+//! The cycle loop builds and queries per-cycle register sets (ready
+//! unissued consumers, occupancy samples) tens of millions of times per
+//! campaign; a `HashSet<u16>` there costs hashing and heap traffic for
+//! sets whose universe — `phys_regs` — is small and known at
+//! construction. This bitset is a `Vec<u64>` of words sized once, with
+//! O(1) insert/remove/contains/len and word-skipping iteration.
+
+/// A set of `u16` keys from a fixed universe `0..capacity`.
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_core::RegBitSet;
+/// let mut set = RegBitSet::new(96);
+/// assert!(set.insert(17));
+/// assert!(!set.insert(17), "already present");
+/// assert!(set.contains(17));
+/// assert_eq!(set.len(), 1);
+/// assert_eq!(set.iter().collect::<Vec<_>>(), vec![17]);
+/// assert!(set.remove(17));
+/// assert!(set.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegBitSet {
+    words: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl RegBitSet {
+    /// An empty set accepting keys `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        RegBitSet { words: vec![0; capacity.div_ceil(64)], capacity, len: 0 }
+    }
+
+    /// The key universe the set was sized for.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Adds `key`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, key: u16) -> bool {
+        assert!((key as usize) < self.capacity, "key {key} out of range");
+        let (word, bit) = (key as usize / 64, 1u64 << (key % 64));
+        let fresh = self.words[word] & bit == 0;
+        self.words[word] |= bit;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Removes `key`; returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, key: u16) -> bool {
+        let word = key as usize / 64;
+        if word >= self.words.len() {
+            return false;
+        }
+        let bit = 1u64 << (key % 64);
+        let present = self.words[word] & bit != 0;
+        self.words[word] &= !bit;
+        self.len -= present as usize;
+        present
+    }
+
+    /// Whether `key` is in the set.
+    #[inline]
+    pub fn contains(&self, key: u16) -> bool {
+        let word = key as usize / 64;
+        word < self.words.len() && self.words[word] & (1 << (key % 64)) != 0
+    }
+
+    /// Number of keys in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every key, keeping the capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// The keys in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            std::iter::successors((w != 0).then_some(w), |&rest| {
+                let rest = rest & (rest - 1);
+                (rest != 0).then_some(rest)
+            })
+            .map(move |rest| (wi * 64 + rest.trailing_zeros() as usize) as u16)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_len() {
+        let mut set = RegBitSet::new(130);
+        assert!(set.is_empty());
+        assert!(set.insert(0));
+        assert!(set.insert(63));
+        assert!(set.insert(64));
+        assert!(set.insert(129));
+        assert!(!set.insert(64));
+        assert_eq!(set.len(), 4);
+        assert!(set.contains(129) && !set.contains(128));
+        assert!(set.remove(63));
+        assert!(!set.remove(63));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn iter_ascending_across_word_boundaries() {
+        let mut set = RegBitSet::new(200);
+        for k in [199, 0, 64, 63, 65, 127, 128] {
+            set.insert(k);
+        }
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut set = RegBitSet::new(80);
+        set.insert(70);
+        set.clear();
+        assert!(set.is_empty() && !set.contains(70));
+        assert_eq!(set.capacity(), 80);
+        assert!(set.insert(70));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        RegBitSet::new(64).insert(64);
+    }
+
+    #[test]
+    fn contains_and_remove_out_of_range_are_false() {
+        let mut set = RegBitSet::new(10);
+        assert!(!set.contains(1000));
+        assert!(!set.remove(1000));
+    }
+}

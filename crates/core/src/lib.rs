@@ -39,7 +39,9 @@
 
 #![warn(missing_docs)]
 
+mod bitset;
 mod config;
+mod dispatch;
 mod model;
 mod onelevel;
 mod plru;
@@ -47,12 +49,15 @@ mod replicated;
 mod rfc;
 mod single;
 
+pub use bitset::RegBitSet;
 pub use config::{
     BypassNetwork, CachingPolicy, FetchPolicy, PortLimits, RegFileCacheConfig, RegFileConfig,
     Replacement, ReplicatedBankConfig, SingleBankConfig,
 };
+pub use dispatch::RegFile;
 pub use model::{
-    NullWindow, PlanError, ReadPath, RegFileModel, RegFileStats, SourceRead, WindowQuery,
+    MissList, NullWindow, PlanError, ReadPath, ReadPlan, RegFileModel, RegFileStats, SmallList,
+    SourceRead, WindowQuery,
 };
 pub use onelevel::{OneLevelBankedConfig, OneLevelBankedModel};
 pub use plru::{PlruTree, ReplacementState};

@@ -28,9 +28,10 @@ use rfcache_isa::{Cycle, PhysReg};
 use std::fmt;
 
 /// How one source operand will be obtained.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ReadPath {
     /// Caught from the bypass network (consumes no read port).
+    #[default]
     Bypass,
     /// Read from the register file (upper bank for the register file
     /// cache); consumes one read port.
@@ -38,13 +39,93 @@ pub enum ReadPath {
 }
 
 /// One planned operand read.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SourceRead {
     /// The physical register read.
     pub preg: PhysReg,
     /// The path the value takes.
     pub path: ReadPath,
 }
+
+/// A fixed-capacity inline list: the allocation-free carrier for read
+/// plans and miss lists on the per-instruction issue path. Instructions
+/// have at most two sources, so the capacity is never a constraint; it
+/// dereferences to a slice, so call sites index and iterate as before.
+///
+/// # Panics
+///
+/// [`push`](SmallList::push) panics when the list is full — plans are
+/// bounded by the ISA's source count, so overflow is a logic error.
+#[derive(Clone, Copy)]
+pub struct SmallList<T: Copy + Default, const N: usize> {
+    len: u8,
+    items: [T; N],
+}
+
+impl<T: Copy + Default, const N: usize> SmallList<T, N> {
+    /// An empty list.
+    #[inline]
+    pub fn new() -> Self {
+        SmallList { len: 0, items: [T::default(); N] }
+    }
+
+    /// Appends an element.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        self.items[self.len as usize] = item;
+        self.len += 1;
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallList<T, N> {
+    fn default() -> Self {
+        SmallList::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for SmallList<T, N> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for SmallList<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SmallList<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for SmallList<T, N> {}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallList<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut list = SmallList::new();
+        for item in iter {
+            list.push(item);
+        }
+        list
+    }
+}
+
+/// The planned operand reads of one instruction (at most two sources).
+pub type ReadPlan = SmallList<SourceRead, 4>;
+
+/// The operands an [`PlanError::UpperMiss`] wants transferred.
+pub type MissList = SmallList<PhysReg, 4>;
 
 /// Why an instruction cannot issue this cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,7 +136,7 @@ pub enum PlanError {
     /// All operand values exist, but the listed ones are absent from the
     /// upper bank (register file cache only). The core should file demand
     /// transfer requests for them.
-    UpperMiss(Vec<PhysReg>),
+    UpperMiss(MissList),
     /// Operands are readable but the cycle's read ports are exhausted.
     NoReadPort,
 }
@@ -205,7 +286,7 @@ pub trait RegFileModel: Send {
     /// [`PlanError::NotReady`] when an operand is unobtainable this cycle,
     /// [`PlanError::UpperMiss`] when operands must first be transferred to
     /// the upper bank, [`PlanError::NoReadPort`] on port exhaustion.
-    fn plan_read(&mut self, srcs: &[PhysReg], now: Cycle) -> Result<Vec<SourceRead>, PlanError>;
+    fn plan_read(&mut self, srcs: &[PhysReg], now: Cycle) -> Result<ReadPlan, PlanError>;
 
     /// Commits a plan returned by [`plan_read`](Self::plan_read) this same
     /// cycle: consumes ports, updates recency, marks bypassed values.
@@ -241,6 +322,67 @@ pub trait RegFileModel: Send {
     fn debug_operand(&self, preg: PhysReg) -> String {
         let _ = preg;
         String::new()
+    }
+}
+
+/// Forwarding impl so a boxed model is itself a model: keeps trait-object
+/// CPUs (`Cpu<I, Box<dyn RegFileModel>>`) expressible now that the core
+/// is generic over the model type, e.g. to test enum dispatch against
+/// virtual dispatch.
+impl RegFileModel for Box<dyn RegFileModel> {
+    fn read_latency(&self) -> u64 {
+        (**self).read_latency()
+    }
+    fn begin_cycle(&mut self, now: Cycle) {
+        (**self).begin_cycle(now)
+    }
+    fn on_alloc(&mut self, preg: PhysReg) {
+        (**self).on_alloc(preg)
+    }
+    fn seed_initial(&mut self, preg: PhysReg) {
+        (**self).seed_initial(preg)
+    }
+    fn schedule_result(&mut self, preg: PhysReg, produced_at: Cycle) {
+        (**self).schedule_result(preg, produced_at)
+    }
+    fn try_writeback(&mut self, preg: PhysReg, now: Cycle, window: &dyn WindowQuery) -> bool {
+        (**self).try_writeback(preg, now, window)
+    }
+    fn is_written(&self, preg: PhysReg) -> bool {
+        (**self).is_written(preg)
+    }
+    fn is_produced(&self, preg: PhysReg, now: Cycle) -> bool {
+        (**self).is_produced(preg, now)
+    }
+    fn operand_obtainable(&self, preg: PhysReg, now: Cycle) -> bool {
+        (**self).operand_obtainable(preg, now)
+    }
+    fn plan_read(&mut self, srcs: &[PhysReg], now: Cycle) -> Result<ReadPlan, PlanError> {
+        (**self).plan_read(srcs, now)
+    }
+    fn commit_read(&mut self, plan: &[SourceRead], now: Cycle) {
+        (**self).commit_read(plan, now)
+    }
+    fn request_demand(&mut self, preg: PhysReg, now: Cycle) {
+        (**self).request_demand(preg, now)
+    }
+    fn request_prefetch(&mut self, preg: PhysReg, now: Cycle) {
+        (**self).request_prefetch(preg, now)
+    }
+    fn on_free(&mut self, preg: PhysReg) {
+        (**self).on_free(preg)
+    }
+    fn caching_policy(&self) -> Option<CachingPolicy> {
+        (**self).caching_policy()
+    }
+    fn fetch_policy(&self) -> Option<FetchPolicy> {
+        (**self).fetch_policy()
+    }
+    fn stats(&self) -> &RegFileStats {
+        (**self).stats()
+    }
+    fn debug_operand(&self, preg: PhysReg) -> String {
+        (**self).debug_operand(preg)
     }
 }
 

@@ -11,7 +11,7 @@
 //! bypass network stays single-level like the register file cache's.
 
 use crate::model::{
-    PlanError, PregState, ReadPath, RegFileModel, RegFileStats, SourceRead, WindowQuery,
+    PlanError, PregState, ReadPath, ReadPlan, RegFileModel, RegFileStats, SourceRead, WindowQuery,
 };
 use rfcache_isa::{Cycle, PhysReg};
 
@@ -144,24 +144,39 @@ impl RegFileModel for OneLevelBankedModel {
         }
     }
 
-    fn plan_read(&mut self, srcs: &[PhysReg], now: Cycle) -> Result<Vec<SourceRead>, PlanError> {
-        let mut plan = Vec::with_capacity(srcs.len());
-        // Per-bank demand of this instruction alone.
-        let mut bank_demand = vec![0u32; self.config.banks as usize];
+    fn plan_read(&mut self, srcs: &[PhysReg], now: Cycle) -> Result<ReadPlan, PlanError> {
+        let mut plan = ReadPlan::new();
         for &preg in srcs {
             let st = &self.states[preg.index()];
             let Some(produced) = st.produced_at else { return Err(PlanError::NotReady) };
             if now == produced {
                 plan.push(SourceRead { preg, path: ReadPath::Bypass });
             } else if matches!(st.written_at, Some(w) if now >= w) {
-                bank_demand[self.bank_of(preg)] += 1;
                 plan.push(SourceRead { preg, path: ReadPath::RegFile });
             } else {
                 return Err(PlanError::NotReady);
             }
         }
         if let Some(limit) = self.config.read_ports_per_bank {
-            for (bank, demand) in bank_demand.iter().enumerate() {
+            // Per-bank demand of this instruction alone, computed by
+            // scanning the (at most two-entry) plan instead of a
+            // banks-sized side table: each bank is checked once, at its
+            // first register-file read.
+            for (i, read) in plan.iter().enumerate() {
+                if read.path != ReadPath::RegFile {
+                    continue;
+                }
+                let bank = self.bank_of(read.preg);
+                let already_counted = plan[..i]
+                    .iter()
+                    .any(|r| r.path == ReadPath::RegFile && self.bank_of(r.preg) == bank);
+                if already_counted {
+                    continue;
+                }
+                let demand = plan[i..]
+                    .iter()
+                    .filter(|r| r.path == ReadPath::RegFile && self.bank_of(r.preg) == bank)
+                    .count() as u32;
                 if self.reads_used[bank] + demand > limit {
                     self.stats.read_port_stalls += 1;
                     return Err(PlanError::NoReadPort);

@@ -6,7 +6,7 @@
 
 use crate::config::ReplicatedBankConfig;
 use crate::model::{
-    PlanError, PregState, ReadPath, RegFileModel, RegFileStats, SourceRead, WindowQuery,
+    PlanError, PregState, ReadPath, ReadPlan, RegFileModel, RegFileStats, SourceRead, WindowQuery,
 };
 use rfcache_isa::{Cycle, PhysReg};
 
@@ -133,9 +133,9 @@ impl RegFileModel for ReplicatedBankModel {
         }
     }
 
-    fn plan_read(&mut self, srcs: &[PhysReg], now: Cycle) -> Result<Vec<SourceRead>, PlanError> {
+    fn plan_read(&mut self, srcs: &[PhysReg], now: Cycle) -> Result<ReadPlan, PlanError> {
         let cluster = self.next_cluster;
-        let mut plan = Vec::with_capacity(srcs.len());
+        let mut plan = ReadPlan::new();
         let mut ports_needed = 0;
         for &preg in srcs {
             let st = &self.states[preg.index()];

@@ -12,7 +12,8 @@
 
 use crate::config::{CachingPolicy, FetchPolicy, RegFileCacheConfig};
 use crate::model::{
-    PlanError, PregState, ReadPath, RegFileModel, RegFileStats, SourceRead, WindowQuery,
+    MissList, PlanError, PregState, ReadPath, ReadPlan, RegFileModel, RegFileStats, SourceRead,
+    WindowQuery,
 };
 use crate::plru::ReplacementState;
 use rfcache_isa::{Cycle, PhysReg};
@@ -362,10 +363,10 @@ impl RegFileModel for RegFileCacheModel {
         matches!(self.states[preg.index()].produced_at, Some(p) if now >= p)
     }
 
-    fn plan_read(&mut self, srcs: &[PhysReg], now: Cycle) -> Result<Vec<SourceRead>, PlanError> {
-        let mut plan = Vec::with_capacity(srcs.len());
+    fn plan_read(&mut self, srcs: &[PhysReg], now: Cycle) -> Result<ReadPlan, PlanError> {
+        let mut plan = ReadPlan::new();
         let mut ports_needed = 0;
-        let mut missing: Vec<PhysReg> = Vec::new();
+        let mut missing = MissList::new();
         let mut any_unproduced = false;
         for &preg in srcs {
             let st = &self.states[preg.index()];
@@ -597,7 +598,7 @@ mod tests {
         produce_and_write(&mut rf, r, 2, &NullWindow); // not cached (Ready policy, no consumer)
         rf.begin_cycle(4);
         match rf.plan_read(&[r], 4) {
-            Err(PlanError::UpperMiss(missing)) => assert_eq!(missing, vec![r]),
+            Err(PlanError::UpperMiss(missing)) => assert_eq!(missing.as_slice(), &[r]),
             other => panic!("expected UpperMiss, got {other:?}"),
         }
     }

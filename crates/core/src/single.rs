@@ -3,7 +3,7 @@
 
 use crate::config::SingleBankConfig;
 use crate::model::{
-    PlanError, PregState, ReadPath, RegFileModel, RegFileStats, SourceRead, WindowQuery,
+    PlanError, PregState, ReadPath, ReadPlan, RegFileModel, RegFileStats, SourceRead, WindowQuery,
 };
 use rfcache_isa::{Cycle, PhysReg};
 
@@ -144,8 +144,8 @@ impl RegFileModel for SingleBankModel {
         self.classify(preg, now).is_some()
     }
 
-    fn plan_read(&mut self, srcs: &[PhysReg], now: Cycle) -> Result<Vec<SourceRead>, PlanError> {
-        let mut plan = Vec::with_capacity(srcs.len());
+    fn plan_read(&mut self, srcs: &[PhysReg], now: Cycle) -> Result<ReadPlan, PlanError> {
+        let mut plan = ReadPlan::new();
         let mut ports_needed = 0;
         for &preg in srcs {
             match self.classify(preg, now) {

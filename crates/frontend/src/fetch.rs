@@ -7,6 +7,7 @@ use crate::btb::Btb;
 use crate::gshare::Gshare;
 use rfcache_isa::{Cycle, InstSeq, TraceInst};
 use rfcache_mem::{CacheConfig, SetAssocCache};
+use std::collections::VecDeque;
 
 /// Configuration of the fetch engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,14 +122,27 @@ impl<I: Iterator<Item = TraceInst>> FetchUnit<I> {
     /// empty vector while fetch is stalled (icache miss, BTB bubble, or an
     /// unresolved mispredicted branch).
     pub fn fetch_block(&mut self, now: Cycle) -> Vec<FetchedInst> {
-        if self.waiting_for_redirect || now < self.stall_until {
-            return Vec::new();
-        }
         let mut block = Vec::with_capacity(self.config.width);
+        self.fetch_block_with(now, |fi| block.push(fi));
+        block
+    }
+
+    /// Like [`fetch_block`](Self::fetch_block), but appends the fetched
+    /// instructions onto `out` — the steady-state path of the cycle loop
+    /// allocates nothing.
+    pub fn fetch_block_into(&mut self, now: Cycle, out: &mut VecDeque<FetchedInst>) {
+        self.fetch_block_with(now, |fi| out.push_back(fi));
+    }
+
+    fn fetch_block_with(&mut self, now: Cycle, mut sink: impl FnMut(FetchedInst)) {
+        if self.waiting_for_redirect || now < self.stall_until {
+            return;
+        }
         let line_bytes = self.config.icache.line_bytes;
         let mut current_line: Option<u64> = None;
+        let mut fetched_count = 0;
 
-        while block.len() < self.config.width {
+        while fetched_count < self.config.width {
             let Some(next) = self.trace.peek() else { break };
             let line = next.pc / line_bytes;
             if current_line != Some(line) {
@@ -164,25 +178,27 @@ impl<I: Iterator<Item = TraceInst>> FetchUnit<I> {
                 if fetched.mispredicted {
                     self.stats.mispredicted_branches += 1;
                     self.waiting_for_redirect = true;
-                    block.push(fetched);
+                    sink(fetched);
+                    fetched_count += 1;
                     break;
                 }
                 if branch.taken {
                     // Correctly predicted taken branch ends the block
                     // (at most one taken branch per fetch cycle).
                     self.stats.taken_breaks += 1;
-                    block.push(fetched);
+                    sink(fetched);
+                    fetched_count += 1;
                     break;
                 }
             }
-            block.push(fetched);
+            sink(fetched);
+            fetched_count += 1;
         }
 
-        if !block.is_empty() {
-            self.stats.fetched += block.len() as u64;
+        if fetched_count > 0 {
+            self.stats.fetched += fetched_count as u64;
             self.stats.blocks += 1;
         }
-        block
     }
 
     /// Signals that the pending mispredicted branch resolved at cycle

@@ -132,7 +132,7 @@ impl fmt::Display for ArchReg {
 /// assert_eq!(p.index(), 17);
 /// assert_eq!(p.to_string(), "p17");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct PhysReg(u16);
 
 impl PhysReg {

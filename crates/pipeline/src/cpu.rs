@@ -29,12 +29,16 @@ use crate::fu::FuPool;
 use crate::lsq::{Lsq, StoreSearch};
 use crate::metrics::SimMetrics;
 use crate::rename::RenameUnit;
-use crate::rob::{Rob, SlotId, Stage};
-use rfcache_core::{PlanError, RegFileConfig, RegFileModel, SourceRead, WindowQuery};
+use crate::rob::{InFlight, Rob, SlotId, Stage};
+use crate::wheel::EventWheel;
+use rfcache_core::{
+    FetchPolicy, PlanError, ReadPlan, RegBitSet, RegFile, RegFileConfig, RegFileModel, SourceRead,
+    WindowQuery,
+};
 use rfcache_frontend::{FetchUnit, FetchedInst};
 use rfcache_isa::{Cycle, OpClass, PhysReg, RegClass, TraceInst};
 use rfcache_mem::DataCache;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Cycles without a commit after which the simulator declares deadlock
 /// (a model-protocol bug, not a workload property).
@@ -48,85 +52,199 @@ enum EventKind {
     Complete,
 }
 
-/// Set of physical registers per class, used to answer the caching
-/// policy's window queries.
-#[derive(Debug, Default)]
-struct ReadyConsumerSets {
-    sets: [std::collections::HashSet<u16>; 2],
-}
-
+/// One class's ready-consumer bitset, answering the caching policy's
+/// window queries.
 struct ClassWindow<'a> {
-    set: &'a std::collections::HashSet<u16>,
+    set: &'a RegBitSet,
 }
 
 impl WindowQuery for ClassWindow<'_> {
     fn has_ready_unissued_consumer(&self, preg: PhysReg) -> bool {
-        self.set.contains(&preg.raw())
+        self.set.contains(preg.raw())
     }
 }
+
+/// Sentinel for "no result scheduled yet" in the produced-cycle mirror.
+const UNSCHEDULED: Cycle = Cycle::MAX;
 
 /// The simulated processor.
 ///
 /// Construct with a [`PipelineConfig`], a [`RegFileConfig`] (the
 /// architecture under study), and a dynamic instruction trace; drive it
 /// with [`Cpu::run`].
-pub struct Cpu<I: Iterator<Item = TraceInst>> {
+///
+/// The register file model type `R` defaults to the statically
+/// dispatched [`RegFile`] enum (what [`Cpu::new`] builds); alternative
+/// model carriers — e.g. `Box<dyn RegFileModel>` — plug in through
+/// [`Cpu::with_models`].
+pub struct Cpu<I: Iterator<Item = TraceInst>, R: RegFileModel = RegFile> {
     config: PipelineConfig,
     now: Cycle,
     fetch: FetchUnit<I>,
     fetch_buffer: VecDeque<FetchedInst>,
     rename: RenameUnit,
     rob: Rob,
-    /// Unissued instructions, program order.
-    window: Vec<SlotId>,
+    /// Dense per-ROB-slot "dispatched, unissued" flags — the window
+    /// membership test. Set at dispatch, cleared at issue and at squash,
+    /// so a set bit always means the slot's current occupant is waiting
+    /// in the instruction window.
+    in_window: Vec<bool>,
+    /// Per-ROB-slot copy of the occupant's renamed sources, written at
+    /// dispatch and immutable while `in_window` is set. The wakeup logic
+    /// reads these without touching the (much larger, scattered) ROB
+    /// entries.
+    slot_srcs: Vec<[Option<(RegClass, PhysReg)>; 2]>,
+    /// Per-ROB-slot copy of the occupant's sequence number (program
+    /// order), valid while `in_window` is set.
+    slot_seq: Vec<u64>,
+    /// Per-class mirror of each physical register's scheduled production
+    /// cycle ([`UNSCHEDULED`] when no result is scheduled). Maintained at
+    /// the same points the models learn it (`seed_initial`,
+    /// `schedule_result`, `on_alloc`), it lets the issue stage reason
+    /// about operand readiness without touching model state.
+    produced_by: [Vec<Cycle>; 2],
+    /// Per-class, per-preg lists of window slots waiting for that
+    /// register's result to be scheduled. Filled at dispatch, drained
+    /// when `schedule_result` fires; stale entries (squashed or reused
+    /// slots) are filtered at drain time.
+    waiters: [Vec<Vec<SlotId>>; 2],
+    /// Wakeup calendar: slots whose operands are all scheduled, keyed by
+    /// the first cycle the operands could possibly be obtainable.
+    wake_wheel: EventWheel<SlotId>,
+    /// Entries whose operands are all produced (or within bypass reach),
+    /// sorted by sequence number — the only entries the issue scan
+    /// visits. An entry stays here until it issues (it may be held up by
+    /// ports, functional units, or the LSQ) or is squashed.
+    eligible: Vec<(u64, SlotId)>,
+    /// Dense "already in `eligible`" flags, preventing duplicate wakeups.
+    in_eligible: Vec<bool>,
+    /// Number of set `in_window` bits (dispatched, unissued entries).
+    unissued: usize,
+    /// Mirror of the historical window-vector length: the unissued count
+    /// as of the last issue pass plus entries dispatched since. The
+    /// dispatch window-full stall compares against this, preserving the
+    /// one-cycle lag the explicit window vector had.
+    win_len: usize,
+    /// Entries issued on the most recent issue pass — the ones the old
+    /// window vector would still be carrying; squash accounting needs
+    /// them to keep `win_len` exact.
+    recent_issued: Vec<SlotId>,
+    /// Cached `rf[0].read_latency()` (a config constant).
+    read_latency: Cycle,
+    /// Retired RAT-snapshot buffers, reused by the next branch dispatch
+    /// instead of allocating. The boxes are the very allocations handed
+    /// to `InFlight::checkpoint` (which stores a `Box`), so keeping them
+    /// boxed here is what makes the recycling allocation-free.
+    #[allow(clippy::vec_box)]
+    checkpoint_pool: Vec<Box<[[PhysReg; 32]; 2]>>,
     lsq: Lsq,
     fus: FuPool,
     dcache: DataCache,
-    rf: [Box<dyn RegFileModel>; 2],
+    rf: [R; 2],
     wb_queue: VecDeque<SlotId>,
-    events: BTreeMap<Cycle, Vec<(EventKind, SlotId)>>,
+    events: EventWheel<(EventKind, SlotId)>,
     outstanding_branches: usize,
     metrics: SimMetrics,
     last_commit: Cycle,
     /// Cycle at which counters were last reset (warmup end).
     cycle_offset: Cycle,
+    /// Scratch: per-class source registers of the instruction being
+    /// planned in `issue` (reused every instruction, never allocated).
+    srcs_scratch: [Vec<PhysReg>; 2],
+    /// Scratch: write-back survivors, swapped with `wb_queue` per cycle.
+    wb_scratch: VecDeque<SlotId>,
+    /// Scratch: per-class ready-consumer sets for the write-back stage.
+    ready_sets: [RegBitSet; 2],
+    /// Scratch: per-class occupancy sample sets (Figure 3).
+    occ_value: [RegBitSet; 2],
+    occ_ready: [RegBitSet; 2],
+    /// Per-entry dispatch tracing (off by default; see
+    /// [`Cpu::set_trace`]).
+    trace_enabled: bool,
+    trace_log: Vec<String>,
+    /// Whether any model actually prefetches — if not, the
+    /// prefetch-first-pair window scan at issue is skipped entirely
+    /// (`request_prefetch` would be a no-op anyway).
+    prefetch_active: bool,
 }
 
 impl<I: Iterator<Item = TraceInst>> Cpu<I> {
     /// Creates a processor running `trace` with the given register file
-    /// architecture.
+    /// architecture, statically dispatched.
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails validation.
     pub fn new(config: PipelineConfig, rf_config: RegFileConfig, trace: I) -> Self {
+        let rf = [rf_config.build_model(config.phys_regs), rf_config.build_model(config.phys_regs)];
+        Cpu::with_models(config, rf, trace)
+    }
+}
+
+impl<I: Iterator<Item = TraceInst>, R: RegFileModel> Cpu<I, R> {
+    /// Creates a processor from two freshly constructed register file
+    /// models (one per register class); the models are seeded with the
+    /// initial architectural state here. This is the seam for running
+    /// the core against any [`RegFileModel`] carrier — notably
+    /// `Box<dyn RegFileModel>` to compare virtual dispatch against the
+    /// default enum dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn with_models(config: PipelineConfig, mut rf: [R; 2], trace: I) -> Self {
         config.validate();
+        let prefetch_active =
+            rf.iter().any(|m| m.fetch_policy() == Some(FetchPolicy::PrefetchFirstPair));
         let rename = RenameUnit::new(config.phys_regs);
-        let mut rf = [rf_config.build(config.phys_regs), rf_config.build(config.phys_regs)];
         // The initial architectural state: logical register i lives in
         // physical register i, produced before the program starts.
+        let mut produced_by =
+            [vec![UNSCHEDULED; config.phys_regs], vec![UNSCHEDULED; config.phys_regs]];
         for class in RegClass::ALL {
             for preg in rename.mapped(class) {
                 rf[class.index()].seed_initial(preg);
+                produced_by[class.index()][preg.index()] = 0;
             }
         }
+        let read_latency = rf[0].read_latency();
         Cpu {
             fetch: FetchUnit::new(config.fetch, trace),
             fetch_buffer: VecDeque::with_capacity(2 * config.fetch.width),
             rename,
             rob: Rob::new(config.rob_size),
-            window: Vec::with_capacity(config.window_size),
+            in_window: vec![false; config.rob_size],
+            slot_srcs: vec![[None, None]; config.rob_size],
+            slot_seq: vec![0; config.rob_size],
+            produced_by,
+            waiters: [vec![Vec::new(); config.phys_regs], vec![Vec::new(); config.phys_regs]],
+            wake_wheel: EventWheel::new(),
+            eligible: Vec::with_capacity(config.window_size),
+            in_eligible: vec![false; config.rob_size],
+            unissued: 0,
+            win_len: 0,
+            recent_issued: Vec::with_capacity(config.issue_width),
+            read_latency,
+            checkpoint_pool: Vec::new(),
             lsq: Lsq::new(config.lsq_size),
             fus: FuPool::new(config.fu_counts),
             dcache: DataCache::new(config.dcache, config.mshrs),
             rf,
             wb_queue: VecDeque::new(),
-            events: BTreeMap::new(),
+            events: EventWheel::new(),
             outstanding_branches: 0,
             metrics: SimMetrics::default(),
             last_commit: 0,
             cycle_offset: 0,
             now: 0,
+            srcs_scratch: [Vec::with_capacity(4), Vec::with_capacity(4)],
+            wb_scratch: VecDeque::new(),
+            ready_sets: [RegBitSet::new(config.phys_regs), RegBitSet::new(config.phys_regs)],
+            occ_value: [RegBitSet::new(config.phys_regs), RegBitSet::new(config.phys_regs)],
+            occ_ready: [RegBitSet::new(config.phys_regs), RegBitSet::new(config.phys_regs)],
+            trace_enabled: false,
+            trace_log: Vec::new(),
+            prefetch_active,
             config,
         }
     }
@@ -201,7 +319,7 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
     // ----- execute events ---------------------------------------------
 
     fn process_events(&mut self, now: Cycle) {
-        let Some(list) = self.events.remove(&now) else { return };
+        let Some(list) = self.events.take(now) else { return };
         // Memory execute stages first, then completions, preserving order
         // within each kind.
         for &(kind, slot) in list.iter().filter(|(k, _)| *k == EventKind::ExStart) {
@@ -212,11 +330,65 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
             debug_assert_eq!(kind, EventKind::Complete);
             self.complete(slot, now);
         }
+        self.events.recycle(now, list);
     }
 
     fn schedule(&mut self, cycle: Cycle, kind: EventKind, slot: SlotId) {
-        debug_assert!(cycle > self.now, "events must be scheduled in the future");
-        self.events.entry(cycle).or_default().push((kind, slot));
+        self.events.schedule(self.now, cycle, (kind, slot));
+    }
+
+    // ----- operand wakeup ------------------------------------------------
+
+    /// Records that `preg`'s result is scheduled for cycle `done` and
+    /// wakes every window entry that was waiting on it. Must be called
+    /// wherever a model learns the same fact via `schedule_result`.
+    fn note_scheduled(&mut self, class: RegClass, preg: PhysReg, done: Cycle, now: Cycle) {
+        self.produced_by[class.index()][preg.index()] = done;
+        let mut list = std::mem::take(&mut self.waiters[class.index()][preg.index()]);
+        for slot in list.drain(..) {
+            self.try_wake(slot, now);
+        }
+        // Hand the drained buffer back so the list stays allocation-free.
+        self.waiters[class.index()][preg.index()] = list;
+    }
+
+    /// If `slot` is a live window entry whose sources are all scheduled,
+    /// queues it for the issue scan: immediately when the operands could
+    /// already be obtainable, else on the wakeup calendar. Stale handles
+    /// (squashed or reused slots) fall out of the liveness checks.
+    fn try_wake(&mut self, slot: SlotId, now: Cycle) {
+        let idx = slot.index as usize;
+        if !self.in_window[idx] || self.in_eligible[idx] || self.rob.get(slot).is_none() {
+            return;
+        }
+        let mut latest: Cycle = 0;
+        for &(class, preg) in self.slot_srcs[idx].iter().flatten() {
+            let done = self.produced_by[class.index()][preg.index()];
+            if done == UNSCHEDULED {
+                // Still waiting on another source; its wakeup re-runs
+                // this check.
+                return;
+            }
+            latest = latest.max(done);
+        }
+        // The earliest cycle the ready test can pass: `done <= c +
+        // read_latency - 1`, i.e. `c >= done - (read_latency - 1)`.
+        let ready_at = (latest + 1).saturating_sub(self.read_latency);
+        if ready_at <= now {
+            self.insert_eligible(slot);
+        } else {
+            self.wake_wheel.schedule(now, ready_at, slot);
+        }
+    }
+
+    /// Inserts `slot` into the eligible list at its program-order
+    /// position.
+    fn insert_eligible(&mut self, slot: SlotId) {
+        let idx = slot.index as usize;
+        let seq = self.slot_seq[idx];
+        let pos = self.eligible.partition_point(|&(s, _)| s < seq);
+        self.eligible.insert(pos, (seq, slot));
+        self.in_eligible[idx] = true;
     }
 
     fn mem_ex_start(&mut self, slot: SlotId, now: Cycle) {
@@ -244,6 +416,7 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
                 };
                 if let Some((class, preg)) = self.rob.get(slot).and_then(|e| e.dst) {
                     self.rf[class.index()].schedule_result(preg, done);
+                    self.note_scheduled(class, preg, done, now);
                 }
                 self.schedule(done, EventKind::Complete, slot);
             }
@@ -285,9 +458,13 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
         let seq = entry.seq;
         let checkpoint = entry.checkpoint.take().expect("branches carry checkpoints");
         self.rename.restore(&checkpoint);
+        self.checkpoint_pool.push(checkpoint);
 
         let squashed = self.rob.squash_younger(seq);
-        for e in &squashed {
+        for (slot, mut e) in squashed {
+            if let Some(cp) = e.checkpoint.take() {
+                self.checkpoint_pool.push(cp);
+            }
             if let Some((class, preg)) = e.dst {
                 self.rf[class.index()].on_free(preg);
                 self.rename.release(class, preg);
@@ -295,11 +472,36 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
             if e.inst.op.is_branch() {
                 self.outstanding_branches -= 1;
             }
+            if e.stage == Stage::Dispatched {
+                // The squashed entry was waiting in the window: vacate
+                // its membership bit and both length counters.
+                let idx = slot.index as usize;
+                debug_assert!(self.in_window[idx]);
+                self.in_window[idx] = false;
+                self.unissued -= 1;
+                self.win_len -= 1;
+            }
             self.metrics.squashed += 1;
         }
         self.lsq.squash_younger(seq);
-        self.window.retain(|&id| self.rob.get(id).is_some());
-        self.wb_queue.retain(|&id| self.rob.get(id).is_some());
+        // Entries issued on the last issue pass were still occupying
+        // window slots; squashed ones vacate `win_len` too.
+        let rob = &self.rob;
+        let before = self.recent_issued.len();
+        self.recent_issued.retain(|&s| rob.get(s).is_some());
+        self.win_len -= before - self.recent_issued.len();
+        // Purge squashed entries from the eligible list so a reused slot
+        // can re-enter it.
+        let in_window = &self.in_window;
+        let in_eligible = &mut self.in_eligible;
+        self.eligible.retain(|&(_, s)| {
+            let keep = in_window[s.index as usize];
+            if !keep {
+                in_eligible[s.index as usize] = false;
+            }
+            keep
+        });
+        self.wb_queue.retain(|&id| rob.get(id).is_some());
         // Stale events are invalidated by the slot generation check.
         self.fetch.redirect(now);
         debug_assert!(
@@ -323,7 +525,10 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
             if !done || !settled {
                 break;
             }
-            let entry = self.rob.pop_head().expect("head exists");
+            let mut entry = self.rob.pop_head().expect("head exists");
+            if let Some(cp) = entry.checkpoint.take() {
+                self.checkpoint_pool.push(cp);
+            }
             if let Some((class, old)) = entry.old_dst {
                 self.rf[class.index()].on_free(old);
                 self.rename.release(class, old);
@@ -356,38 +561,45 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
 
     // ----- write-back ----------------------------------------------------
 
-    /// Collects, per class, the registers read by unissued instructions
-    /// whose source values are all produced (the *ready caching* window
-    /// query, and the data behind Figure 3's dashed line).
-    fn ready_consumer_sets(&self, now: Cycle) -> ReadyConsumerSets {
-        let mut sets = ReadyConsumerSets::default();
-        for &id in &self.window {
-            let Some(entry) = self.rob.get(id) else { continue };
-            if entry.stage != Stage::Dispatched {
+    /// Collects, per class into `ready_sets`, the registers read by
+    /// unissued instructions whose source values are all produced (the
+    /// *ready caching* window query, and the data behind Figure 3's
+    /// dashed line).
+    fn ready_consumer_sets(&mut self, now: Cycle) {
+        // Slot order, not program order — the result is a pair of sets,
+        // so the iteration order is unobservable. A set `in_window` bit
+        // is exactly the old "alive and still `Dispatched`" test.
+        for idx in 0..self.in_window.len() {
+            if !self.in_window[idx] {
                 continue;
             }
-            let all_ready =
-                entry.sources().all(|(class, preg)| self.rf[class.index()].is_produced(preg, now));
+            let srcs = &self.slot_srcs[idx];
+            let all_ready = srcs
+                .iter()
+                .flatten()
+                .all(|&(class, preg)| self.rf[class.index()].is_produced(preg, now));
             if all_ready {
-                for (class, preg) in entry.sources() {
-                    sets.sets[class.index()].insert(preg.raw());
+                for &(class, preg) in srcs.iter().flatten() {
+                    self.ready_sets[class.index()].insert(preg.raw());
                 }
             }
         }
-        sets
     }
 
     fn writeback(&mut self, now: Cycle) {
         // The window scan is only needed by the *ready* caching policy;
-        // skip it otherwise (it is the hottest part of the loop).
+        // skip it otherwise (it is the hottest part of the loop). The
+        // sets are scratch fields, cleared before each use, so the stage
+        // allocates nothing.
+        self.ready_sets[0].clear();
+        self.ready_sets[1].clear();
         let needs_window = self.rf[0].caching_policy() == Some(rfcache_core::CachingPolicy::Ready);
-        let ready = if needs_window && !self.wb_queue.is_empty() {
-            self.ready_consumer_sets(now)
-        } else {
-            ReadyConsumerSets::default()
-        };
+        if needs_window && !self.wb_queue.is_empty() {
+            self.ready_consumer_sets(now);
+        }
         let mut blocked = [false; 2];
-        let mut remaining = VecDeque::with_capacity(self.wb_queue.len());
+        let mut remaining = std::mem::take(&mut self.wb_scratch);
+        debug_assert!(remaining.is_empty());
         while let Some(slot) = self.wb_queue.pop_front() {
             let Some(entry) = self.rob.get(slot) else { continue };
             // Results written back the cycle after production at the
@@ -399,7 +611,7 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
                 remaining.push_back(slot);
                 continue;
             }
-            let window = ClassWindow { set: &ready.sets[ci] };
+            let window = ClassWindow { set: &self.ready_sets[ci] };
             if self.rf[ci].try_writeback(preg, now, &window) {
                 let entry = self.rob.get_mut(slot).expect("alive");
                 entry.stage = Stage::WrittenBack;
@@ -409,27 +621,78 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
                 remaining.push_back(slot);
             }
         }
-        self.wb_queue = remaining;
+        // The drained queue becomes next cycle's scratch; the survivors
+        // become the queue.
+        std::mem::swap(&mut self.wb_queue, &mut remaining);
+        self.wb_scratch = remaining;
     }
 
     // ----- issue ---------------------------------------------------------
 
     fn issue(&mut self, now: Cycle) {
-        // Drop issued/squashed entries from the window first.
-        self.window.retain(|&id| self.rob.get(id).is_some_and(|e| e.stage == Stage::Dispatched));
-
-        let latency = self.rf[0].read_latency();
-        let ex_start = now + latency;
-        let mut issued = 0;
-        let window_snapshot: Vec<SlotId> = self.window.clone();
-        for id in window_snapshot {
-            if issued >= self.config.issue_width {
-                break;
+        // Snap the window-length mirror: the historical window vector was
+        // compacted here, leaving exactly the entries that were unissued
+        // at scan start.
+        self.win_len = self.unissued;
+        self.recent_issued.clear();
+        // Pull in entries whose operands become reachable this cycle.
+        if let Some(list) = self.wake_wheel.take(now) {
+            for &slot in list.iter() {
+                let idx = slot.index as usize;
+                if self.in_window[idx] && !self.in_eligible[idx] && self.rob.get(slot).is_some() {
+                    self.insert_eligible(slot);
+                }
             }
-            let Some(entry) = self.rob.get(id) else { continue };
-            if entry.stage != Stage::Dispatched {
+            self.wake_wheel.recycle(now, list);
+        }
+        if self.eligible.is_empty() {
+            return;
+        }
+        let latency = self.read_latency;
+        let ex_start = now + latency;
+        // No model can make an operand obtainable at `now` unless its
+        // result is scheduled to be produced by this cycle (bypass in the
+        // baseline admits results up to `read_latency - 1` cycles ahead;
+        // every other model requires production at or before `now`). The
+        // mirror test below is therefore a necessary condition for
+        // `operand_obtainable`; entries enter `eligible` exactly when it
+        // first passes, so the scan visits every candidate the historical
+        // full-window scan would have acted on, in the same program
+        // order. (The re-check guards the rare early wake through a
+        // recycled ROB slot.)
+        let ready_horizon = ex_start - 1;
+        let mut issued = 0;
+        let mut keep = 0;
+        for ei in 0..self.eligible.len() {
+            let (seq_key, slot) = self.eligible[ei];
+            let idx = slot.index as usize;
+            if !self.in_window[idx] {
+                self.in_eligible[idx] = false;
                 continue;
             }
+            self.eligible[keep] = (seq_key, slot);
+            keep += 1;
+            if issued >= self.config.issue_width {
+                // Issue width exhausted: the rest of the pass only
+                // compacts.
+                continue;
+            }
+
+            // An eligible entry's operands stay scheduled: a source preg
+            // cannot be reallocated (which would reset the mirror) until
+            // its consumer commits, and issue precedes commit; squashes
+            // purge the eligible list in `recover`. So readiness, once
+            // reached, is permanent.
+            debug_assert!(
+                !self.slot_srcs[idx]
+                    .iter()
+                    .flatten()
+                    .any(|&(class, preg)| self.produced_by[class.index()][preg.index()]
+                        > ready_horizon),
+                "eligible entry regressed to waiting"
+            );
+
+            let entry = self.rob.get(slot).expect("in-window bit implies a live entry");
             let seq = entry.seq;
             let op = entry.inst.op;
 
@@ -438,24 +701,31 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
                 continue;
             }
 
-            // Cheap allocation-free pre-check before full planning: most
-            // window entries have an unobtainable operand most cycles.
-            let obtainable = entry
-                .sources()
-                .all(|(class, preg)| self.rf[class.index()].operand_obtainable(preg, now));
-            if !obtainable {
-                continue;
-            }
-
-            // Split sources by register class.
-            let mut srcs: [Vec<PhysReg>; 2] = [Vec::new(), Vec::new()];
-            for (class, preg) in entry.sources() {
-                srcs[class.index()].push(preg);
+            // No obtainability pre-check: `plan_read` classifies each
+            // operand itself and its not-ready path touches no model
+            // state, so planning directly avoids classifying twice.
+            // Split sources by register class into the reused scratch
+            // buffers.
+            self.srcs_scratch[0].clear();
+            self.srcs_scratch[1].clear();
+            for &(class, preg) in self.slot_srcs[idx].iter().flatten() {
+                self.srcs_scratch[class.index()].push(preg);
             }
             let dst = entry.dst;
 
-            let plan_int = self.rf[0].plan_read(&srcs[0], now);
-            let plan_fp = self.rf[1].plan_read(&srcs[1], now);
+            // Classes with no sources skip the model call entirely: every
+            // model's `plan_read` is a no-op returning an empty plan for
+            // an empty source list.
+            let plan_int = if self.srcs_scratch[0].is_empty() {
+                Ok(ReadPlan::new())
+            } else {
+                self.rf[0].plan_read(&self.srcs_scratch[0], now)
+            };
+            let plan_fp = if self.srcs_scratch[1].is_empty() {
+                Ok(ReadPlan::new())
+            } else {
+                self.rf[1].plan_read(&self.srcs_scratch[1], now)
+            };
             let (plan_int, plan_fp) = match (plan_int, plan_fp) {
                 (Ok(a), Ok(b)) => (a, b),
                 (a, b) => {
@@ -470,28 +740,43 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
             }
 
             self.commit_reads(&plan_int, &plan_fp, now);
-            let entry = self.rob.get_mut(id).expect("alive");
+            let entry = self.rob.get_mut(slot).expect("alive");
             entry.stage = Stage::Issued;
             entry.issue_cycle = Some(now);
+            self.in_window[idx] = false;
+            self.in_eligible[idx] = false;
+            self.unissued -= 1;
+            self.recent_issued.push(slot);
+            keep -= 1;
+
+            // The prefetch peek must precede `note_scheduled`, which
+            // drains the waiter list it reads. Model state for the
+            // prefetched operand is disjoint from the destination's, so
+            // the model sees the same requests either way.
+            if self.prefetch_active {
+                if let Some((class, preg)) = dst {
+                    self.prefetch_first_pair(class, preg, now);
+                }
+            }
 
             match op {
                 OpClass::Load | OpClass::Store => {
-                    self.schedule(ex_start, EventKind::ExStart, id);
+                    self.schedule(ex_start, EventKind::ExStart, slot);
                 }
                 _ => {
                     let done = ex_start + op.exec_latency() - 1;
                     if let Some((class, preg)) = dst {
                         self.rf[class.index()].schedule_result(preg, done);
+                        // `done` is at least `ex_start`, so consumers wake
+                        // through the calendar, never mid-scan.
+                        self.note_scheduled(class, preg, done, now);
                     }
-                    self.schedule(done, EventKind::Complete, id);
+                    self.schedule(done, EventKind::Complete, slot);
                 }
-            }
-
-            if let Some((class, preg)) = dst {
-                self.prefetch_first_pair(seq, class, preg, now);
             }
             issued += 1;
         }
+        self.eligible.truncate(keep);
     }
 
     fn commit_reads(&mut self, plan_int: &[SourceRead], plan_fp: &[SourceRead], now: Cycle) {
@@ -508,8 +793,8 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
     /// unproduced (the paper's fetch-on-demand condition).
     fn file_demand_requests(
         &mut self,
-        int: Result<Vec<SourceRead>, PlanError>,
-        fp: Result<Vec<SourceRead>, PlanError>,
+        int: Result<ReadPlan, PlanError>,
+        fp: Result<ReadPlan, PlanError>,
         now: Cycle,
     ) {
         if matches!(int, Err(PlanError::NotReady)) || matches!(fp, Err(PlanError::NotReady)) {
@@ -517,7 +802,7 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
         }
         for (class, result) in [(0usize, int), (1usize, fp)] {
             if let Err(PlanError::UpperMiss(missing)) = result {
-                for preg in missing {
+                for &preg in missing.iter() {
                     self.rf[class].request_demand(preg, now);
                 }
             }
@@ -527,26 +812,21 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
     /// The prefetch-first-pair heuristic: when an instruction producing
     /// `dst` issues, prefetch the other source operand of the first
     /// instruction in the window that consumes `dst`.
-    fn prefetch_first_pair(
-        &mut self,
-        producer_seq: u64,
-        class: RegClass,
-        dst: PhysReg,
-        now: Cycle,
-    ) {
-        let mut target: Option<(RegClass, PhysReg)> = None;
-        for &id in &self.window {
-            let Some(entry) = self.rob.get(id) else { continue };
-            if entry.stage != Stage::Dispatched || entry.seq <= producer_seq {
-                continue;
-            }
-            let consumes = entry.sources().any(|(c, p)| c == class && p == dst);
-            if !consumes {
-                continue;
-            }
-            target = entry.sources().find(|&(c, p)| !(c == class && p == dst));
-            break;
-        }
+    fn prefetch_first_pair(&mut self, class: RegClass, dst: PhysReg, now: Cycle) {
+        // Every live in-window consumer of `dst` sits in its waiter list:
+        // `dst` stays unscheduled from allocation until this issue (loads:
+        // until execute), so each consumer registered at dispatch — in
+        // program order. The first live entry is therefore exactly what
+        // the historical program-order window walk found, without touching
+        // the ROB. Stale handles (squashed, slot reused) fail the
+        // liveness checks and are skipped.
+        let first = self.waiters[class.index()][dst.index()]
+            .iter()
+            .copied()
+            .find(|&s| self.in_window[s.index as usize] && self.rob.get(s).is_some());
+        let Some(slot) = first else { return };
+        let srcs = &self.slot_srcs[slot.index as usize];
+        let target = srcs.iter().flatten().find(|&&(c, p)| !(c == class && p == dst)).copied();
         if let Some((oclass, opreg)) = target {
             self.rf[oclass.index()].request_prefetch(opreg, now);
         }
@@ -554,7 +834,7 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
 
     // ----- dispatch (decode + rename) -------------------------------------
 
-    fn dispatch(&mut self, _now: Cycle) {
+    fn dispatch(&mut self, now: Cycle) {
         for _ in 0..self.config.decode_width {
             let Some(fetched) = self.fetch_buffer.front().copied() else { break };
             let inst = fetched.inst;
@@ -563,7 +843,7 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
                 self.metrics.stall_rob_full += 1;
                 break;
             }
-            if self.window.len() >= self.config.window_size {
+            if self.win_len >= self.config.window_size {
                 self.metrics.stall_window_full += 1;
                 break;
             }
@@ -599,6 +879,7 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
                 dst_pair = Some((arch.class(), alloc.new_preg));
                 old_pair = Some((arch.class(), alloc.old_preg));
                 self.rf[arch.class().index()].on_alloc(alloc.new_preg);
+                self.produced_by[arch.class().index()][alloc.new_preg.index()] = UNSCHEDULED;
             }
 
             let entry = self.rob.get_mut(slot).expect("just pushed");
@@ -607,7 +888,7 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
             entry.old_dst = old_pair;
             entry.mispredicted = fetched.mispredicted;
             if inst.op.is_branch() {
-                entry.checkpoint = Some(self.rename.checkpoint());
+                entry.checkpoint = Some(self.rename.checkpoint_into(self.checkpoint_pool.pop()));
                 self.outstanding_branches += 1;
             }
             if inst.op.is_mem() {
@@ -618,14 +899,71 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
                     inst.mem_addr.expect("memory op has an address"),
                 );
             }
-            self.window.push(slot);
+            let idx = slot.index as usize;
+            self.slot_srcs[idx] = srcs;
+            self.slot_seq[idx] = fetched.seq;
+            self.in_window[idx] = true;
+            self.unissued += 1;
+            self.win_len += 1;
+            // Wire up the wakeup: wait on every source whose result is
+            // not yet scheduled, or queue for issue directly.
+            let mut waiting = false;
+            for &(class, preg) in srcs.iter().flatten() {
+                if self.produced_by[class.index()][preg.index()] == UNSCHEDULED {
+                    self.waiters[class.index()][preg.index()].push(slot);
+                    waiting = true;
+                }
+            }
+            if !waiting {
+                self.try_wake(slot, now);
+            }
+            self.trace_dispatch(slot);
         }
+    }
+
+    /// Records one dispatched entry in the trace log. The enabled check
+    /// comes before any formatting, so release campaigns (trace off) pay
+    /// one predictable branch and no string work.
+    fn trace_dispatch(&mut self, slot: SlotId) {
+        if !self.trace_enabled {
+            return;
+        }
+        let Some(entry) = self.rob.get(slot) else { return };
+        let line = format!("cycle {} dispatch {}", self.now, Self::format_rob_entry(entry));
+        self.trace_log.push(line);
+    }
+
+    /// Enables or disables per-entry dispatch tracing (off by default).
+    /// While enabled, every dispatched instruction appends a formatted
+    /// line to [`trace_log`](Cpu::trace_log).
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+    }
+
+    /// The dispatch trace collected while tracing was enabled.
+    pub fn trace_log(&self) -> &[String] {
+        &self.trace_log
+    }
+
+    /// Formats one reorder-buffer entry — shared by the dispatch trace
+    /// and [`debug_snapshot`](Cpu::debug_snapshot).
+    fn format_rob_entry(entry: &InFlight) -> String {
+        let dst = entry.dst.map(|(c, p)| format!("{c}:{p}")).unwrap_or_else(|| "-".to_string());
+        let srcs: Vec<String> = entry.sources().map(|(c, p)| format!("{c}:{p}")).collect();
+        format!(
+            "[{:>6}] {:<12} {:<8?} dst {:<8} srcs [{}]{}",
+            entry.seq,
+            entry.inst.op.to_string(),
+            entry.stage,
+            dst,
+            srcs.join(", "),
+            if entry.mispredicted { " MISPREDICTED" } else { "" },
+        )
     }
 
     fn do_fetch(&mut self, now: Cycle) {
         if self.fetch_buffer.len() + self.config.fetch.width <= 2 * self.config.fetch.width {
-            let block = self.fetch.fetch_block(now);
-            self.fetch_buffer.extend(block);
+            self.fetch.fetch_block_into(now, &mut self.fetch_buffer);
         }
     }
 
@@ -635,29 +973,32 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
     /// unissued instruction (solid line) and those feeding a fully-ready
     /// unissued instruction (dashed line).
     fn sample_occupancy(&mut self, now: Cycle) {
-        let mut value_set = std::collections::HashSet::new();
-        let mut ready_set = std::collections::HashSet::new();
-        for &id in &self.window {
-            let Some(entry) = self.rob.get(id) else { continue };
-            if entry.stage != Stage::Dispatched {
+        for ci in 0..2 {
+            self.occ_value[ci].clear();
+            self.occ_ready[ci].clear();
+        }
+        // Slot order; both occupancy measures are sets, so iteration
+        // order is unobservable.
+        for idx in 0..self.in_window.len() {
+            if !self.in_window[idx] {
                 continue;
             }
             let mut all_ready = true;
-            for (class, preg) in entry.sources() {
+            for &(class, preg) in self.slot_srcs[idx].iter().flatten() {
                 if self.rf[class.index()].is_produced(preg, now) {
-                    value_set.insert((class, preg.raw()));
+                    self.occ_value[class.index()].insert(preg.raw());
                 } else {
                     all_ready = false;
                 }
             }
             if all_ready {
-                for (class, preg) in entry.sources() {
-                    ready_set.insert((class, preg.raw()));
+                for &(class, preg) in self.slot_srcs[idx].iter().flatten() {
+                    self.occ_ready[class.index()].insert(preg.raw());
                 }
             }
         }
-        self.metrics.occupancy_value.record(value_set.len());
-        self.metrics.occupancy_ready.record(ready_set.len());
+        self.metrics.occupancy_value.record(self.occ_value[0].len() + self.occ_value[1].len());
+        self.metrics.occupancy_ready.record(self.occ_ready[0].len() + self.occ_ready[1].len());
     }
 
     /// Renders the reorder-buffer head and its operand states for the
@@ -704,25 +1045,14 @@ impl<I: Iterator<Item = TraceInst>> Cpu<I> {
             self.now,
             self.rob.len(),
             self.config.rob_size,
-            self.window.len(),
+            self.win_len,
             self.lsq.len(),
             self.wb_queue.len(),
             self.rename.free_count(RegClass::Int),
             self.rename.free_count(RegClass::Fp),
         );
         for (_, entry) in self.rob.iter().take(24) {
-            let dst = entry.dst.map(|(c, p)| format!("{c}:{p}")).unwrap_or_else(|| "-".to_string());
-            let srcs: Vec<String> = entry.sources().map(|(c, p)| format!("{c}:{p}")).collect();
-            let _ = writeln!(
-                out,
-                "  [{:>6}] {:<12} {:<8?} dst {:<8} srcs [{}]{}",
-                entry.seq,
-                entry.inst.op.to_string(),
-                entry.stage,
-                dst,
-                srcs.join(", "),
-                if entry.mispredicted { " MISPREDICTED" } else { "" },
-            );
+            let _ = writeln!(out, "  {}", Self::format_rob_entry(entry));
         }
         if self.rob.len() > 24 {
             let _ = writeln!(out, "  ... {} more", self.rob.len() - 24);
@@ -1008,6 +1338,54 @@ mod tests {
         assert!(snap.contains("cycle 50"), "{snap}");
         assert!(snap.contains("ROB"), "{snap}");
         assert!(snap.contains("srcs ["), "{snap}");
+    }
+
+    #[test]
+    fn dispatch_trace_is_off_by_default_and_captures_when_enabled() {
+        let profile = BenchProfile::by_name("gcc").unwrap();
+        let mut cpu =
+            Cpu::new(PipelineConfig::default(), one_cycle(), TraceGenerator::new(profile, 1));
+        cpu.run(500);
+        assert!(cpu.trace_log().is_empty(), "tracing must be off by default");
+        cpu.set_trace(true);
+        cpu.run(600);
+        let log = cpu.trace_log();
+        assert!(!log.is_empty(), "enabled tracing records dispatches");
+        assert!(log[0].starts_with("cycle "), "{}", log[0]);
+        assert!(log[0].contains("srcs ["), "{}", log[0]);
+        let captured = log.len();
+        cpu.set_trace(false);
+        cpu.run(700);
+        assert_eq!(cpu.trace_log().len(), captured, "disabling stops capture");
+    }
+
+    /// The statically dispatched [`RegFile`] enum must be observationally
+    /// identical to the boxed trait-object path it replaced — same
+    /// cycles, same commits, same register file statistics — for every
+    /// model family.
+    #[test]
+    fn enum_dispatch_matches_boxed_dispatch_for_every_model() {
+        let configs = [
+            one_cycle(),
+            rfc(),
+            RegFileConfig::Replicated(ReplicatedBankConfig::default()),
+            RegFileConfig::OneLevel(rfcache_core::OneLevelBankedConfig::default()),
+        ];
+        let profile = BenchProfile::by_name("gcc").unwrap();
+        let pipeline = PipelineConfig::default();
+        for rf_config in configs {
+            let enum_metrics = {
+                let mut cpu = Cpu::new(pipeline, rf_config, TraceGenerator::new(profile, 42));
+                cpu.run(4_000)
+            };
+            let boxed_metrics = {
+                let models: [Box<dyn RegFileModel>; 2] =
+                    [rf_config.build(pipeline.phys_regs), rf_config.build(pipeline.phys_regs)];
+                let mut cpu = Cpu::with_models(pipeline, models, TraceGenerator::new(profile, 42));
+                cpu.run(4_000)
+            };
+            assert_eq!(enum_metrics, boxed_metrics, "{rf_config:?}");
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ impl FuPool {
     /// Attempts to reserve a unit of `kind` starting execution at
     /// `ex_start` for an operation of `latency` cycles. Returns `false`
     /// when every unit is busy.
+    #[inline]
     pub fn reserve(&mut self, kind: FuKind, ex_start: Cycle, latency: u64) -> bool {
         let units = &mut self.free_at[kind.index()];
         let Some(unit) = units.iter_mut().find(|f| **f <= ex_start) else {

@@ -38,6 +38,7 @@ mod lsq;
 mod metrics;
 mod rename;
 mod rob;
+mod wheel;
 
 pub use config::PipelineConfig;
 pub use cpu::Cpu;

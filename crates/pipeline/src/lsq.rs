@@ -70,16 +70,19 @@ impl Lsq {
     }
 
     /// Current occupancy.
+    #[inline]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Whether the queue is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// Whether the queue is full (dispatch must stall).
+    #[inline]
     pub fn is_full(&self) -> bool {
         self.entries.len() == self.capacity
     }
@@ -130,6 +133,7 @@ impl Lsq {
 
     /// Whether every store older than `seq` has a known address — the
     /// paper's condition for a load to begin execution.
+    #[inline]
     pub fn prior_store_addresses_known(&self, seq: InstSeq) -> bool {
         self.entries.iter().take_while(|e| e.seq < seq).all(|e| !e.is_store || e.addr_known)
     }

@@ -93,6 +93,21 @@ impl RenameUnit {
         Box::new(self.rat)
     }
 
+    /// Snapshots the RAT, reusing a retired snapshot buffer when one is
+    /// available instead of allocating.
+    pub fn checkpoint_into(
+        &self,
+        reuse: Option<Box<[[PhysReg; 32]; 2]>>,
+    ) -> Box<[[PhysReg; 32]; 2]> {
+        match reuse {
+            Some(mut buf) => {
+                *buf = self.rat;
+                buf
+            }
+            None => Box::new(self.rat),
+        }
+    }
+
     /// Restores the RAT from a snapshot (misprediction recovery). The
     /// physical registers allocated by squashed instructions must be
     /// released separately via [`release`](Self::release).

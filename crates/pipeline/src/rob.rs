@@ -112,16 +112,19 @@ impl Rob {
     }
 
     /// Number of occupied entries.
+    #[inline]
     pub fn len(&self) -> usize {
         self.order.len()
     }
 
     /// Whether the buffer is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.order.is_empty()
     }
 
     /// Whether the buffer is full.
+    #[inline]
     pub fn is_full(&self) -> bool {
         self.free.is_empty()
     }
@@ -141,18 +144,21 @@ impl Rob {
     }
 
     /// Returns the entry for `id` if it is still alive.
+    #[inline]
     pub fn get(&self, id: SlotId) -> Option<&InFlight> {
         let slot = &self.slots[id.index as usize];
         (slot.gen == id.gen).then_some(slot.entry.as_ref()).flatten()
     }
 
     /// Mutable access to the entry for `id` if it is still alive.
+    #[inline]
     pub fn get_mut(&mut self, id: SlotId) -> Option<&mut InFlight> {
         let slot = &mut self.slots[id.index as usize];
         (slot.gen == id.gen).then_some(slot.entry.as_mut()).flatten()
     }
 
     /// Handle of the oldest entry.
+    #[inline]
     pub fn head(&self) -> Option<SlotId> {
         self.order.front().map(|&index| SlotId { index, gen: self.slots[index as usize].gen })
     }
@@ -167,8 +173,9 @@ impl Rob {
     }
 
     /// Removes every entry younger than `seq` (strictly greater sequence
-    /// number), returning them youngest-first — the misprediction squash.
-    pub fn squash_younger(&mut self, seq: InstSeq) -> Vec<InFlight> {
+    /// number), returning them youngest-first with the handle each entry
+    /// had while alive — the misprediction squash.
+    pub fn squash_younger(&mut self, seq: InstSeq) -> Vec<(SlotId, InFlight)> {
         let mut squashed = Vec::new();
         while let Some(&index) = self.order.back() {
             let slot = &mut self.slots[index as usize];
@@ -177,9 +184,10 @@ impl Rob {
                 break;
             }
             self.order.pop_back();
+            let id = SlotId { index, gen: slot.gen };
             slot.gen = slot.gen.wrapping_add(1);
             self.free.push(index);
-            squashed.push(slot.entry.take().expect("checked above"));
+            squashed.push((id, slot.entry.take().expect("checked above")));
         }
         squashed
     }
@@ -235,8 +243,9 @@ mod tests {
         let ids: Vec<_> = (0..5).map(|s| rob.push(s, inst())).collect();
         let squashed = rob.squash_younger(2);
         assert_eq!(squashed.len(), 2);
-        assert_eq!(squashed[0].seq, 4); // youngest first
-        assert_eq!(squashed[1].seq, 3);
+        assert_eq!(squashed[0].1.seq, 4); // youngest first
+        assert_eq!(squashed[0].0, ids[4]); // carries the old handle
+        assert_eq!(squashed[1].1.seq, 3);
         assert_eq!(rob.len(), 3);
         assert!(rob.get(ids[2]).is_some());
         assert!(rob.get(ids[3]).is_none());

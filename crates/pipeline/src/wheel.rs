@@ -1,0 +1,162 @@
+//! A calendar-wheel event queue for near-future wakeups.
+//!
+//! The cycle loop schedules every event a small, bounded number of
+//! cycles ahead (execute start, completion, cache fills — all within a
+//! few tens of cycles), so a `BTreeMap<Cycle, Vec<_>>` pays tree
+//! rebalancing and a fresh `Vec` allocation per simulated cycle for no
+//! benefit. The wheel keeps one recyclable bucket per slot of a
+//! power-of-two window and falls back to a `BTreeMap` only for the rare
+//! event beyond the horizon.
+//!
+//! Draining order matches the `BTreeMap` exactly: an overflow event for
+//! cycle `X` was necessarily scheduled at some `t ≤ X - horizon`, i.e.
+//! strictly before any same-cycle wheel event could have been scheduled
+//! (those are scheduled at `t > X - horizon`), so draining overflow
+//! entries first preserves global insertion order per cycle.
+
+use rfcache_isa::Cycle;
+use std::collections::BTreeMap;
+
+/// Wheel window: events at most this many cycles ahead live in the
+/// recycled buckets; farther ones go to the overflow map. Must exceed
+/// every latency the core schedules (max FU latency 14, dcache miss 8,
+/// MSHR-full retry ≈ 2× miss latency).
+const HORIZON: u64 = 64;
+
+/// A monotone event queue: events are scheduled strictly in the future
+/// and drained cycle by cycle, never out of order.
+#[derive(Debug)]
+pub(crate) struct EventWheel<T> {
+    /// One bucket per slot in the window, indexed by `cycle % HORIZON`.
+    buckets: Vec<Vec<T>>,
+    /// Events at `cycle - now >= HORIZON` (rare).
+    overflow: BTreeMap<Cycle, Vec<T>>,
+}
+
+impl<T> EventWheel<T> {
+    pub fn new() -> Self {
+        EventWheel {
+            buckets: (0..HORIZON).map(|_| Vec::new()).collect(),
+            overflow: BTreeMap::new(),
+        }
+    }
+
+    /// Enqueues `event` for `cycle`. `now` is the current cycle; `cycle`
+    /// must be strictly in the future.
+    pub fn schedule(&mut self, now: Cycle, cycle: Cycle, event: T) {
+        debug_assert!(cycle > now, "event scheduled in the past");
+        if cycle - now < HORIZON {
+            // In-window: the slot cannot still hold events of an earlier
+            // cycle (those were drained when that cycle passed) nor of a
+            // later one (that would need a distance >= HORIZON).
+            self.buckets[(cycle % HORIZON) as usize].push(event);
+        } else {
+            self.overflow.entry(cycle).or_default().push(event);
+        }
+    }
+
+    /// Removes and returns all events due at `now`, oldest-scheduled
+    /// first; `None` when the cycle has no events. Return the `Vec` via
+    /// [`recycle`](Self::recycle) to keep the queue allocation-free.
+    pub fn take(&mut self, now: Cycle) -> Option<Vec<T>> {
+        let bucket = &mut self.buckets[(now % HORIZON) as usize];
+        let due_overflow =
+            matches!(self.overflow.first_key_value(), Some((&cycle, _)) if cycle == now);
+        if due_overflow {
+            // Rare: merge, overflow first (see the module docs for why
+            // this reproduces BTreeMap order).
+            let mut events = self.overflow.pop_first().expect("checked above").1;
+            events.append(bucket);
+            return Some(events);
+        }
+        if bucket.is_empty() {
+            return None;
+        }
+        Some(std::mem::take(bucket))
+    }
+
+    /// Returns a drained bucket's storage to the wheel so the next
+    /// schedule at this slot reuses it.
+    pub fn recycle(&mut self, now: Cycle, mut list: Vec<T>) {
+        list.clear();
+        let slot = &mut self.buckets[(now % HORIZON) as usize];
+        // The slot was emptied by `take`; don't clobber a fuller buffer.
+        if slot.capacity() < list.capacity() {
+            *slot = list;
+        }
+    }
+
+    /// Whether any event is pending anywhere.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.overflow.is_empty() && self.buckets.iter().all(Vec::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replays a schedule/drain sequence against a BTreeMap reference.
+    fn check_against_btreemap(horizon_jumps: &[(u64, Vec<u64>)]) {
+        let mut wheel = EventWheel::new();
+        let mut reference: BTreeMap<Cycle, Vec<u32>> = BTreeMap::new();
+        let mut id = 0u32;
+        let mut now = 0;
+        for &(advance, ref offsets) in horizon_jumps {
+            for &off in offsets {
+                wheel.schedule(now, now + off, id);
+                reference.entry(now + off).or_default().push(id);
+                id += 1;
+            }
+            for _ in 0..advance {
+                now += 1;
+                let got = wheel.take(now).unwrap_or_default();
+                let want = reference.remove(&now).unwrap_or_default();
+                assert_eq!(got, want, "cycle {now}");
+                wheel.recycle(now, got);
+            }
+        }
+    }
+
+    #[test]
+    fn drains_in_btreemap_order_within_window() {
+        check_against_btreemap(&[
+            (1, vec![1, 3, 1, 2]),
+            (2, vec![5, 1, 1]),
+            (3, vec![2, 2, 2]),
+            (10, vec![1, 9, 4, 1]),
+        ]);
+    }
+
+    #[test]
+    fn overflow_events_come_before_wheel_events_of_the_same_cycle() {
+        // Schedule far (overflow), advance near the horizon, then
+        // schedule near for the same cycle: the far event must drain
+        // first, exactly as BTreeMap insertion order would have it.
+        check_against_btreemap(&[(60, vec![70, 100]), (50, vec![10, 10, 3]), (100, vec![])]);
+    }
+
+    #[test]
+    fn exactly_horizon_away_goes_to_overflow_not_a_live_bucket() {
+        let mut wheel = EventWheel::new();
+        wheel.schedule(0, HORIZON, 1u32);
+        assert!(wheel.overflow.contains_key(&HORIZON), "distance == HORIZON must overflow");
+        for now in 1..HORIZON {
+            assert!(wheel.take(now).is_none());
+        }
+        assert_eq!(wheel.take(HORIZON), Some(vec![1]));
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn recycle_reuses_the_buffer() {
+        let mut wheel = EventWheel::new();
+        wheel.schedule(0, 1, 7u32);
+        let drained = wheel.take(1).unwrap();
+        let cap = drained.capacity();
+        assert!(cap >= 1);
+        wheel.recycle(1, drained);
+        assert!(wheel.buckets[1].capacity() >= cap, "slot keeps the returned buffer");
+    }
+}

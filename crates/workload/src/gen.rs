@@ -20,6 +20,8 @@ use std::collections::VecDeque;
 const FRESH_WINDOW: usize = 16;
 /// How many already-consumed values remain available for re-reads.
 const REUSE_WINDOW: usize = 12;
+/// Larger of the two pool capacities (scratch sizing in `pick_from_pool`).
+const POOL_MAX: usize = if FRESH_WINDOW > REUSE_WINDOW { FRESH_WINDOW } else { REUSE_WINDOW };
 
 /// Integer registers reserved as long-lived "globals" (stack pointer, base
 /// pointers): r26..r31.
@@ -67,6 +69,9 @@ pub struct TraceGenerator {
     addresses: AddressGenerator,
     /// Cumulative weights for sampling non-branch op classes.
     body_cdf: Vec<(f64, OpClass)>,
+    /// `ln(1 - p)` for the dependence-distance geometric, precomputed
+    /// (the clamped `p` is fixed per profile).
+    dep_geom_ln: f64,
 }
 
 impl TraceGenerator {
@@ -154,6 +159,7 @@ impl TraceGenerator {
             entry.0 /= acc;
         }
 
+        let dep_geom_ln = (1.0 - profile.dep_geom_p.clamp(0.02, 0.98)).ln();
         TraceGenerator {
             profile,
             rng,
@@ -168,6 +174,7 @@ impl TraceGenerator {
             next_dst: [1, 0],
             addresses,
             body_cdf,
+            dep_geom_ln,
         }
     }
 
@@ -229,15 +236,25 @@ impl TraceGenerator {
         depth_limit: u8,
         consume: bool,
     ) -> Option<(ArchReg, u8)> {
+        // Collect the eligible indices, newest first, in one scan. The
+        // RNG below must only be drawn when at least one exists — draw
+        // order is part of the deterministic trace contract.
         let pool = if consume { &self.fresh[ci] } else { &self.reusable[ci] };
-        // Eligible indices, newest first.
-        let eligible: Vec<usize> =
-            (0..pool.len()).rev().filter(|&i| pool[i].1 < depth_limit).collect();
-        if eligible.is_empty() {
+        debug_assert!(pool.len() <= POOL_MAX);
+        let mut eligible = [0u32; POOL_MAX];
+        let mut n = 0;
+        for i in (0..pool.len()).rev() {
+            if pool[i].1 < depth_limit {
+                eligible[n] = i as u32;
+                n += 1;
+            }
+        }
+        if n == 0 {
             return None;
         }
-        let d = self.geometric_distance().min(eligible.len() - 1);
-        let idx = eligible[d];
+        let d = self.geometric_distance().min(n - 1);
+        // The d-th eligible index, newest first.
+        let idx = eligible[d] as usize;
         if consume {
             let entry = self.fresh[ci].remove(idx).expect("index in range");
             if self.reusable[ci].len() == REUSE_WINDOW {
@@ -252,9 +269,8 @@ impl TraceGenerator {
 
     /// Geometric dependence distance: 0 = the most recent eligible value.
     fn geometric_distance(&mut self) -> usize {
-        let p = self.profile.dep_geom_p.clamp(0.02, 0.98);
         let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        ((1.0 - u).ln() / (1.0 - p).ln()) as usize
+        ((1.0 - u).ln() / self.dep_geom_ln) as usize
     }
 
     /// Allocates the next destination register of `class` (round-robin over

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Compare two ``experiments bench`` snapshots. Stdlib only.
+
+Each input is either a bare snapshot object or an
+``rfcache-bench/v1`` trajectory file (``BENCH_cycle_loop.json``), in
+which case its **last** snapshot is used. Both files are
+schema-validated first (required keys, positive rates). Per-scenario
+deltas of the primary rate — ``cycles_per_sec``, falling back to
+``insts_per_sec`` for aggregate entries like ``campaign/all-quick`` —
+are printed, and the exit status is nonzero when any scenario present
+in both snapshots regressed by more than ``--tolerance`` (a fraction:
+``0.10`` tolerates a 10% slowdown).
+
+Usage::
+
+    experiments bench --out BENCH_new.json
+    python3 scripts/bench_diff.py BENCH_cycle_loop.json BENCH_new.json
+    python3 scripts/bench_diff.py old.json new.json --tolerance 0.25
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "rfcache-bench/v1"
+SNAPSHOT_KEYS = ("label", "git_rev", "host", "repeat", "scenarios")
+SCENARIO_KEYS = ("name", "insts", "secs_min", "secs_mean", "insts_per_sec")
+
+
+def fail(msg):
+    print(f"bench_diff: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_snapshot(path):
+    """Loads and validates the (last) snapshot of ``path``."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if "snapshots" in data:
+        if data.get("schema") != SCHEMA:
+            fail(f"{path}: schema {data.get('schema')!r}, want {SCHEMA!r}")
+        if not data["snapshots"]:
+            fail(f"{path}: empty trajectory")
+        snapshot = data["snapshots"][-1]
+    else:
+        snapshot = data
+    for key in SNAPSHOT_KEYS:
+        if key not in snapshot:
+            fail(f"{path}: snapshot missing key {key!r}")
+    if not snapshot["scenarios"]:
+        fail(f"{path}: no scenarios")
+    for sc in snapshot["scenarios"]:
+        for key in SCENARIO_KEYS:
+            if key not in sc:
+                fail(f"{path}: scenario {sc.get('name', '?')!r} missing {key!r}")
+        for rate in ("insts_per_sec", "cycles_per_sec"):
+            if rate in sc and not sc[rate] > 0:
+                fail(f"{path}: {sc['name']}: {rate} must be positive, got {sc[rate]}")
+        if "cycles_per_sec" in sc and not sc.get("cycles", 0) > 0:
+            fail(f"{path}: {sc['name']}: cycles_per_sec without positive cycles")
+    return snapshot
+
+
+def rate_of(scenario):
+    """The compared metric and its name (cycle rate when available)."""
+    if "cycles_per_sec" in scenario:
+        return scenario["cycles_per_sec"], "cycles/s"
+    return scenario["insts_per_sec"], "insts/s"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline snapshot or trajectory file")
+    parser.add_argument("new", help="candidate snapshot or trajectory file")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="tolerated fractional slowdown per scenario (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    old = load_snapshot(args.old)
+    new = load_snapshot(args.new)
+    old_by_name = {s["name"]: s for s in old["scenarios"]}
+
+    print(
+        f"old: {old['label']} @ {old['git_rev']}   "
+        f"new: {new['label']} @ {new['git_rev']}   tolerance {args.tolerance:.0%}"
+    )
+    regressions = []
+    compared = 0
+    for sc in new["scenarios"]:
+        name = sc["name"]
+        base = old_by_name.get(name)
+        if base is None:
+            print(f"  {name:<24} (new scenario, skipped)")
+            continue
+        new_rate, unit = rate_of(sc)
+        old_rate, old_unit = rate_of(base)
+        if unit != old_unit:
+            fail(f"{name}: metric changed between snapshots ({old_unit} -> {unit})")
+        delta = new_rate / old_rate - 1.0
+        compared += 1
+        marker = ""
+        if delta < -args.tolerance:
+            regressions.append((name, delta))
+            marker = "  REGRESSION"
+        print(
+            f"  {name:<24} {old_rate:>12.0f} -> {new_rate:>12.0f} {unit:<8} "
+            f"{delta:>+7.1%}{marker}"
+        )
+    missing = [n for n in old_by_name if n not in {s["name"] for s in new["scenarios"]}]
+    for name in missing:
+        print(f"  {name:<24} (dropped from new snapshot)")
+    if compared == 0:
+        fail("no common scenarios to compare")
+    if regressions:
+        worst = min(regressions, key=lambda r: r[1])
+        print(
+            f"{len(regressions)} scenario(s) regressed beyond tolerance "
+            f"(worst: {worst[0]} {worst[1]:+.1%})",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(f"{compared} scenario(s) within tolerance")
+
+
+if __name__ == "__main__":
+    main()

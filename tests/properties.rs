@@ -248,6 +248,42 @@ proptest! {
         }
     }
 
+    /// The register bitset is observationally equivalent to a
+    /// `HashSet<u16>` under arbitrary insert/remove/contains/iter
+    /// sequences (it replaced one on the cycle loop's hot path).
+    #[test]
+    fn reg_bitset_equivalent_to_hashset(
+        capacity in 1usize..200,
+        ops in proptest::collection::vec((0u8..4, 0u16..256), 0..300),
+    ) {
+        use rfcache_core::RegBitSet;
+        use std::collections::HashSet;
+        let mut bitset = RegBitSet::new(capacity);
+        let mut reference: HashSet<u16> = HashSet::new();
+        for (op, raw) in ops {
+            let key = raw % capacity as u16;
+            match op {
+                0 => prop_assert_eq!(bitset.insert(key), reference.insert(key)),
+                1 => prop_assert_eq!(bitset.remove(key), reference.remove(&key)),
+                2 => prop_assert_eq!(bitset.contains(key), reference.contains(&key)),
+                _ => {
+                    // Out-of-universe queries are answered, not panicked on.
+                    let outside = capacity as u16 + raw;
+                    prop_assert!(!bitset.contains(outside));
+                    prop_assert!(!bitset.remove(outside));
+                }
+            }
+            prop_assert_eq!(bitset.len(), reference.len());
+            prop_assert_eq!(bitset.is_empty(), reference.is_empty());
+            let mut sorted: Vec<u16> = reference.iter().copied().collect();
+            sorted.sort_unstable();
+            prop_assert_eq!(bitset.iter().collect::<Vec<u16>>(), sorted);
+        }
+        bitset.clear();
+        prop_assert!(bitset.is_empty());
+        prop_assert_eq!(bitset.iter().count(), 0);
+    }
+
     /// The harmonic mean lies between min and max.
     #[test]
     fn harmonic_mean_bounds(values in proptest::collection::vec(0.01f64..100.0, 1..20)) {
