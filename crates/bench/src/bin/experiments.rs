@@ -7,13 +7,15 @@
 //!                             [--csv DIR] [--json DIR] [--workers N] [--dist-workers N]
 //! experiments <name>... | all [opts] --shard I/N [--out FILE]
 //! experiments merge FILE... [--csv DIR] [--json DIR]
-//! experiments serve --bind ADDR [--expect K] [--lease-timeout SECS] [--chunk N]
-//!                   [--journal FILE [--journal-sync N]]
+//! experiments serve --bind ADDR [--http ADDR] [--expect K] [--lease-timeout SECS]
+//!                   [--chunk N] [--journal FILE [--journal-sync N]]
 //!                   <name>... | all [opts] [--csv DIR] [--json DIR]
 //! experiments work --connect ADDR [--jobs N] [--connect-timeout SECS]
 //!                  [--quit-after-leases N]
-//! experiments resume --journal FILE --bind ADDR [--expect K] [--lease-timeout SECS]
-//!                    [--chunk N] [--journal-sync N] [--csv DIR] [--json DIR]
+//! experiments resume --journal FILE --bind ADDR [--http ADDR] [--expect K]
+//!                    [--lease-timeout SECS] [--chunk N] [--journal-sync N]
+//!                    [--csv DIR] [--json DIR]
+//! experiments status --connect ADDR [--json]
 //! experiments bench [--repeat N] [--warmup N] [--quick] [--label STR]
 //!                   [--out FILE] [--no-campaign]
 //! ```
@@ -56,6 +58,15 @@
 //! is fault injection for tests: the worker simulates a crash after
 //! completing `N` leases.)
 //!
+//! **The control plane.** `--http ADDR` (on `serve`, `resume`, and
+//! `--dist-workers`) makes the coordinator's readiness loop additionally
+//! answer plain HTTP on a second address: `GET /status` returns a JSON
+//! snapshot of campaign progress (plan size, completed/leased/pending
+//! counts, the per-worker roster with lease ages, journal position) and
+//! `GET /healthz` answers liveness probes. `status --connect ADDR`
+//! fetches `/status` and renders it as a table (`--json` passes the raw
+//! JSON through for scripts).
+//!
 //! **Crash-durable campaigns.** `--journal FILE` (on `serve` and
 //! `--dist-workers`) write-ahead journals the campaign: the header line
 //! at start, then every verified record as it is accepted — each line
@@ -91,8 +102,8 @@ use rfcache_sim::experiments::ExperimentOpts;
 use rfcache_sim::metrics_codec::CampaignHeader;
 use rfcache_sim::transport::{self, ServeOptions, WorkOptions};
 use rfcache_sim::{
-    run_campaign_from_parts, run_campaign_planned, run_campaign_planned_with, scenario, write_csv,
-    write_json, RunSpec, ScenarioReport,
+    http, parse_json, run_campaign_from_parts, run_campaign_planned, run_campaign_planned_with,
+    scenario, write_csv, write_json, JsonValue, RunSpec, ScenarioReport, TextTable,
 };
 use std::io::{BufRead as _, Write as _};
 use std::path::PathBuf;
@@ -103,13 +114,15 @@ const USAGE: &str = "usage: experiments --list
                                    [--csv DIR] [--json DIR] [--workers N] [--dist-workers N]
        experiments <name>... | all [opts] --shard I/N [--out FILE]
        experiments merge FILE... [--csv DIR] [--json DIR]
-       experiments serve --bind ADDR [--expect K] [--lease-timeout SECS] [--chunk N]
-                         [--journal FILE [--journal-sync N]]
+       experiments serve --bind ADDR [--http ADDR] [--expect K] [--lease-timeout SECS]
+                         [--chunk N] [--journal FILE [--journal-sync N]]
                          <name>... | all [opts] [--csv DIR] [--json DIR]
        experiments work --connect ADDR [--jobs N] [--connect-timeout SECS]
                         [--quit-after-leases N]
-       experiments resume --journal FILE --bind ADDR [--expect K] [--lease-timeout SECS]
-                          [--chunk N] [--journal-sync N] [--csv DIR] [--json DIR]
+       experiments resume --journal FILE --bind ADDR [--http ADDR] [--expect K]
+                          [--lease-timeout SECS] [--chunk N] [--journal-sync N]
+                          [--csv DIR] [--json DIR]
+       experiments status --connect ADDR [--json]
        experiments bench [--repeat N] [--warmup N] [--quick] [--label STR]
                          [--out FILE] [--no-campaign]
 run `experiments --list` for the registered scenario names";
@@ -129,6 +142,7 @@ fn main() {
         "serve" => serve_main(&args[1..]),
         "work" => work_main(&args[1..]),
         "resume" => resume_main(&args[1..]),
+        "status" => status_main(&args[1..]),
         "bench" => bench_main(&args[1..]),
         _ => run_main(&args),
     }
@@ -144,6 +158,7 @@ fn run_main(args: &[String]) {
     let mut dist_workers: Option<usize> = None;
     let mut journal: Option<PathBuf> = None;
     let mut journal_sync: Option<usize> = None;
+    let mut http: Option<String> = None;
     let mut names: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -167,6 +182,7 @@ fn run_main(args: &[String]) {
             "--journal-sync" => {
                 journal_sync = Some(parse_num("--journal-sync", it.next()) as usize);
             }
+            "--http" => http = Some(parse_value("--http", it.next())),
             flag if flag.starts_with("--") => {
                 usage_error(&format!("unknown option {flag}"));
             }
@@ -193,6 +209,9 @@ fn run_main(args: &[String]) {
     }
     if journal_sync.is_some() && journal.is_none() {
         usage_error("--journal-sync requires --journal");
+    }
+    if http.is_some() && dist_workers.is_none() {
+        usage_error("--http requires --dist-workers (or the serve/resume subcommands)");
     }
 
     let selected = select_scenarios(&names);
@@ -241,6 +260,9 @@ fn run_main(args: &[String]) {
                 sync_every: journal_sync.unwrap_or(1),
                 resume: false,
             });
+        }
+        if let Some(bind) = http {
+            executor = executor.http(bind);
         }
         run_campaign_planned_with(&executor, &selected, &opts, plans)
             .unwrap_or_else(|e| die(&e.to_string()))
@@ -322,6 +344,7 @@ fn serve_main(args: &[String]) {
     let mut opts = ExperimentOpts::default();
     let mut serve_opts = ServeOptions::default();
     let mut bind: Option<String> = None;
+    let mut http: Option<String> = None;
     let mut csv_dir: Option<PathBuf> = None;
     let mut json_dir: Option<PathBuf> = None;
     let mut journal: Option<PathBuf> = None;
@@ -331,6 +354,7 @@ fn serve_main(args: &[String]) {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--bind" => bind = Some(parse_value("--bind", it.next())),
+            "--http" => http = Some(parse_value("--http", it.next())),
             "--expect" => serve_opts.expect = parse_num("--expect", it.next()) as usize,
             "--lease-timeout" => {
                 serve_opts.lease_timeout =
@@ -380,6 +404,9 @@ fn serve_main(args: &[String]) {
             resume: false,
         });
     }
+    if let Some(addr) = http {
+        executor = executor.http(addr);
+    }
     let reports = run_campaign_planned_with(&executor, &selected, &opts, plans)
         .unwrap_or_else(|e| die(&e.to_string()));
     emit_reports(&selected, &reports, csv_dir.as_deref(), json_dir.as_deref());
@@ -397,6 +424,7 @@ fn serve_main(args: &[String]) {
 fn resume_main(args: &[String]) {
     let mut serve_opts = ServeOptions::default();
     let mut bind: Option<String> = None;
+    let mut http: Option<String> = None;
     let mut csv_dir: Option<PathBuf> = None;
     let mut json_dir: Option<PathBuf> = None;
     let mut journal: Option<PathBuf> = None;
@@ -405,6 +433,7 @@ fn resume_main(args: &[String]) {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--bind" => bind = Some(parse_value("--bind", it.next())),
+            "--http" => http = Some(parse_value("--http", it.next())),
             "--expect" => serve_opts.expect = parse_num("--expect", it.next()) as usize,
             "--lease-timeout" => {
                 serve_opts.lease_timeout =
@@ -464,7 +493,7 @@ fn resume_main(args: &[String]) {
     }
     eprintln!("[resume: resuming a {runs}-run campaign from {}]", journal.display());
     let start = Instant::now();
-    let executor = Distributed::new(
+    let mut executor = Distributed::new(
         bind,
         selected.iter().map(|s| s.name.to_string()).collect(),
         &opts,
@@ -475,6 +504,9 @@ fn resume_main(args: &[String]) {
         sync_every: journal_sync.unwrap_or(1),
         resume: true,
     });
+    if let Some(addr) = http {
+        executor = executor.http(addr);
+    }
     let reports = run_campaign_planned_with(&executor, &selected, &opts, plans)
         .unwrap_or_else(|e| die(&e.to_string()));
     emit_reports(&selected, &reports, csv_dir.as_deref(), json_dir.as_deref());
@@ -524,6 +556,95 @@ fn work_main(args: &[String]) {
         if summary.quit_injected { ", quit injected" } else { "" },
         start.elapsed().as_secs_f64()
     );
+}
+
+/// Fetches a running coordinator's `/status` snapshot and renders it as
+/// a progress summary plus per-worker roster (`--json` passes the raw
+/// snapshot through untouched for scripts).
+fn status_main(args: &[String]) {
+    let mut connect: Option<String> = None;
+    let mut raw = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = Some(parse_value("--connect", it.next())),
+            "--json" => raw = true,
+            flag if flag.starts_with("--") => usage_error(&format!("unknown option {flag}")),
+            other => usage_error(&format!("unexpected argument {other} (status takes only flags)")),
+        }
+    }
+    let Some(addr) = connect else {
+        usage_error("status needs --connect ADDR (the coordinator's --http address)");
+    };
+    let (code, body) =
+        http::get(&addr, "/status", Duration::from_secs(5)).unwrap_or_else(|e| die(&e));
+    if code != 200 {
+        die(&format!("{addr}: /status answered {code}: {}", body.trim()));
+    }
+    if raw {
+        print!("{body}");
+        return;
+    }
+    let status = parse_json(&body)
+        .unwrap_or_else(|e| die(&format!("{addr}: malformed /status response: {e}")));
+    let count = |key: &str| status.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+    let scenarios: Vec<&str> = status
+        .get("scenarios")
+        .and_then(JsonValue::as_array)
+        .map(|names| names.iter().filter_map(JsonValue::as_str).collect())
+        .unwrap_or_default();
+    let (runs, completed, leased, pending) =
+        (count("runs"), count("completed"), count("leased"), count("pending"));
+    println!(
+        "campaign {}: {}",
+        status.get("fingerprint").and_then(JsonValue::as_str).unwrap_or("?"),
+        scenarios.join(" ")
+    );
+    println!(
+        "  {runs} run(s): {completed} completed, {leased} leased, {pending} pending \
+         ({:.1}% done), {:.1}s elapsed",
+        if runs == 0 { 100.0 } else { 100.0 * completed as f64 / runs as f64 },
+        status.get("elapsed_secs").and_then(JsonValue::as_f64).unwrap_or(0.0)
+    );
+    println!(
+        "  workers: {} connected, {} joined in total",
+        count("workers_connected"),
+        count("workers_joined")
+    );
+    if let Some(journal) = status.get("journal").filter(|j| !matches!(j, JsonValue::Null)) {
+        let jcount = |key: &str| journal.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        println!(
+            "  journal: {} record(s) written ({} replayed), {} byte(s)",
+            jcount("records"),
+            jcount("replayed"),
+            jcount("bytes")
+        );
+    }
+    let roster = status.get("workers").and_then(JsonValue::as_array).unwrap_or(&[]);
+    if !roster.is_empty() {
+        let mut table = TextTable::new(
+            ["worker", "phase", "leases", "records", "lease age"]
+                .map(String::from)
+                .into_iter()
+                .collect(),
+        );
+        for worker in roster {
+            let cell = |key: &str| {
+                worker.get(key).and_then(JsonValue::as_u64).map_or("?".into(), |n| n.to_string())
+            };
+            table.row(vec![
+                worker.get("peer").and_then(JsonValue::as_str).unwrap_or("?").to_string(),
+                worker.get("phase").and_then(JsonValue::as_str).unwrap_or("?").to_string(),
+                cell("leases"),
+                cell("records"),
+                worker
+                    .get("lease_age_secs")
+                    .and_then(JsonValue::as_f64)
+                    .map_or("-".to_string(), |age| format!("{age:.1}s")),
+            ]);
+        }
+        println!("\n{table}");
+    }
 }
 
 /// Executes one shard of the campaign and writes the shard file.

@@ -212,6 +212,190 @@ fn work_and_serve_name_their_required_flags() {
     assert!(stderr.contains("--journal requires --dist-workers"), "stderr: {stderr}");
 }
 
+/// Reads the coordinator's live thread count from procfs (Linux only —
+/// elsewhere the soak still verifies byte-identity, just not the
+/// thread invariant).
+#[cfg(target_os = "linux")]
+fn thread_count(pid: u32) -> Option<usize> {
+    let status = std::fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+/// The tentpole invariant, end to end: 64 concurrent workers against
+/// one coordinator whose readiness loop runs handshakes, leasing,
+/// record streaming, and the HTTP control plane on a single thread —
+/// and the output is still byte-identical to the in-process and
+/// sharded backends.
+#[test]
+fn soak_64_workers_one_thread_and_a_live_control_plane() {
+    use rfcache_sim::JsonValue;
+
+    let soak: &[&str] = &["all", "--quick", "--insts", "2000", "--warmup", "500"];
+    let work = temp_dir("soak");
+    let ref_dir = work.join("ref");
+    let shard_dir = work.join("shard");
+    let dist_dir = work.join("dist");
+
+    let reference = experiments(
+        &[soak, &["--csv", ref_dir.to_str().unwrap(), "--json", ref_dir.to_str().unwrap()]]
+            .concat(),
+    );
+    assert!(reference.status.success(), "stderr: {}", String::from_utf8_lossy(&reference.stderr));
+
+    let sharded = experiments(
+        &[
+            soak,
+            &[
+                "--workers",
+                "2",
+                "--csv",
+                shard_dir.to_str().unwrap(),
+                "--json",
+                shard_dir.to_str().unwrap(),
+            ],
+        ]
+        .concat(),
+    );
+    assert!(sharded.status.success(), "stderr: {}", String::from_utf8_lossy(&sharded.stderr));
+    assert_eq!(
+        String::from_utf8_lossy(&reference.stdout),
+        String::from_utf8_lossy(&sharded.stdout),
+        "sharded stdout reports diverge from the single-process run"
+    );
+    assert_eq!(dir_contents(&ref_dir), dir_contents(&shard_dir));
+
+    // The 64-worker distributed run, with the control plane attached.
+    let mut dist = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(
+            [
+                soak,
+                &[
+                    "--dist-workers",
+                    "64",
+                    "--http",
+                    "127.0.0.1:0",
+                    "--csv",
+                    dist_dir.to_str().unwrap(),
+                    "--json",
+                    dist_dir.to_str().unwrap(),
+                ],
+            ]
+            .concat(),
+        )
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("coordinator spawns");
+    let pid = dist.id();
+    let stderr = dist.stderr.take().unwrap();
+    let (http_tx, http_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stderr).lines() {
+            let line = line.unwrap_or_default();
+            if let Some(rest) = line.strip_prefix("[serve: http status on ") {
+                let _ = http_tx.send(rest.trim_end_matches(']').to_string());
+            }
+        }
+    });
+    let http_addr = http_rx
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("the coordinator logs its control-plane address");
+
+    // Probe /status until at least one worker has joined: a 200 answer
+    // can only come from the serve loop itself, so at that moment the
+    // coordinator is verifiably mid-campaign.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let status = loop {
+        assert!(std::time::Instant::now() < deadline, "no worker joined within 60s");
+        let probe = experiments(&["status", "--connect", &http_addr, "--json"]);
+        if !probe.status.success() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            continue;
+        }
+        let body = String::from_utf8_lossy(&probe.stdout).into_owned();
+        let parsed = rfcache_sim::parse_json(&body)
+            .unwrap_or_else(|e| panic!("malformed /status JSON: {e}\n{body}"));
+        let joined =
+            parsed.get("workers_joined").and_then(JsonValue::as_u64).expect("workers_joined");
+        if joined >= 1 {
+            break parsed;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+
+    // One readiness loop means one thread — handshakes, leases, record
+    // streaming, and this very /status answer all interleave on it.
+    #[cfg(target_os = "linux")]
+    {
+        let threads = thread_count(pid).expect("coordinator is alive mid-campaign");
+        assert_eq!(threads, 1, "the coordinator must stay single-threaded while serving");
+    }
+
+    // Progress counters partition the plan at every instant.
+    let count = |key: &str| status.get(key).and_then(JsonValue::as_u64).unwrap_or(u64::MAX);
+    assert_eq!(
+        count("completed") + count("leased") + count("pending"),
+        count("runs"),
+        "status counters must partition the plan: {status:?}"
+    );
+    assert!(count("runs") > 64, "all --quick plans more runs than workers");
+
+    // The liveness endpoint answers from the same loop.
+    let (code, body) =
+        rfcache_sim::http::get(&http_addr, "/healthz", std::time::Duration::from_secs(5))
+            .expect("/healthz answers");
+    assert_eq!(code, 200, "healthz body: {body}");
+    assert!(body.contains("\"ok\""), "healthz body: {body}");
+
+    // The pretty renderer digests the same snapshot.
+    let pretty = experiments(&["status", "--connect", &http_addr]);
+    if pretty.status.success() {
+        let text = String::from_utf8_lossy(&pretty.stdout).into_owned();
+        assert!(text.contains("run(s):"), "pretty status: {text}");
+        assert!(text.contains("workers:"), "pretty status: {text}");
+    }
+    // (A non-zero exit here means the campaign finished between probes —
+    // the mid-campaign assertions above already ran against live JSON.)
+
+    let out = dist.wait_with_output().expect("coordinator exits");
+    assert!(out.status.success(), "dist run failed");
+    assert_eq!(
+        String::from_utf8_lossy(&reference.stdout),
+        String::from_utf8_lossy(&out.stdout),
+        "64-worker distributed stdout reports diverge from the single-process run"
+    );
+    assert_eq!(dir_contents(&ref_dir), dir_contents(&dist_dir));
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn status_subcommand_names_its_flags_and_failures() {
+    let out = experiments(&["status"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("status needs --connect"), "stderr: {stderr}");
+
+    let out = experiments(&["status", "--connect", "127.0.0.1:1", "--pretty"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown option --pretty"), "stderr: {stderr}");
+
+    // A dead coordinator is a plain failure naming the address.
+    let out = experiments(&["status", "--connect", "127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("127.0.0.1:1"), "stderr: {stderr}");
+
+    // --http outside the distributed backends is a usage error.
+    let out = experiments(&["fig6", "--http", "127.0.0.1:0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--http requires --dist-workers"), "stderr: {stderr}");
+}
+
 #[test]
 fn killed_coordinator_resumes_from_its_journal_byte_identically() {
     let work = temp_dir("resume");

@@ -31,7 +31,6 @@ use std::fmt;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
-use std::sync::Mutex;
 
 /// Why a campaign execution failed.
 #[derive(Debug)]
@@ -304,6 +303,7 @@ impl Executor for Subprocess {
 #[derive(Debug, Clone)]
 pub struct Distributed {
     bind: String,
+    http_bind: Option<String>,
     scenarios: Vec<String>,
     opts: ExperimentOpts,
     serve_opts: crate::transport::ServeOptions,
@@ -354,12 +354,23 @@ impl Distributed {
     ) -> Self {
         Distributed {
             bind: bind.into(),
+            http_bind: None,
             scenarios,
             opts: *opts,
             serve_opts,
             self_spawn: None,
             journal: None,
         }
+    }
+
+    /// Additionally serve the HTTP control plane (`GET /status`, `GET
+    /// /healthz`) on a second address — same readiness loop, observable
+    /// from the outside (builder-style). Port `0` picks an ephemeral
+    /// port; the chosen address is logged to stderr.
+    #[must_use]
+    pub fn http(mut self, bind: impl Into<String>) -> Self {
+        self.http_bind = Some(bind.into());
+        self
     }
 
     /// Additionally spawn and supervise `count` local worker processes
@@ -463,15 +474,26 @@ impl Executor for Distributed {
             .local_addr()
             .map_err(|e| ExecutorError::io("cannot read the bound address", e))?;
         eprintln!("[serve: listening on {addr}, {} simulation(s)]", specs.len());
+        let http_listener = match &self.http_bind {
+            Some(bind) => {
+                let control = std::net::TcpListener::bind(bind)
+                    .map_err(|e| ExecutorError::io(format!("cannot bind {bind}"), e))?;
+                let control_addr = control
+                    .local_addr()
+                    .map_err(|e| ExecutorError::io("cannot read the control-plane address", e))?;
+                eprintln!("[serve: http status on {control_addr}]");
+                Some(control)
+            }
+            None => None,
+        };
         let header = CampaignHeader::new(self.scenarios.clone(), &self.opts, 0, 1, specs.len());
         let journal = match &self.journal {
             Some(spec) => Some(self.open_journal(spec, &header, specs)?),
             None => None,
         };
 
-        let children = Mutex::new(Vec::new());
+        let mut children: Vec<std::process::Child> = Vec::new();
         if let Some(sp) = &self.self_spawn {
-            let mut spawned = children.lock().expect("no prior panic");
             for _ in 0..sp.count {
                 let child = Command::new(&sp.worker)
                     .arg("work")
@@ -487,9 +509,9 @@ impl Executor for Distributed {
                         ExecutorError::io(format!("cannot spawn {}", sp.worker.display()), e)
                     });
                 match child {
-                    Ok(child) => spawned.push(child),
+                    Ok(child) => children.push(child),
                     Err(e) => {
-                        for mut c in spawned.drain(..) {
+                        for mut c in children.drain(..) {
                             let _ = c.kill();
                             let _ = c.wait();
                         }
@@ -500,35 +522,42 @@ impl Executor for Distributed {
         }
 
         let signals = crate::transport::ServeSignals::new();
-        let result = std::thread::scope(|scope| {
-            if let Some(sp) = &self.self_spawn {
-                // Watcher: a campaign whose whole self-spawned pool died
-                // must abort, not wait forever for workers that will
-                // never reconnect.
-                scope.spawn(|| {
-                    while !signals.finished() {
-                        std::thread::sleep(std::time::Duration::from_millis(200));
-                        let mut kids = children.lock().expect("no prior panic");
-                        let all_gone = kids.iter_mut().all(|c| matches!(c.try_wait(), Ok(Some(_))));
-                        drop(kids);
-                        if all_gone {
-                            signals.abort(&format!(
-                                "all {} self-spawned worker(s) exited before the campaign \
-                                 completed",
-                                sp.count
-                            ));
-                            break;
-                        }
-                    }
-                });
-            }
-            crate::transport::serve(&listener, &header, specs, &self.serve_opts, &signals, journal)
-        });
+        let result = {
+            // Supervision runs inside the serve loop (no watcher thread):
+            // a campaign whose whole self-spawned pool died must abort,
+            // not wait forever for workers that will never reconnect.
+            let count = children.len();
+            let mut watch_pool;
+            let supervise: Option<&mut dyn FnMut() -> Option<String>> = if count > 0 {
+                watch_pool = || {
+                    let all_gone = children.iter_mut().all(|c| matches!(c.try_wait(), Ok(Some(_))));
+                    all_gone.then(|| {
+                        format!(
+                            "all {count} self-spawned worker(s) exited before the campaign \
+                             completed"
+                        )
+                    })
+                };
+                Some(&mut watch_pool)
+            } else {
+                None
+            };
+            crate::transport::serve_with(crate::transport::ServeConfig {
+                listener: &listener,
+                http: http_listener.as_ref(),
+                header: &header,
+                specs,
+                opts: &self.serve_opts,
+                signals: &signals,
+                journal,
+                supervise,
+            })
+        };
 
         // The campaign is over either way: reap the worker pool. On
         // success workers have been sent `done` and are exiting; on
         // failure they would block on a dead coordinator.
-        for mut child in children.into_inner().expect("no prior panic").drain(..) {
+        for mut child in children.drain(..) {
             let _ = child.kill();
             let _ = child.wait();
         }

@@ -1,0 +1,207 @@
+//! A minimal hand-rolled HTTP/1.1 surface for the coordinator's control
+//! plane (the build environment is offline, so no hyper — and the
+//! coordinator's readiness loop wants byte-level control anyway).
+//!
+//! The server half is deliberately tiny: [`parse_request`] recognises a
+//! request head fed to it in arbitrary byte chunks (TCP reads stop at
+//! packet boundaries, not header boundaries — property-tested in
+//! `tests/http_codec.rs`), and [`respond`] renders a complete
+//! `Connection: close` response, so every exchange is one request, one
+//! response, one connection. The client half ([`get`]) is just enough
+//! for `experiments status` and the tests to fetch `/status`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// The most bytes a request head may occupy before the connection is
+/// rejected as malformed (nothing the control plane serves needs long
+/// headers).
+pub const MAX_HEAD: usize = 8 * 1024;
+
+/// One parsed HTTP request line (headers are accepted and ignored — the
+/// control plane's routing needs nothing from them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method (`GET`, `HEAD`, ...), as sent.
+    pub method: String,
+    /// The request target, query string included (`/status?x=1`).
+    pub target: String,
+}
+
+impl Request {
+    /// The target with any query string stripped: the routing key.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+}
+
+/// What [`parse_request`] made of the bytes so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parse {
+    /// No complete head yet — read more and call again. Any prefix of a
+    /// valid request within [`MAX_HEAD`] parses as `Incomplete`, never
+    /// as `Invalid`.
+    Incomplete,
+    /// A complete, well-formed request head.
+    Ready(Request),
+    /// The bytes can never become a valid request (the connection
+    /// should get a `400` and close).
+    Invalid(String),
+}
+
+/// Finds the end of the request head: the byte index just past the
+/// first blank line (`\r\n\r\n`, or bare `\n\n` from lenient clients).
+fn head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match (buf.get(i + 1), buf.get(i + 2)) {
+                (Some(b'\n'), _) => return Some(i + 2),
+                (Some(b'\r'), Some(b'\n')) => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Incrementally parses an HTTP/1.1 request head from however many
+/// bytes have arrived so far.
+pub fn parse_request(buf: &[u8]) -> Parse {
+    let Some(end) = head_end(buf) else {
+        if buf.len() > MAX_HEAD {
+            return Parse::Invalid(format!("request head exceeds {MAX_HEAD} bytes"));
+        }
+        return Parse::Incomplete;
+    };
+    if end > MAX_HEAD {
+        return Parse::Invalid(format!("request head exceeds {MAX_HEAD} bytes"));
+    }
+    let head = String::from_utf8_lossy(&buf[..end]);
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Parse::Invalid(format!("malformed request line {line:?}")),
+    };
+    if !version.starts_with("HTTP/") {
+        return Parse::Invalid(format!("unsupported protocol {version:?}"));
+    }
+    Parse::Ready(Request { method: method.to_string(), target: target.to_string() })
+}
+
+/// Renders a complete `Connection: close` response.
+pub fn respond(status: u16, reason: &str, content_type: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Renders a `200 OK` JSON response.
+pub fn json_ok(body: &str) -> Vec<u8> {
+    respond(200, "OK", "application/json", body)
+}
+
+/// A one-shot HTTP GET against a coordinator control plane: connects,
+/// sends the request, reads to EOF (the server always closes), and
+/// returns the status code plus body.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the server is unreachable, the
+/// exchange times out, or the response is malformed.
+pub fn get(addr: &str, target: &str, timeout: Duration) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).map_err(|e| format!("{addr}: {e}"))?;
+    stream.set_write_timeout(Some(timeout)).map_err(|e| format!("{addr}: {e}"))?;
+    let request = format!("GET {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).map_err(|e| format!("{addr}: cannot send: {e}"))?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| format!("{addr}: cannot read response: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let head_end = text
+        .find("\r\n\r\n")
+        .map(|at| (at, at + 4))
+        .or_else(|| text.find("\n\n").map(|at| (at, at + 2)))
+        .ok_or_else(|| format!("{addr}: response has no header/body separator"))?;
+    let status_line = text[..head_end.0].lines().next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| format!("{addr}: malformed status line {status_line:?}"))?;
+    Ok((status, text[head_end.1..].to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_complete_get() {
+        let raw = b"GET /status HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n";
+        let Parse::Ready(req) = parse_request(raw) else {
+            panic!("expected ready, got {:?}", parse_request(raw));
+        };
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/status");
+        assert_eq!(req.path(), "/status");
+    }
+
+    #[test]
+    fn query_strings_are_kept_in_target_but_stripped_from_path() {
+        let Parse::Ready(req) = parse_request(b"GET /status?pretty=1 HTTP/1.0\n\n") else {
+            panic!("bare-LF heads are accepted");
+        };
+        assert_eq!(req.target, "/status?pretty=1");
+        assert_eq!(req.path(), "/status");
+    }
+
+    #[test]
+    fn every_prefix_of_a_valid_request_is_incomplete() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: coordinator\r\n\r\n";
+        for cut in 0..raw.len() {
+            assert_eq!(
+                parse_request(&raw[..cut]),
+                Parse::Incomplete,
+                "prefix of {cut} bytes must not resolve early"
+            );
+        }
+        assert!(matches!(parse_request(raw), Parse::Ready(_)));
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_heads() {
+        assert!(matches!(parse_request(b"\r\n\r\n"), Parse::Invalid(_)), "empty request line");
+        assert!(matches!(parse_request(b"GET /x\r\n\r\n"), Parse::Invalid(_)), "no version");
+        assert!(
+            matches!(parse_request(b"GET /x SMTP/1.0\r\n\r\n"), Parse::Invalid(_)),
+            "non-HTTP version"
+        );
+        assert!(
+            matches!(parse_request(b"GET /a /b HTTP/1.1 extra\r\n\r\n"), Parse::Invalid(_)),
+            "too many request-line parts"
+        );
+        let oversized = vec![b'a'; MAX_HEAD + 1];
+        assert!(matches!(parse_request(&oversized), Parse::Invalid(_)));
+        let mut huge_but_terminated = vec![b'a'; MAX_HEAD];
+        huge_but_terminated.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(parse_request(&huge_but_terminated), Parse::Invalid(_)));
+    }
+
+    #[test]
+    fn respond_renders_content_length_and_close() {
+        let bytes = respond(200, "OK", "application/json", "{\"ok\": true}");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 12\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\": true}"), "{text}");
+    }
+}

@@ -20,12 +20,15 @@
 
 #![warn(missing_docs)]
 
+mod conn;
 mod csv;
 pub mod executor;
 pub mod experiments;
+pub mod http;
 mod json;
 mod means;
 pub mod metrics_codec;
+mod readiness;
 mod run;
 pub mod scenario;
 mod table;

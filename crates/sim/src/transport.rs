@@ -38,11 +38,26 @@
 //! The protocol framing is [`Frame`]; partial TCP reads are reassembled
 //! by [`LineBuffer`], which is property-tested against arbitrary byte
 //! splits in `tests/metrics_codec.rs`.
+//!
+//! **Architecture.** The coordinator is a **single-threaded readiness
+//! loop** ([`serve_with`]): the listener, every worker connection, and
+//! every HTTP control-plane client are nonblocking sockets multiplexed
+//! through `poll(2)` ([`crate::readiness`]), with per-connection state
+//! machines ([`crate::conn`]) instead of per-connection threads. One
+//! thread owning everything means the lease table, slot vector and
+//! journal need no locks, and the design scales to thousands of worker
+//! connections. The optional second listener serves `GET /status`
+//! (progress counters, worker roster, journal position) and `GET
+//! /healthz` over a hand-rolled HTTP/1.1 ([`crate::http`]).
 
+use crate::conn::{ActiveLease, HttpConn, WorkerConn, WorkerPhase};
 use crate::executor::ExecutorError;
+use crate::http;
+use crate::json;
 use crate::metrics_codec::{
     CampaignHeader, CodecError, Frame, RecordFile, ShardRecord, TailPolicy,
 };
+use crate::readiness::{listener_fd, stream_fd, PollSet};
 use crate::run::{campaign_fingerprint, par_indexed, RunResult, RunSpec};
 use crate::scenario;
 use std::collections::VecDeque;
@@ -50,17 +65,27 @@ use std::fs::OpenOptions;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// How often blocked loops re-check shared state.
-const POLL: Duration = Duration::from_millis(25);
-/// Socket read timeout: the granularity at which record readers notice
-/// aborts and completion.
+/// Socket read timeout on the worker side, and the coordinator loop's
+/// poll timeout: the granularity at which quiet periods re-check
+/// signals, supervision and lease deadlines.
 const READ_TICK: Duration = Duration::from_millis(100);
 /// How long the coordinator waits for a connecting worker's hello.
 const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(30);
+/// How long the completed coordinator keeps flushing final `done`
+/// frames to workers whose sockets are backpressured.
+const DRAIN_WINDOW: Duration = Duration::from_secs(5);
+/// How long an HTTP client may dribble its request before being reaped.
+const HTTP_CLIENT_WINDOW: Duration = Duration::from_secs(10);
+/// First retry delay after a failed worker connect.
+const CONNECT_BACKOFF_FLOOR: Duration = Duration::from_millis(25);
+/// Retry delay cap: a thousand workers re-finding a restarted
+/// coordinator trickle in at this rate instead of hammering it in
+/// 25 ms lockstep.
+const CONNECT_BACKOFF_CEIL: Duration = Duration::from_millis(1600);
 
 /// Reassembles newline-delimited frames from arbitrarily split byte
 /// chunks (TCP reads stop at packet boundaries, not line boundaries).
@@ -111,6 +136,8 @@ pub struct JournalWriter {
     file: std::fs::File,
     sync_every: usize,
     unsynced: usize,
+    appended: usize,
+    bytes: u64,
 }
 
 impl JournalWriter {
@@ -129,9 +156,10 @@ impl JournalWriter {
         sync_every: usize,
     ) -> io::Result<Self> {
         let file = OpenOptions::new().write(true).create_new(true).open(path)?;
-        let mut writer = JournalWriter { file, sync_every, unsynced: 0 };
         let mut line = header.to_journal_line(fingerprint);
         line.push('\n');
+        let mut writer =
+            JournalWriter { file, sync_every, unsynced: 0, appended: 0, bytes: line.len() as u64 };
         writer.file.write_all(line.as_bytes())?;
         writer.file.sync_data()?;
         // The directory entry must be durable too: syncing only the
@@ -153,7 +181,7 @@ impl JournalWriter {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         file.set_len(valid_len)?;
         file.seek(SeekFrom::End(0))?;
-        Ok(JournalWriter { file, sync_every, unsynced: 0 })
+        Ok(JournalWriter { file, sync_every, unsynced: 0, appended: 0, bytes: valid_len })
     }
 
     /// Appends one accepted record line (the `\n` is added here, in the
@@ -165,10 +193,18 @@ impl JournalWriter {
         line.push('\n');
         self.file.write_all(line.as_bytes())?;
         self.unsynced += 1;
+        self.appended += 1;
+        self.bytes += line.len() as u64;
         if self.sync_every > 0 && self.unsynced >= self.sync_every {
             self.sync()?;
         }
         Ok(())
+    }
+
+    /// Journal position for the status endpoint: records appended this
+    /// session and the durable byte length of the file.
+    fn position(&self) -> (usize, u64) {
+        (self.appended, self.bytes)
     }
 
     /// Forces everything appended so far onto the disk.
@@ -362,6 +398,17 @@ impl LeaseTable {
     fn complete(&self) -> bool {
         self.completed == self.filled.len()
     }
+
+    /// Progress counters for the status endpoint:
+    /// `(completed, leased, pending)`, which always sum to the plan
+    /// size. `leased` is derived (plan − completed − pending) because a
+    /// partially-completed in-flight lease still holds its filled
+    /// indices.
+    fn counts(&self) -> (usize, usize, usize) {
+        let completed = self.completed;
+        let pending = self.pending.len();
+        (completed, (self.filled.len() - completed).saturating_sub(pending), pending)
+    }
 }
 
 /// Tuning knobs for [`serve`] (and the `Distributed` executor).
@@ -428,36 +475,30 @@ impl ServeSignals {
     }
 }
 
-/// Everything a connection handler needs, bundled so the lock ordering
-/// (always `state`, nothing nested) stays obvious.
-struct ServeCtx<'a> {
-    header: &'a CampaignHeader,
-    fingerprint: u64,
-    specs: &'a [&'a RunSpec],
-    opts: &'a ServeOptions,
-    signals: &'a ServeSignals,
-    state: &'a Mutex<ServeState>,
-    connected: &'a AtomicUsize,
-    started: Instant,
-}
-
-impl ServeCtx<'_> {
-    /// Whether leases may be issued yet: the `expect` worker quorum has
-    /// joined, or the quorum gate has expired (one lease timeout after
-    /// serving started — an expected worker that never arrives must not
-    /// hang the campaign).
-    fn quorum_open(&self) -> bool {
-        self.connected.load(Ordering::SeqCst) >= self.opts.expect
-            || self.started.elapsed() >= self.opts.lease_timeout
-    }
-
-    /// Whether this handler should give up: the campaign finished,
-    /// aborted, or hit a fatal error. Checked on every frame boundary so
-    /// one worker's `PlanDrift` unblocks every other handler — including
-    /// one still waiting out the handshake deadline — within a read tick.
-    fn done(&self) -> bool {
-        self.signals.aborted() || self.signals.finished() || self.state.lock().unwrap().stop()
-    }
+/// Everything [`serve_with`] needs, bundled (the readiness-loop
+/// coordinator grew past the point where positional arguments stay
+/// readable).
+pub struct ServeConfig<'a> {
+    /// The already-bound, campaign listener workers connect to.
+    pub listener: &'a TcpListener,
+    /// Optional second listener for the HTTP control plane (`/status`,
+    /// `/healthz`), served by the same readiness loop.
+    pub http: Option<&'a TcpListener>,
+    /// The campaign header sent to workers in the hello frame.
+    pub header: &'a CampaignHeader,
+    /// The flat campaign plan.
+    pub specs: &'a [&'a RunSpec],
+    /// Lease policy knobs.
+    pub opts: &'a ServeOptions,
+    /// Out-of-band abort/finished signalling shared with the caller.
+    pub signals: &'a ServeSignals,
+    /// Optional write-ahead journal: the open sink plus any records
+    /// replayed from an interrupted run.
+    pub journal: Option<Journal>,
+    /// Called from the loop roughly every poll tick; returning a reason
+    /// aborts the campaign. This is how the `Distributed` executor
+    /// supervises self-spawned workers without a watcher thread.
+    pub supervise: Option<&'a mut dyn FnMut() -> Option<String>>,
 }
 
 struct ServeState {
@@ -554,21 +595,46 @@ pub fn serve(
     signals: &ServeSignals,
     journal: Option<Journal>,
 ) -> Result<Vec<RunResult>, ExecutorError> {
-    let mut initial = ServeState {
+    serve_with(ServeConfig {
+        listener,
+        http: None,
+        header,
+        specs,
+        opts,
+        signals,
+        journal,
+        supervise: None,
+    })
+}
+
+/// [`serve`] with the full configuration surface: an optional HTTP
+/// control plane and an optional supervision hook, all driven by **one
+/// readiness loop on the calling thread** — the listener, every worker
+/// connection, and every HTTP client are nonblocking sockets multiplexed
+/// through `poll(2)` ([`crate::readiness`]), so no per-connection thread
+/// exists and no state needs a lock. Scales to thousands of worker
+/// connections.
+///
+/// # Errors
+///
+/// As [`serve`].
+pub fn serve_with(cfg: ServeConfig<'_>) -> Result<Vec<RunResult>, ExecutorError> {
+    let ServeConfig { listener, http, header, specs, opts, signals, journal, mut supervise } = cfg;
+    let mut state = ServeState {
         table: LeaseTable::new(specs.len(), opts.chunk, opts.lease_timeout),
         slots: (0..specs.len()).map(|_| None).collect(),
         fatal: None,
         journal: None,
     };
+    let mut replayed = 0usize;
     if let Some(journal) = journal {
-        initial.journal = Some(journal.writer);
-        let mut replayed = 0usize;
+        state.journal = Some(journal.writer);
         for record in journal.replay {
-            if initial.admit(specs, record, false)? {
+            if state.admit(specs, record, false)? {
                 replayed += 1;
             }
         }
-        initial.table.prune_pending();
+        state.table.prune_pending();
         if replayed > 0 {
             eprintln!(
                 "[serve: replayed {replayed} of {} plan index(es) from the journal]",
@@ -576,53 +642,374 @@ pub fn serve(
             );
         }
     }
-    let state = Mutex::new(initial);
-    let connected = AtomicUsize::new(0);
-    let ctx = ServeCtx {
-        header,
-        fingerprint: campaign_fingerprint(specs),
-        specs,
-        opts,
-        signals,
-        state: &state,
-        connected: &connected,
-        started: Instant::now(),
-    };
+    let fingerprint = campaign_fingerprint(specs);
     listener
         .set_nonblocking(true)
         .map_err(|e| ExecutorError::io("cannot poll the campaign listener", e))?;
+    if let Some(control) = http {
+        control
+            .set_nonblocking(true)
+            .map_err(|e| ExecutorError::io("cannot poll the control-plane listener", e))?;
+    }
 
-    std::thread::scope(|scope| {
-        loop {
-            if ctx.state.lock().unwrap().stop() || signals.aborted() {
-                break;
-            }
-            match listener.accept() {
-                Ok((stream, peer)) => {
-                    let ctx = &ctx;
-                    scope.spawn(move || {
-                        if let Err(e) = handle_worker(stream, ctx) {
-                            eprintln!("[serve: worker {peer} dropped: {e}]");
-                        }
-                    });
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
-                Err(e) => {
-                    let mut st = ctx.state.lock().unwrap();
-                    if st.fatal.is_none() {
-                        st.fatal = Some(ExecutorError::io("campaign listener failed", e));
-                    }
+    let started = Instant::now();
+    let mut last_supervise = Instant::now();
+    let mut workers: Vec<WorkerConn> = Vec::new();
+    let mut https: Vec<HttpConn> = Vec::new();
+    // Handshakes ever completed (monotonic): the `expect` quorum counts
+    // workers that joined, not workers still alive — a crashed worker
+    // must not re-raise the gate on everyone else.
+    let mut joined_total = 0usize;
+    let mut poll = PollSet::new();
+
+    loop {
+        if state.stop() || signals.aborted() {
+            break;
+        }
+
+        // Supervision hook (self-spawned worker watcher, folded into
+        // the loop instead of owning a thread).
+        if let Some(watch) = supervise.as_mut() {
+            if last_supervise.elapsed() >= READ_TICK {
+                last_supervise = Instant::now();
+                if let Some(reason) = watch() {
+                    signals.abort(&reason);
                     break;
                 }
             }
         }
-        // Handler loops watch `finished`; setting it before the scope's
-        // implicit join lets a handler blocked on a stalled worker bail
-        // out instead of wedging the coordinator.
-        signals.finished.store(true, Ordering::SeqCst);
-    });
 
-    let mut state = state.into_inner().unwrap();
+        // Lease issue: idle handshaked workers get fresh pending work,
+        // or the overdue remainder of a stalled lease (straggler
+        // re-issue).
+        let now = Instant::now();
+        let quorum_open = joined_total >= opts.expect || started.elapsed() >= opts.lease_timeout;
+        if quorum_open {
+            for conn in workers.iter_mut() {
+                if conn.dead.is_some() || conn.phase != WorkerPhase::Ready {
+                    continue;
+                }
+                let Some(lease) = state.table.grab(now) else { break };
+                conn.lease = Some(ActiveLease { id: lease.id, issued: now });
+                conn.out.queue_frame(&Frame::Lease { id: lease.id, indices: lease.indices });
+                conn.phase = WorkerPhase::Streaming;
+            }
+        }
+
+        // Declare interest, then block until something is ready (or a
+        // tick passes — deadlines and supervision still need to run).
+        poll.clear();
+        let listener_slot = poll.register(listener_fd(listener), true, false);
+        let control_slot = http.map(|l| poll.register(listener_fd(l), true, false));
+        let worker_slots: Vec<usize> = workers
+            .iter()
+            .map(|c| poll.register(stream_fd(&c.stream), true, c.out.pending()))
+            .collect();
+        let http_slots: Vec<usize> = https
+            .iter()
+            .map(|c| poll.register(stream_fd(&c.stream), !c.responded, c.out.pending()))
+            .collect();
+        if let Err(e) = poll.poll(READ_TICK) {
+            state.fatal.get_or_insert(ExecutorError::io("readiness poll failed", e));
+            break;
+        }
+
+        // Accept workers.
+        if poll.readable(listener_slot) {
+            loop {
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        let peer = peer.to_string();
+                        let hello = Frame::Hello { campaign: Some(header.clone()), fingerprint };
+                        let deadline = Instant::now() + HANDSHAKE_DEADLINE;
+                        match WorkerConn::start(stream, peer.clone(), &hello, deadline) {
+                            Ok(conn) => workers.push(conn),
+                            Err(e) => eprintln!("[serve: worker {peer} dropped: {e}]"),
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        state.fatal.get_or_insert(ExecutorError::io("campaign listener failed", e));
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Accept control-plane clients.
+        if let (Some(control), Some(slot)) = (http, control_slot) {
+            if poll.readable(slot) {
+                loop {
+                    match control.accept() {
+                        Ok((stream, _)) => {
+                            if let Ok(conn) = HttpConn::start(stream) {
+                                https.push(conn);
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        // Control-plane trouble never dooms the campaign.
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+
+        // Worker I/O: flush queued frames, then process arrived ones.
+        // Only the registered prefix — connections accepted *this*
+        // iteration have no poll slot until the next tick.
+        for (at, conn) in workers.iter_mut().take(worker_slots.len()).enumerate() {
+            if state.fatal.is_some() {
+                break;
+            }
+            if conn.dead.is_some() {
+                continue;
+            }
+            if conn.out.pending() && poll.writable(worker_slots[at]) {
+                if let Err(e) = conn.out.flush(&mut conn.stream) {
+                    conn.kill(e.to_string());
+                    continue;
+                }
+            }
+            if !poll.readable(worker_slots[at]) {
+                continue;
+            }
+            let eof = match conn.fill() {
+                Ok(more) => !more,
+                Err(e) => {
+                    conn.kill(e.to_string());
+                    continue;
+                }
+            };
+            while let Some(line) = conn.inbuf.next_line() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let frame = match Frame::parse(&line) {
+                    Ok(frame) => frame,
+                    Err(e) => {
+                        conn.kill(e.to_string());
+                        break;
+                    }
+                };
+                match (conn.phase, frame) {
+                    (WorkerPhase::Handshake { .. }, Frame::Hello { fingerprint: echoed, .. }) => {
+                        if echoed == fingerprint {
+                            conn.phase = WorkerPhase::Ready;
+                            joined_total += 1;
+                            eprintln!(
+                                "[serve: worker {} joined ({joined_total} connected)]",
+                                conn.peer
+                            );
+                        } else {
+                            // A worker that planned a different campaign
+                            // is fatal: it means mismatched binaries or
+                            // options somewhere in the fleet, and every
+                            // result it would send is suspect.
+                            state.fatal.get_or_insert(ExecutorError::PlanDrift {
+                                index: 0,
+                                detail: format!(
+                                    "worker {} planned campaign fingerprint {echoed:016x}, \
+                                     coordinator planned {fingerprint:016x} (mismatched binaries \
+                                     or options)",
+                                    conn.peer
+                                ),
+                            });
+                        }
+                    }
+                    (WorkerPhase::Streaming, Frame::Record(record)) => {
+                        conn.records += 1;
+                        if let Err(e) = state.admit(specs, *record, true) {
+                            state.fatal.get_or_insert(e);
+                        }
+                    }
+                    (WorkerPhase::Streaming, Frame::Done) => {
+                        // Lease acknowledged. Belt and braces: a worker
+                        // may acknowledge without covering every index;
+                        // anything unfilled goes back in the queue.
+                        if let Some(active) = conn.lease.take() {
+                            let requeued = state.table.release(active.id);
+                            if requeued > 0 {
+                                eprintln!(
+                                    "[serve: re-queued {requeued} index(es) from worker {}]",
+                                    conn.peer
+                                );
+                            }
+                        }
+                        conn.leases_done += 1;
+                        conn.phase = WorkerPhase::Ready;
+                    }
+                    (WorkerPhase::Closing, _) => {} // late straggler frames; campaign is over
+                    (_, frame) => conn.kill(format!("unexpected frame {frame:?}")),
+                }
+                if state.fatal.is_some() || conn.dead.is_some() {
+                    break;
+                }
+            }
+            if eof {
+                conn.kill("connection closed");
+            }
+        }
+
+        // Sweep dead and deadline-blown workers, re-queueing their
+        // in-flight leases so the campaign never loses work to a crash.
+        let now = Instant::now();
+        let table = &mut state.table;
+        workers.retain_mut(|conn| {
+            if conn.dead.is_none() {
+                if let WorkerPhase::Handshake { deadline } = conn.phase {
+                    if now >= deadline {
+                        conn.kill("no hello before deadline");
+                    }
+                }
+            }
+            let Some(reason) = conn.dead.take() else { return true };
+            if let Some(active) = conn.lease.take() {
+                let requeued = table.release(active.id);
+                if requeued > 0 {
+                    eprintln!("[serve: re-queued {requeued} index(es) from worker {}]", conn.peer);
+                }
+            }
+            eprintln!("[serve: worker {} dropped: {reason}]", conn.peer);
+            false
+        });
+
+        // HTTP control plane: one request, one response, close. As
+        // above, only the prefix registered before this poll.
+        for (at, conn) in https.iter_mut().take(http_slots.len()).enumerate() {
+            if conn.dead {
+                continue;
+            }
+            if conn.out.pending()
+                && poll.writable(http_slots[at])
+                && conn.out.flush(&mut conn.stream).is_err()
+            {
+                conn.dead = true;
+                continue;
+            }
+            if !conn.responded && poll.readable(http_slots[at]) {
+                let eof = match conn.fill() {
+                    Ok(more) => !more,
+                    Err(_) => {
+                        conn.dead = true;
+                        continue;
+                    }
+                };
+                match http::parse_request(&conn.inbuf) {
+                    http::Parse::Incomplete => {
+                        if eof {
+                            conn.dead = true; // hung up mid-request
+                        }
+                    }
+                    http::Parse::Ready(req) => {
+                        let response = if req.method != "GET" {
+                            http::respond(
+                                405,
+                                "Method Not Allowed",
+                                "text/plain",
+                                "only GET is supported\n",
+                            )
+                        } else {
+                            match req.path() {
+                                "/healthz" => http::json_ok("{\"status\": \"ok\"}\n"),
+                                "/status" => http::json_ok(&status_json(
+                                    header,
+                                    fingerprint,
+                                    &state,
+                                    &workers,
+                                    joined_total,
+                                    started,
+                                    replayed,
+                                )),
+                                _ => http::respond(
+                                    404,
+                                    "Not Found",
+                                    "text/plain",
+                                    "unknown path; try /status or /healthz\n",
+                                ),
+                            }
+                        };
+                        conn.out.queue_bytes(&response);
+                        conn.responded = true;
+                        if conn.out.flush(&mut conn.stream).is_err() {
+                            conn.dead = true;
+                        }
+                    }
+                    http::Parse::Invalid(detail) => {
+                        let body = format!("{detail}\n");
+                        conn.out.queue_bytes(&http::respond(
+                            400,
+                            "Bad Request",
+                            "text/plain",
+                            &body,
+                        ));
+                        conn.responded = true;
+                        if conn.out.flush(&mut conn.stream).is_err() {
+                            conn.dead = true;
+                        }
+                    }
+                }
+            }
+            if conn.responded && !conn.out.pending() {
+                conn.dead = true; // response fully sent: close
+            }
+        }
+        https.retain(|c| !c.dead && c.opened.elapsed() < HTTP_CLIENT_WINDOW);
+    }
+
+    // Wind-down: tell every handshaked worker the campaign is over, and
+    // give backpressured sockets a bounded window to drain.
+    if state.fatal.is_none() && !signals.aborted() && state.table.complete() {
+        for conn in workers.iter_mut() {
+            if conn.dead.is_none() && !matches!(conn.phase, WorkerPhase::Handshake { .. }) {
+                conn.out.queue_frame(&Frame::Done);
+                conn.phase = WorkerPhase::Closing;
+            }
+        }
+        let deadline = Instant::now() + DRAIN_WINDOW;
+        while Instant::now() < deadline {
+            let unsent = workers.iter().any(|c| c.dead.is_none() && c.out.pending())
+                || https.iter().any(|c| !c.dead && c.out.pending());
+            if !unsent {
+                break;
+            }
+            poll.clear();
+            let worker_slots: Vec<usize> = workers
+                .iter()
+                .map(|c| {
+                    poll.register(stream_fd(&c.stream), false, c.dead.is_none() && c.out.pending())
+                })
+                .collect();
+            let http_slots: Vec<usize> = https
+                .iter()
+                .map(|c| poll.register(stream_fd(&c.stream), false, !c.dead && c.out.pending()))
+                .collect();
+            if poll.poll(READ_TICK).is_err() {
+                break;
+            }
+            for (at, conn) in workers.iter_mut().enumerate() {
+                if conn.dead.is_none()
+                    && conn.out.pending()
+                    && poll.writable(worker_slots[at])
+                    && conn.out.flush(&mut conn.stream).is_err()
+                {
+                    conn.kill("closed during wind-down");
+                }
+            }
+            for (at, conn) in https.iter_mut().enumerate() {
+                if !conn.dead
+                    && conn.out.pending()
+                    && poll.writable(http_slots[at])
+                    && conn.out.flush(&mut conn.stream).is_err()
+                {
+                    conn.dead = true;
+                }
+            }
+        }
+    }
+    signals.finished.store(true, Ordering::SeqCst);
+
     if let Some(e) = state.fatal {
         return Err(e);
     }
@@ -642,6 +1029,60 @@ pub fn serve(
         .into_iter()
         .map(|slot| slot.expect("complete table implies full slots"))
         .collect())
+}
+
+/// Renders the `/status` document: campaign identity, progress
+/// counters, the per-worker roster, and the journal position.
+fn status_json(
+    header: &CampaignHeader,
+    fingerprint: u64,
+    state: &ServeState,
+    workers: &[WorkerConn],
+    joined_total: usize,
+    started: Instant,
+    replayed: usize,
+) -> String {
+    let (completed, leased, pending) = state.table.counts();
+    let scenarios: Vec<String> =
+        header.scenarios.iter().map(|s| format!("\"{}\"", json::escape(s))).collect();
+    let roster: Vec<String> = workers
+        .iter()
+        .map(|conn| {
+            let phase = match conn.phase {
+                WorkerPhase::Handshake { .. } => "handshake",
+                WorkerPhase::Ready => "ready",
+                WorkerPhase::Streaming => "streaming",
+                WorkerPhase::Closing => "closing",
+            };
+            let lease_age = conn.lease.map_or("null".to_string(), |lease| {
+                format!("{:.3}", lease.issued.elapsed().as_secs_f64())
+            });
+            format!(
+                "{{\"peer\": \"{}\", \"phase\": \"{phase}\", \"leases\": {}, \
+                 \"records\": {}, \"lease_age_secs\": {lease_age}}}",
+                json::escape(&conn.peer),
+                conn.leases_done,
+                conn.records
+            )
+        })
+        .collect();
+    let journal = state.journal.as_ref().map_or("null".to_string(), |writer| {
+        let (records, bytes) = writer.position();
+        format!("{{\"records\": {records}, \"replayed\": {replayed}, \"bytes\": {bytes}}}")
+    });
+    format!(
+        "{{\"schema\": \"rfcache-coordinator/v1\", \"fingerprint\": \"{fingerprint:016x}\", \
+         \"scenarios\": [{}], \"runs\": {}, \"completed\": {completed}, \"leased\": {leased}, \
+         \"pending\": {pending}, \"complete\": {}, \"elapsed_secs\": {:.3}, \
+         \"workers_joined\": {joined_total}, \"workers_connected\": {}, \"workers\": [{}], \
+         \"journal\": {journal}}}\n",
+        scenarios.join(", "),
+        state.slots.len(),
+        state.table.complete(),
+        started.elapsed().as_secs_f64(),
+        workers.iter().filter(|c| c.dead.is_none()).count(),
+        roster.join(", ")
+    )
 }
 
 fn send_line(stream: &mut TcpStream, frame: &Frame) -> io::Result<()> {
@@ -691,141 +1132,6 @@ fn read_frame(
             }
             Err(e) => return Err(e),
         }
-    }
-}
-
-/// One worker connection: handshake, then lease/record rounds until the
-/// campaign completes (send `done`, return) or the worker drops.
-fn handle_worker(mut stream: TcpStream, ctx: &ServeCtx<'_>) -> io::Result<()> {
-    let peer = stream.peer_addr().map_or_else(|_| "?".to_string(), |a| a.to_string());
-    // Accepted sockets must be blocking regardless of what they inherit
-    // from the nonblocking listener; reads tick via the timeout instead.
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(READ_TICK))?;
-    stream.set_nodelay(true).ok();
-    let mut buf = LineBuffer::new();
-
-    send_line(
-        &mut stream,
-        &Frame::Hello { campaign: Some(ctx.header.clone()), fingerprint: ctx.fingerprint },
-    )?;
-    let hello =
-        read_frame(&mut stream, &mut buf, Instant::now() + HANDSHAKE_DEADLINE, &|| ctx.done())?;
-    match hello {
-        Some(Frame::Hello { fingerprint, .. }) if fingerprint == ctx.fingerprint => {}
-        Some(Frame::Hello { fingerprint, .. }) => {
-            // A worker that planned a different campaign is fatal: it
-            // means mismatched binaries/options somewhere in the fleet,
-            // and every result it would send is suspect.
-            let mut st = ctx.state.lock().unwrap();
-            if st.fatal.is_none() {
-                st.fatal = Some(ExecutorError::PlanDrift {
-                    index: 0,
-                    detail: format!(
-                        "worker {peer} planned campaign fingerprint {fingerprint:016x}, \
-                         coordinator planned {:016x} (mismatched binaries or options)",
-                        ctx.fingerprint
-                    ),
-                });
-            }
-            return Ok(());
-        }
-        Some(other) => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("expected hello, got {other:?}"),
-            ));
-        }
-        None if ctx.done() => return Ok(()), // campaign over mid-handshake
-        None => return Err(io::Error::new(io::ErrorKind::TimedOut, "no hello before deadline")),
-    }
-    let joined = ctx.connected.fetch_add(1, Ordering::SeqCst) + 1;
-    eprintln!("[serve: worker {peer} joined ({joined} connected)]");
-
-    loop {
-        // Acquire the next lease (or learn the campaign is over).
-        let lease = loop {
-            {
-                let mut st = ctx.state.lock().unwrap();
-                if st.table.complete() {
-                    drop(st);
-                    send_line(&mut stream, &Frame::Done)?;
-                    return Ok(());
-                }
-                if st.fatal.is_some() {
-                    return Ok(());
-                }
-                if ctx.quorum_open() {
-                    if let Some(lease) = st.table.grab(Instant::now()) {
-                        break lease;
-                    }
-                }
-            }
-            if ctx.signals.aborted() || ctx.signals.finished() {
-                return Ok(());
-            }
-            std::thread::sleep(POLL);
-        };
-        let frame = Frame::Lease { id: lease.id, indices: lease.indices.clone() };
-        if let Err(e) = send_line(&mut stream, &frame) {
-            requeue(ctx, &peer, lease.id);
-            return Err(e);
-        }
-        // Collect records until the worker acknowledges the lease.
-        if let Err(e) = collect_records(&mut stream, &mut buf, ctx) {
-            requeue(ctx, &peer, lease.id);
-            return Err(e);
-        }
-        // Belt and braces: a worker may acknowledge without covering
-        // every index; anything unfilled goes back in the queue.
-        requeue(ctx, &peer, lease.id);
-    }
-}
-
-fn requeue(ctx: &ServeCtx<'_>, peer: &str, lease_id: u64) {
-    let requeued = ctx.state.lock().unwrap().table.release(lease_id);
-    if requeued > 0 {
-        eprintln!("[serve: re-queued {requeued} index(es) from worker {peer}]");
-    }
-}
-
-/// Reads `record` frames until the worker's `done` acknowledgment.
-fn collect_records(
-    stream: &mut TcpStream,
-    buf: &mut LineBuffer,
-    ctx: &ServeCtx<'_>,
-) -> io::Result<()> {
-    loop {
-        if ctx.done() {
-            // The campaign ended while this worker was mid-lease (e.g.
-            // its straggling lease was re-issued and finished elsewhere).
-            return Ok(());
-        }
-        match read_frame(stream, buf, Instant::now() + READ_TICK, &|| ctx.done()) {
-            Ok(Some(Frame::Record(record))) => accept_record(ctx, *record),
-            Ok(Some(Frame::Done)) => return Ok(()),
-            Ok(Some(other)) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("expected record/done, got {other:?}"),
-                ));
-            }
-            Ok(None) => continue, // tick: re-check signals
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-/// Verifies, journals and stores one live record: out-of-plan indices,
-/// fingerprint mismatches and journal failures are fatal; duplicates
-/// are silently dropped.
-fn accept_record(ctx: &ServeCtx<'_>, record: ShardRecord) {
-    let mut st = ctx.state.lock().unwrap();
-    if st.fatal.is_some() {
-        return;
-    }
-    if let Err(e) = st.admit(ctx.specs, record, true) {
-        st.fatal = Some(e);
     }
 }
 
@@ -946,8 +1252,14 @@ pub fn work(addr: &str, opts: &WorkOptions) -> Result<WorkSummary, String> {
     }
 }
 
+/// Connects with exponential backoff (25 ms doubling to a 1.6 s cap)
+/// until `window` expires. The cap matters at fleet scale: when a
+/// restarted coordinator comes back, workers that have been retrying
+/// for a while knock at most every 1.6 s instead of all re-arriving in
+/// 25 ms lockstep.
 fn connect_retry(addr: &str, window: Duration) -> Result<TcpStream, String> {
     let deadline = Instant::now() + window;
+    let mut delay = CONNECT_BACKOFF_FLOOR;
     loop {
         match TcpStream::connect(addr) {
             Ok(stream) => {
@@ -956,11 +1268,14 @@ fn connect_retry(addr: &str, window: Duration) -> Result<TcpStream, String> {
                     .map_err(|e| format!("cannot set read timeout on {addr}: {e}"))?;
                 return Ok(stream);
             }
-            Err(e) if Instant::now() < deadline => {
-                let _ = e;
-                std::thread::sleep(POLL * 4);
+            Err(e) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(format!("cannot connect to coordinator {addr}: {e}"));
+                }
+                std::thread::sleep(delay.min(deadline.saturating_duration_since(now)));
+                delay = (delay * 2).min(CONNECT_BACKOFF_CEIL);
             }
-            Err(e) => return Err(format!("cannot connect to coordinator {addr}: {e}")),
         }
     }
 }
@@ -1165,6 +1480,112 @@ mod tests {
             elapsed < Duration::from_secs(10),
             "a fatal error must unblock pending handshakes promptly, took {elapsed:?}"
         );
+    }
+
+    #[test]
+    fn lease_table_counts_always_sum_to_the_plan() {
+        let t0 = Instant::now();
+        let mut table = LeaseTable::new(5, 2, Duration::from_secs(60));
+        assert_eq!(table.counts(), (0, 0, 5));
+        let a = table.grab(t0).unwrap();
+        assert_eq!(table.counts(), (0, 2, 3));
+        assert!(table.record(a.indices[0]));
+        assert_eq!(table.counts(), (1, 1, 3), "a filled index leaves its lease");
+        assert_eq!(table.release(a.id), 1);
+        assert_eq!(table.counts(), (1, 0, 4), "released remainder is pending again");
+        let b = table.grab(t0).unwrap();
+        let c = table.grab(t0).unwrap();
+        assert_eq!(table.counts(), (1, 4, 0));
+        for i in b.indices.iter().chain(&c.indices) {
+            assert!(table.record(*i));
+        }
+        assert_eq!(table.counts(), (5, 0, 0));
+        assert!(table.complete());
+    }
+
+    #[test]
+    fn serve_with_answers_http_while_coordinating() {
+        let specs: Vec<RunSpec> = ["li", "go"]
+            .iter()
+            .map(|b| {
+                RunSpec::new(b, RegFileConfig::Single(SingleBankConfig::one_cycle()))
+                    .insts(1_000)
+                    .warmup(200)
+            })
+            .collect();
+        let refs: Vec<&RunSpec> = specs.iter().collect();
+        let header =
+            CampaignHeader::new(vec!["x".into()], &ExperimentOpts::smoke(), 0, 1, refs.len());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let control = TcpListener::bind("127.0.0.1:0").unwrap();
+        let control_addr = control.local_addr().unwrap().to_string();
+        let signals = ServeSignals::new();
+        let fingerprint = campaign_fingerprint(&refs);
+        let timeout = Duration::from_secs(5);
+
+        let results = std::thread::scope(|scope| {
+            let coordinator = scope.spawn(|| {
+                serve_with(ServeConfig {
+                    listener: &listener,
+                    http: Some(&control),
+                    header: &header,
+                    specs: &refs,
+                    opts: &ServeOptions::default(),
+                    signals: &signals,
+                    journal: None,
+                    supervise: None,
+                })
+            });
+
+            // The control plane answers before any worker has joined.
+            let (code, body) = http::get(&control_addr, "/healthz", timeout).unwrap();
+            assert_eq!(code, 200);
+            assert!(body.contains("\"ok\""), "{body}");
+            let (code, body) = http::get(&control_addr, "/status", timeout).unwrap();
+            assert_eq!(code, 200);
+            assert!(body.contains("\"runs\": 2"), "{body}");
+            assert!(body.contains("\"completed\": 0"), "{body}");
+            assert!(body.contains("\"pending\": 2"), "{body}");
+            assert!(body.contains("\"journal\": null"), "{body}");
+            assert!(body.contains(&format!("\"fingerprint\": \"{fingerprint:016x}\"")), "{body}");
+            let (code, _) = http::get(&control_addr, "/nope", timeout).unwrap();
+            assert_eq!(code, 404, "unknown paths 404");
+
+            // A scripted worker runs the whole lease protocol by hand.
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(READ_TICK)).unwrap();
+            let mut buf = LineBuffer::new();
+            let deadline = Instant::now() + Duration::from_secs(30);
+            let first = read_frame(&mut stream, &mut buf, deadline, &|| false).unwrap().unwrap();
+            let Frame::Hello { campaign: Some(_), fingerprint: announced } = first else {
+                panic!("expected hello with campaign, got {first:?}");
+            };
+            assert_eq!(announced, fingerprint);
+            send_line(&mut stream, &Frame::Hello { campaign: None, fingerprint }).unwrap();
+            loop {
+                let frame =
+                    read_frame(&mut stream, &mut buf, deadline, &|| false).unwrap().unwrap();
+                match frame {
+                    Frame::Lease { indices, .. } => {
+                        for &i in &indices {
+                            let result = refs[i].run();
+                            let record =
+                                ShardRecord::from_result(i, refs[i].fingerprint(), &result);
+                            send_line(&mut stream, &Frame::Record(Box::new(record))).unwrap();
+                        }
+                        send_line(&mut stream, &Frame::Done).unwrap();
+                    }
+                    Frame::Done => break,
+                    other => panic!("unexpected frame {other:?}"),
+                }
+            }
+            coordinator.join().expect("serve does not panic")
+        })
+        .unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].bench, "li");
+        assert_eq!(results[1].bench, "go");
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Property tests for the control plane's HTTP request parser: a
+//! request head arrives from TCP in arbitrary byte chunks, and the
+//! incremental parser must (a) never resolve a prefix of a valid
+//! request early — neither `Ready` nor `Invalid` — and (b) produce the
+//! same parse no matter where the chunk boundaries land. Mirror of the
+//! `LineBuffer` arbitrary-split test in `tests/metrics_codec.rs`, on
+//! the control-plane side.
+
+use proptest::prelude::*;
+use rfcache_sim::http::{parse_request, Parse, MAX_HEAD};
+
+/// Maps drawn indices onto a charset (the vendored proptest generates
+/// numbers, not strings).
+fn from_charset(charset: &str, indices: &[usize]) -> String {
+    let chars: Vec<char> = charset.chars().collect();
+    indices.iter().map(|&i| chars[i % chars.len()]).collect()
+}
+
+const TARGET_CHARS: &str = "abcdefghijklmnopqrstuvwxyz0123456789/_.-";
+const QUERY_CHARS: &str = "abcdefghijklmnopqrstuvwxyz0123456789=&";
+const NAME_CHARS: &str = "abcdefghijklmnopqrstuvwxyz-ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+proptest! {
+    /// Feeding a valid request in chunks cut at arbitrary byte
+    /// boundaries: every strict prefix parses `Incomplete`, the full
+    /// head parses `Ready` with the method and target intact, and the
+    /// result is independent of the chunking.
+    #[test]
+    fn chunked_delivery_never_resolves_early_and_always_resolves_right(
+        method_at in 0usize..3,
+        target_idx in proptest::collection::vec(0usize..40, 0..40),
+        query_idx in proptest::collection::vec(0usize..38, 0..20),
+        headers in proptest::collection::vec(
+            (
+                proptest::collection::vec(0usize..53, 1..17),
+                // Header values span all printable ASCII (0x20..=0x7e);
+                // \r and \n are outside the range, so a drawn value can
+                // never fabricate a premature blank line.
+                proptest::collection::vec(0usize..95, 0..40),
+            ),
+            0..5,
+        ),
+        bare_lf in 0u32..2,
+        cuts in proptest::collection::vec(0usize..4096, 0..16),
+    ) {
+        let method = ["GET", "HEAD", "POST"][method_at];
+        let path = format!("/{}", from_charset(TARGET_CHARS, &target_idx));
+        let query = from_charset(QUERY_CHARS, &query_idx);
+        let target =
+            if query.is_empty() { path.clone() } else { format!("{path}?{query}") };
+        let eol = if bare_lf == 1 { "\n" } else { "\r\n" };
+        let mut head = format!("{method} {target} HTTP/1.1{eol}");
+        for (name_idx, value_idx) in &headers {
+            let name = from_charset(NAME_CHARS, name_idx);
+            let value: String =
+                value_idx.iter().map(|&i| (0x20 + (i % 95) as u8) as char).collect();
+            head.push_str(&format!("{name}: {value}{eol}"));
+        }
+        head.push_str(eol);
+        let raw = head.into_bytes();
+        prop_assert!(raw.len() <= MAX_HEAD, "generated heads fit the budget");
+
+        // Every strict prefix must stay Incomplete…
+        for cut in 0..raw.len() {
+            prop_assert_eq!(
+                parse_request(&raw[..cut]),
+                Parse::Incomplete,
+                "prefix of {} bytes resolved early",
+                cut
+            );
+        }
+
+        // …and chunked accumulation must land on the same Ready parse
+        // as one-shot parsing, no matter where the cuts fall.
+        let mut points: Vec<usize> = cuts.iter().map(|c| c % raw.len()).collect();
+        points.sort_unstable();
+        points.dedup();
+        points.push(raw.len());
+        let mut buf: Vec<u8> = Vec::new();
+        let mut start = 0;
+        let mut resolved = None;
+        for end in points {
+            buf.extend_from_slice(&raw[start..end]);
+            start = end;
+            match parse_request(&buf) {
+                Parse::Incomplete => prop_assert!(end < raw.len(), "full head must resolve"),
+                Parse::Ready(req) => {
+                    prop_assert_eq!(end, raw.len(), "resolved before the blank line");
+                    resolved = Some(req);
+                }
+                Parse::Invalid(why) => {
+                    prop_assert!(false, "valid request rejected: {}", why);
+                }
+            }
+        }
+        let req = resolved.expect("the complete head parses Ready");
+        prop_assert_eq!(req.method, method);
+        prop_assert_eq!(req.path(), path.as_str());
+        prop_assert_eq!(req.target, target);
+    }
+}
+
+proptest! {
+    /// Oversized garbage (no blank line in sight) must flip from
+    /// `Incomplete` to `Invalid` exactly once the head budget is
+    /// exhausted — and stay `Invalid` as more bytes arrive.
+    #[test]
+    fn oversized_heads_are_rejected_not_buffered_forever(
+        beyond in 1usize..256,
+    ) {
+        let junk = vec![b'a'; MAX_HEAD + beyond];
+        prop_assert!(matches!(parse_request(&junk), Parse::Invalid(_)));
+        prop_assert_eq!(parse_request(&junk[..MAX_HEAD]), Parse::Incomplete);
+    }
+}
