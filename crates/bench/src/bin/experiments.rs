@@ -5,19 +5,21 @@
 //! experiments --list
 //! experiments <name>... | all [--insts N] [--warmup N] [--seed N] [--quick] [--jobs N]
 //!                             [--csv DIR] [--json DIR] [--workers N] [--dist-workers N]
-//! experiments <name>... | all [opts] --shard I/N [--out FILE]
+//!                             [--cache DIR]
+//! experiments <name>... | all [opts] --shard I/N [--out FILE] [--cache DIR]
 //! experiments merge FILE... [--csv DIR] [--json DIR]
 //! experiments serve --bind ADDR [--http ADDR] [--expect K] [--lease-timeout SECS]
-//!                   [--chunk N] [--journal FILE [--journal-sync N]]
+//!                   [--chunk N] [--journal FILE [--journal-sync N]] [--cache DIR]
 //!                   <name>... | all [opts] [--csv DIR] [--json DIR]
 //! experiments work --connect ADDR [--jobs N] [--connect-timeout SECS]
 //!                  [--quit-after-leases N]
 //! experiments resume --journal FILE --bind ADDR [--http ADDR] [--expect K]
 //!                    [--lease-timeout SECS] [--chunk N] [--journal-sync N]
-//!                    [--csv DIR] [--json DIR]
+//!                    [--csv DIR] [--json DIR] [--cache DIR]
 //! experiments status --connect ADDR [--json]
+//! experiments cache <stats|verify|clear> DIR [--json]
 //! experiments bench [--repeat N] [--warmup N] [--quick] [--label STR]
-//!                   [--out FILE] [--no-campaign]
+//!                   [--out FILE] [--no-campaign] [--cache DIR]
 //! ```
 //!
 //! `--list` enumerates the registered scenarios; `all` runs every one in
@@ -80,13 +82,27 @@
 //! mis-parsed), and serves only the remaining indices — reports and
 //! exports come out byte-identical to an uninterrupted run.
 //!
+//! **Result caching.** `--cache DIR` (on campaign runs, `--shard`
+//! workers, `--workers`, `--dist-workers`, `serve` and `resume`) wraps
+//! every simulation in a persistent content-addressed result cache
+//! (`rfcache_sim::cache`): already-simulated `RunSpec`s are served from
+//! the cache (exact metrics, so reports stay byte-identical) and fresh
+//! results are stored back. The directory is safe to share between
+//! concurrent workers (advisory lock + atomic writes). `cache stats DIR`
+//! reports entries and session hit rates (`--json` for scripts), `cache
+//! verify DIR` checks every entry end to end (exit 1 on problems), and
+//! `cache clear DIR` empties the store.
+//!
 //! **Benchmarking.** `bench` measures *simulator* throughput (cycles/sec
 //! and instructions/sec of the cycle loop itself, not of the modelled
 //! machine) on a fixed suite — every register file model at smoke and
 //! quick scale plus the `all --quick` campaign wall time — and appends a
 //! schema-versioned snapshot to the perf trajectory (`--out`, default
-//! `BENCH_cycle_loop.json`). See `rfcache_bench::perf` and
-//! `scripts/bench_diff.py`.
+//! `BENCH_cycle_loop.json`). With `--cache DIR` the campaign measurement
+//! runs cache-backed (as `campaign/all-quick-cached`), asserting its
+//! reports are byte-identical to an uncached reference run — benching a
+//! cold directory then a warm one records the cache speedup in the
+//! trajectory. See `rfcache_bench::perf` and `scripts/bench_diff.py`.
 //!
 //! All diagnostics (warnings, progress, errors) go to stderr; stdout
 //! carries only reports or, in shard-worker mode, shard records.
@@ -95,8 +111,10 @@
 //! (`rfcache_sim::DEFAULT_INSTS` / `DEFAULT_WARMUP`; the paper simulates
 //! 100M after skipping initialization).
 
+use rfcache_sim::cache::Cache;
 use rfcache_sim::executor::{
-    assemble_shard_results, read_shard_file, run_shard, Distributed, JournalSpec, Subprocess,
+    assemble_shard_results, read_shard_file, run_shard_cached, Distributed, InProcess, JournalSpec,
+    Subprocess,
 };
 use rfcache_sim::experiments::ExperimentOpts;
 use rfcache_sim::metrics_codec::CampaignHeader;
@@ -106,25 +124,27 @@ use rfcache_sim::{
     scenario, write_csv, write_json, JsonValue, RunSpec, ScenarioReport, TextTable,
 };
 use std::io::{BufRead as _, Write as _};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: experiments --list
        experiments <name>... | all [--insts N] [--warmup N] [--seed N] [--quick] [--jobs N]
                                    [--csv DIR] [--json DIR] [--workers N] [--dist-workers N]
-       experiments <name>... | all [opts] --shard I/N [--out FILE]
+                                   [--cache DIR]
+       experiments <name>... | all [opts] --shard I/N [--out FILE] [--cache DIR]
        experiments merge FILE... [--csv DIR] [--json DIR]
        experiments serve --bind ADDR [--http ADDR] [--expect K] [--lease-timeout SECS]
-                         [--chunk N] [--journal FILE [--journal-sync N]]
+                         [--chunk N] [--journal FILE [--journal-sync N]] [--cache DIR]
                          <name>... | all [opts] [--csv DIR] [--json DIR]
        experiments work --connect ADDR [--jobs N] [--connect-timeout SECS]
                         [--quit-after-leases N]
        experiments resume --journal FILE --bind ADDR [--http ADDR] [--expect K]
                           [--lease-timeout SECS] [--chunk N] [--journal-sync N]
-                          [--csv DIR] [--json DIR]
+                          [--csv DIR] [--json DIR] [--cache DIR]
        experiments status --connect ADDR [--json]
+       experiments cache <stats|verify|clear> DIR [--json]
        experiments bench [--repeat N] [--warmup N] [--quick] [--label STR]
-                         [--out FILE] [--no-campaign]
+                         [--out FILE] [--no-campaign] [--cache DIR]
 run `experiments --list` for the registered scenario names";
 
 fn main() {
@@ -143,6 +163,7 @@ fn main() {
         "work" => work_main(&args[1..]),
         "resume" => resume_main(&args[1..]),
         "status" => status_main(&args[1..]),
+        "cache" => cache_main(&args[1..]),
         "bench" => bench_main(&args[1..]),
         _ => run_main(&args),
     }
@@ -159,6 +180,7 @@ fn run_main(args: &[String]) {
     let mut journal: Option<PathBuf> = None;
     let mut journal_sync: Option<usize> = None;
     let mut http: Option<String> = None;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut names: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -183,6 +205,7 @@ fn run_main(args: &[String]) {
                 journal_sync = Some(parse_num("--journal-sync", it.next()) as usize);
             }
             "--http" => http = Some(parse_value("--http", it.next())),
+            "--cache" => cache_dir = Some(parse_path("--cache", it.next())),
             flag if flag.starts_with("--") => {
                 usage_error(&format!("unknown option {flag}"));
             }
@@ -223,7 +246,7 @@ fn run_main(args: &[String]) {
     let start = Instant::now();
 
     if let Some((index, count)) = shard {
-        run_worker(&selected, &opts, &plans, index, count, out_file);
+        run_worker(&selected, &opts, &plans, index, count, out_file, cache_dir.as_deref());
         eprintln!(
             "[shard {index}/{count}: {} of {runs} simulation(s), {:.1}s]",
             (0..runs).filter(|i| i % count == index).count(),
@@ -237,8 +260,11 @@ fn run_main(args: &[String]) {
             .unwrap_or_else(|e| die(&format!("cannot locate this executable: {e}")));
         let scratch = std::env::temp_dir().join(format!("rfcache_shards_{}", std::process::id()));
         let worker_opts = ExperimentOpts { jobs: split_jobs(opts.jobs, count), ..opts };
-        let executor =
+        let mut executor =
             Subprocess::new(exe, campaign_args(&selected, &worker_opts), count, &scratch);
+        if let Some(dir) = &cache_dir {
+            executor = executor.cache(dir);
+        }
         let reports = run_campaign_planned_with(&executor, &selected, &opts, plans)
             .unwrap_or_else(|e| die(&format!("sharded campaign failed: {e}")));
         let _ = std::fs::remove_dir_all(&scratch);
@@ -264,6 +290,13 @@ fn run_main(args: &[String]) {
         if let Some(bind) = http {
             executor = executor.http(bind);
         }
+        if let Some(dir) = &cache_dir {
+            executor = executor.cache(dir);
+        }
+        run_campaign_planned_with(&executor, &selected, &opts, plans)
+            .unwrap_or_else(|e| die(&e.to_string()))
+    } else if let Some(dir) = &cache_dir {
+        let executor = InProcess::new(opts.jobs).with_cache(open_cache(dir));
         run_campaign_planned_with(&executor, &selected, &opts, plans)
             .unwrap_or_else(|e| die(&e.to_string()))
     } else {
@@ -300,6 +333,7 @@ fn bench_main(args: &[String]) {
             "--label" => opts.label = parse_value("--label", it.next()),
             "--out" => out = parse_path("--out", it.next()),
             "--no-campaign" => opts.skip_campaign = true,
+            "--cache" => opts.cache = Some(parse_path("--cache", it.next())),
             flag => usage_error(&format!("unknown bench option {flag}")),
         }
     }
@@ -349,6 +383,7 @@ fn serve_main(args: &[String]) {
     let mut json_dir: Option<PathBuf> = None;
     let mut journal: Option<PathBuf> = None;
     let mut journal_sync: Option<usize> = None;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut names: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -371,6 +406,7 @@ fn serve_main(args: &[String]) {
             "--quick" => opts.quick = true,
             "--csv" => csv_dir = Some(parse_path("--csv", it.next())),
             "--json" => json_dir = Some(parse_path("--json", it.next())),
+            "--cache" => cache_dir = Some(parse_path("--cache", it.next())),
             flag if flag.starts_with("--") => usage_error(&format!("unknown option {flag}")),
             name => {
                 if names.contains(&name) {
@@ -407,6 +443,9 @@ fn serve_main(args: &[String]) {
     if let Some(addr) = http {
         executor = executor.http(addr);
     }
+    if let Some(dir) = &cache_dir {
+        executor = executor.cache(dir);
+    }
     let reports = run_campaign_planned_with(&executor, &selected, &opts, plans)
         .unwrap_or_else(|e| die(&e.to_string()));
     emit_reports(&selected, &reports, csv_dir.as_deref(), json_dir.as_deref());
@@ -429,6 +468,7 @@ fn resume_main(args: &[String]) {
     let mut json_dir: Option<PathBuf> = None;
     let mut journal: Option<PathBuf> = None;
     let mut journal_sync: Option<usize> = None;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -446,6 +486,7 @@ fn resume_main(args: &[String]) {
             }
             "--csv" => csv_dir = Some(parse_path("--csv", it.next())),
             "--json" => json_dir = Some(parse_path("--json", it.next())),
+            "--cache" => cache_dir = Some(parse_path("--cache", it.next())),
             flag if flag.starts_with("--") => usage_error(&format!("unknown option {flag}")),
             other => usage_error(&format!(
                 "unexpected argument {other} (resume re-derives the campaign from the journal)"
@@ -506,6 +547,9 @@ fn resume_main(args: &[String]) {
     });
     if let Some(addr) = http {
         executor = executor.http(addr);
+    }
+    if let Some(dir) = &cache_dir {
+        executor = executor.cache(dir);
     }
     let reports = run_campaign_planned_with(&executor, &selected, &opts, plans)
         .unwrap_or_else(|e| die(&e.to_string()));
@@ -601,8 +645,9 @@ fn status_main(args: &[String]) {
         scenarios.join(" ")
     );
     println!(
-        "  {runs} run(s): {completed} completed, {leased} leased, {pending} pending \
-         ({:.1}% done), {:.1}s elapsed",
+        "  {runs} run(s): {completed} completed ({} from cache), {leased} leased, \
+         {pending} pending ({:.1}% done), {:.1}s elapsed",
+        count("cached"),
         if runs == 0 { 100.0 } else { 100.0 * completed as f64 / runs as f64 },
         status.get("elapsed_secs").and_then(JsonValue::as_f64).unwrap_or(0.0)
     );
@@ -647,6 +692,116 @@ fn status_main(args: &[String]) {
     }
 }
 
+/// Inspects or maintains a result cache directory: `stats` summarises
+/// the store and the recorded sessions (`--json` for scripts), `verify`
+/// re-checks every entry end to end and exits 1 if anything is wrong,
+/// and `clear` empties the store.
+fn cache_main(args: &[String]) {
+    use rfcache_bench::perf::json_escape;
+
+    let mut json = false;
+    let mut positional: Vec<&str> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with("--") => usage_error(&format!("unknown option {flag}")),
+            value => positional.push(value),
+        }
+    }
+    let [action, dir]: [&str; 2] = positional.try_into().unwrap_or_else(|_| {
+        usage_error("cache needs an action and a directory: cache <stats|verify|clear> DIR")
+    });
+    if !matches!(action, "stats" | "verify" | "clear") {
+        usage_error(&format!("unknown cache action {action} (stats, verify or clear)"));
+    }
+    let dir = PathBuf::from(dir);
+    let cache = open_cache(&dir);
+    match action {
+        "stats" => {
+            let stats = cache
+                .stats()
+                .unwrap_or_else(|e| die(&format!("cannot read cache {}: {e}", dir.display())));
+            if json {
+                let session = match &stats.last_session {
+                    Some(s) => format!(
+                        "{{\"mode\": \"{}\", \"lookups\": {}, \"hits\": {}, \"stores\": {}, \
+                         \"unix_time\": {}}}",
+                        json_escape(&s.mode),
+                        s.lookups,
+                        s.hits,
+                        s.stores,
+                        s.unix_time
+                    ),
+                    None => "null".to_string(),
+                };
+                println!(
+                    "{{\"schema\": \"rfcache-cache-stats/v1\", \"dir\": \"{}\", \
+                     \"entries\": {}, \"files\": {}, \"collision_files\": {}, \"bytes\": {}, \
+                     \"sessions\": {}, \"lookups\": {}, \"hits\": {}, \"stores\": {}, \
+                     \"last_session\": {session}}}",
+                    json_escape(&dir.display().to_string()),
+                    stats.entries,
+                    stats.files,
+                    stats.collision_files,
+                    stats.bytes,
+                    stats.sessions,
+                    stats.lookups,
+                    stats.hits,
+                    stats.stores,
+                );
+                return;
+            }
+            println!(
+                "cache {}: {} entr{} in {} file(s) ({} with shard-key collisions), {} byte(s)",
+                dir.display(),
+                stats.entries,
+                if stats.entries == 1 { "y" } else { "ies" },
+                stats.files,
+                stats.collision_files,
+                stats.bytes
+            );
+            println!(
+                "  sessions: {} recorded; lifetime {} lookup(s), {} hit(s) ({:.1}%), {} store(s)",
+                stats.sessions,
+                stats.lookups,
+                stats.hits,
+                if stats.lookups == 0 {
+                    0.0
+                } else {
+                    100.0 * stats.hits as f64 / stats.lookups as f64
+                },
+                stats.stores
+            );
+            if let Some(s) = &stats.last_session {
+                println!(
+                    "  last session: {} — {} lookup(s), {} hit(s), {} store(s)",
+                    s.mode, s.lookups, s.hits, s.stores
+                );
+            }
+        }
+        "verify" => {
+            let problems = cache
+                .verify()
+                .unwrap_or_else(|e| die(&format!("cannot read cache {}: {e}", dir.display())));
+            if problems.is_empty() {
+                eprintln!("[cache {}: every entry verified clean]", dir.display());
+                return;
+            }
+            for problem in &problems {
+                eprintln!("{problem}");
+            }
+            die(&format!("cache {}: {} problem(s) found", dir.display(), problems.len()));
+        }
+        "clear" => {
+            let removed = cache
+                .clear()
+                .unwrap_or_else(|e| die(&format!("cannot clear cache {}: {e}", dir.display())));
+            eprintln!("[cache {}: removed {removed} object file(s)]", dir.display());
+        }
+        _ => unreachable!("action validated above"),
+    }
+}
+
 /// Executes one shard of the campaign and writes the shard file.
 fn run_worker(
     selected: &[&'static scenario::Scenario],
@@ -655,20 +810,36 @@ fn run_worker(
     index: usize,
     count: usize,
     out_file: Option<PathBuf>,
+    cache_dir: Option<&Path>,
 ) {
     let flat: Vec<&RunSpec> = plans.iter().flatten().collect();
     let names = selected.iter().map(|s| s.name.to_string()).collect();
     let header = CampaignHeader::new(names, opts, index, count, flat.len());
+    let cache = cache_dir.map(open_cache);
     let result = match &out_file {
         Some(path) => {
             let file = std::fs::File::create(path)
                 .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", path.display())));
             let mut out = std::io::BufWriter::new(file);
-            run_shard(&header, &flat, opts.jobs, &mut out).and_then(|()| out.flush())
+            run_shard_cached(&header, &flat, opts.jobs, cache.as_ref(), &mut out)
+                .and_then(|()| out.flush())
         }
-        None => run_shard(&header, &flat, opts.jobs, &mut std::io::stdout().lock()),
+        None => run_shard_cached(
+            &header,
+            &flat,
+            opts.jobs,
+            cache.as_ref(),
+            &mut std::io::stdout().lock(),
+        ),
     };
     result.unwrap_or_else(|e| die(&format!("cannot write shard records: {e}")));
+}
+
+/// Opens (creating if needed) the result cache at `dir`, dying with a
+/// clear message on failure — every `--cache` entry point funnels here.
+fn open_cache(dir: &Path) -> Cache {
+    Cache::open(dir)
+        .unwrap_or_else(|e| die(&format!("cannot open result cache {}: {e}", dir.display())))
 }
 
 /// Merges shard files back into reports and exports.

@@ -17,9 +17,11 @@ use rfcache_core::{
 };
 use rfcache_pipeline::{Cpu, PipelineConfig};
 use rfcache_sim::experiments::ExperimentOpts;
-use rfcache_sim::{run_campaign_planned, scenario};
+use rfcache_sim::scenario::ScenarioReport;
+use rfcache_sim::{run_campaign_planned, run_campaign_planned_with, scenario, Cache, InProcess};
 use rfcache_workload::{BenchProfile, TraceGenerator};
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Schema identifier stamped into every trajectory file.
@@ -40,6 +42,12 @@ pub struct BenchOptions {
     pub label: String,
     /// Skip the `all --quick` campaign wall-time entry.
     pub skip_campaign: bool,
+    /// Run the campaign entry through the result cache at this directory
+    /// (recorded as `campaign/all-quick-cached`): an uncached reference
+    /// run first checks the cached reports stay byte-identical, then the
+    /// timed repetitions measure cache-backed throughput. Benching a cold
+    /// directory and then a warm one records the cache speedup.
+    pub cache: Option<PathBuf>,
 }
 
 impl Default for BenchOptions {
@@ -50,6 +58,7 @@ impl Default for BenchOptions {
             quick: false,
             label: "snapshot".to_string(),
             skip_campaign: false,
+            cache: None,
         }
     }
 }
@@ -90,6 +99,10 @@ pub struct Snapshot {
     pub label: String,
     /// `git rev-parse --short HEAD`, or "unknown".
     pub git_rev: String,
+    /// Whether the working tree had uncommitted changes when measured
+    /// (`git status --porcelain` non-empty) — a snapshot taken from a
+    /// dirty tree does not reproduce from `git_rev` alone.
+    pub git_dirty: bool,
     /// Seconds since the Unix epoch when the snapshot was taken.
     pub unix_time: u64,
     /// Host fingerprint.
@@ -204,6 +217,12 @@ fn time_scenario(
 /// Times the full `all --quick` campaign (every registered scenario, the
 /// in-process executor, one worker per core) and reports aggregate
 /// instruction throughput.
+///
+/// With [`BenchOptions::cache`] set the timed repetitions run through the
+/// cache-backed executor and the entry is named `campaign/all-quick-cached`
+/// (a distinct name, so trajectory diffs never compare cached against
+/// uncached rates); an untimed uncached run first pins down the expected
+/// reports, and every cached repetition must render byte-identically.
 fn time_campaign(opts: &BenchOptions) -> ScenarioStat {
     let mut c_opts = ExperimentOpts { quick: true, ..ExperimentOpts::default() };
     if opts.quick {
@@ -211,13 +230,38 @@ fn time_campaign(opts: &BenchOptions) -> ScenarioStat {
         c_opts.warmup /= 10;
     }
     let selected: Vec<&scenario::Scenario> = scenario::registry().iter().collect();
+    let cached_executor = opts.cache.as_deref().map(|dir| {
+        let cache = Cache::open(dir)
+            .unwrap_or_else(|e| panic!("cannot open result cache {}: {e}", dir.display()));
+        InProcess::new(c_opts.jobs).with_cache(cache)
+    });
+    // Reports rendered end to end: the byte-identity oracle for the
+    // cache-backed repetitions.
+    let render = |reports: &[Box<dyn ScenarioReport>]| -> String {
+        reports.iter().map(|r| format!("{r}\n{}\n", r.to_table())).collect()
+    };
+    let reference = cached_executor.as_ref().map(|_| {
+        let plans: Vec<_> = selected.iter().map(|s| s.plan(&c_opts)).collect();
+        render(&run_campaign_planned(&selected, &c_opts, plans))
+    });
     let mut timed: Vec<(f64, u64)> = Vec::with_capacity(opts.repeat);
     for rep in 0..opts.warmup_reps + opts.repeat {
         let plans: Vec<_> = selected.iter().map(|s| s.plan(&c_opts)).collect();
         let total_insts: u64 = plans.iter().flatten().map(|spec| spec.insts).sum();
         let start = Instant::now();
-        let _reports = run_campaign_planned(&selected, &c_opts, plans);
+        let reports = match &cached_executor {
+            Some(executor) => run_campaign_planned_with(executor, &selected, &c_opts, plans)
+                .expect("the in-process executor is infallible"),
+            None => run_campaign_planned(&selected, &c_opts, plans),
+        };
         let secs = start.elapsed().as_secs_f64();
+        if let Some(reference) = &reference {
+            assert_eq!(
+                &render(&reports),
+                reference,
+                "cache-backed campaign reports must be byte-identical to the uncached run"
+            );
+        }
         if rep >= opts.warmup_reps {
             timed.push((secs, total_insts));
         }
@@ -225,7 +269,8 @@ fn time_campaign(opts: &BenchOptions) -> ScenarioStat {
     let secs_min = timed.iter().map(|t| t.0).fold(f64::INFINITY, f64::min);
     let secs_mean = timed.iter().map(|t| t.0).sum::<f64>() / timed.len() as f64;
     ScenarioStat {
-        name: "campaign/all-quick".to_string(),
+        name: if opts.cache.is_some() { "campaign/all-quick-cached" } else { "campaign/all-quick" }
+            .to_string(),
         insts: timed[0].1,
         cycles: 0,
         secs_min,
@@ -249,6 +294,7 @@ pub fn run_bench(opts: &BenchOptions, progress: &mut dyn FnMut(&ScenarioStat)) -
     Snapshot {
         label: opts.label.clone(),
         git_rev: git_rev(),
+        git_dirty: git_dirty(),
         unix_time: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -273,7 +319,21 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-fn json_escape(s: &str) -> String {
+/// Whether the working tree differs from `HEAD` (untracked files count).
+/// A failed `git` invocation reports dirty: claiming a clean, reproducible
+/// rev on no evidence is the worse error.
+fn git_dirty() -> bool {
+    std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_none_or(|o| !o.stdout.is_empty())
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) for
+/// the hand-rendered trajectory and stats output.
+pub fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => "\\\"".chars().collect::<Vec<_>>(),
@@ -291,6 +351,7 @@ pub fn render_snapshot(s: &Snapshot) -> String {
     let _ = writeln!(out, "    {{");
     let _ = writeln!(out, "      \"label\": \"{}\",", json_escape(&s.label));
     let _ = writeln!(out, "      \"git_rev\": \"{}\",", json_escape(&s.git_rev));
+    let _ = writeln!(out, "      \"dirty\": {},", s.git_dirty);
     let _ = writeln!(out, "      \"unix_time\": {},", s.unix_time);
     let _ = writeln!(
         out,
@@ -357,6 +418,7 @@ mod tests {
         Snapshot {
             label: "test".into(),
             git_rev: "abc1234".into(),
+            git_dirty: false,
             unix_time: 1_700_000_000,
             host: HostInfo {
                 hostname: "ci".into(),
@@ -437,10 +499,19 @@ mod tests {
     fn snapshot_json_has_required_keys() {
         let s = sample_snapshot();
         let json = render_snapshot(&s);
-        for key in ["label", "git_rev", "host", "repeat", "scenarios", "secs_min", "insts_per_sec"]
-        {
+        for key in [
+            "label",
+            "git_rev",
+            "dirty",
+            "host",
+            "repeat",
+            "scenarios",
+            "secs_min",
+            "insts_per_sec",
+        ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key} in {json}");
         }
+        assert!(json.contains("\"dirty\": false,"));
         assert!(json.contains("\"cycles_per_sec\""));
     }
 }

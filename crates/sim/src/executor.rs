@@ -131,16 +131,31 @@ pub trait Executor {
 /// The in-process thread-pool backend: a shared work queue over `jobs`
 /// worker threads (0 = one per available core). Infallible and
 /// zero-overhead — the default for everything that fits in one process.
-#[derive(Debug, Clone, Copy)]
+///
+/// With [`with_cache`](Self::with_cache), every spec is looked up in
+/// the result cache first and only the misses are simulated (in
+/// parallel, as usual); fresh results are stored back. A cache hit
+/// returns the exact metrics the original simulation produced, so
+/// reports stay byte-identical either way.
+#[derive(Debug, Clone)]
 pub struct InProcess {
     /// Worker threads (0 = one per available core).
     pub jobs: usize,
+    cache: Option<crate::cache::Cache>,
 }
 
 impl InProcess {
     /// Builds the backend with the given worker-thread count.
     pub fn new(jobs: usize) -> Self {
-        InProcess { jobs }
+        InProcess { jobs, cache: None }
+    }
+
+    /// Consults (and populates) a result cache around every simulation
+    /// (builder-style).
+    #[must_use]
+    pub fn with_cache(mut self, cache: crate::cache::Cache) -> Self {
+        self.cache = Some(cache);
+        self
     }
 }
 
@@ -150,7 +165,35 @@ impl Executor for InProcess {
     }
 
     fn execute(&self, specs: &[&RunSpec]) -> Result<Vec<RunResult>, ExecutorError> {
-        Ok(par_indexed(specs.len(), self.jobs, |i| specs[i].run()))
+        let Some(cache) = &self.cache else {
+            return Ok(par_indexed(specs.len(), self.jobs, |i| specs[i].run()));
+        };
+        let mut slots: Vec<Option<RunResult>> = specs.iter().map(|s| cache.lookup(s)).collect();
+        let hits = slots.iter().filter(|s| s.is_some()).count();
+        let misses: Vec<usize> =
+            slots.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(i, _)| i).collect();
+        let fresh = par_indexed(misses.len(), self.jobs, |k| specs[misses[k]].run());
+        let mut stores = 0u64;
+        for (&index, result) in misses.iter().zip(&fresh) {
+            match cache.store(specs[index], result) {
+                Ok(()) => stores += 1,
+                Err(e) => eprintln!("[cache: warning: cannot store result {index}: {e}]"),
+            }
+            slots[index] = Some(result.clone());
+        }
+        let session =
+            crate::cache::CacheSession::now("in-process", specs.len() as u64, hits as u64, stores);
+        if let Err(e) = cache.record_session(&session) {
+            eprintln!("[cache: warning: cannot record the session: {e}]");
+        }
+        if hits > 0 {
+            eprintln!(
+                "[cache: {hits} of {} run(s) served from {}]",
+                specs.len(),
+                cache.dir().display()
+            );
+        }
+        Ok(slots.into_iter().map(|s| s.expect("miss slots were filled above")).collect())
     }
 }
 
@@ -169,6 +212,7 @@ pub struct Subprocess {
     campaign_args: Vec<String>,
     shards: usize,
     scratch: PathBuf,
+    cache: Option<PathBuf>,
 }
 
 impl Subprocess {
@@ -190,7 +234,22 @@ impl Subprocess {
         scratch: impl Into<PathBuf>,
     ) -> Self {
         assert!(shards > 0, "at least one shard");
-        Subprocess { worker: worker.into(), campaign_args, shards, scratch: scratch.into() }
+        Subprocess {
+            worker: worker.into(),
+            campaign_args,
+            shards,
+            scratch: scratch.into(),
+            cache: None,
+        }
+    }
+
+    /// Makes every shard worker consult (and populate) the result cache
+    /// at `dir` — each is spawned with `--cache DIR`, and the advisory
+    /// lock lets all of them share the directory safely (builder-style).
+    #[must_use]
+    pub fn cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache = Some(dir.into());
+        self
     }
 
     /// The shard file a given worker writes.
@@ -210,8 +269,12 @@ impl Executor for Subprocess {
         })?;
         let mut children = Vec::with_capacity(self.shards);
         for shard in 0..self.shards {
-            let child = Command::new(&self.worker)
-                .args(&self.campaign_args)
+            let mut command = Command::new(&self.worker);
+            command.args(&self.campaign_args);
+            if let Some(dir) = &self.cache {
+                command.arg("--cache").arg(dir);
+            }
+            let child = command
                 .arg("--shard")
                 .arg(format!("{shard}/{}", self.shards))
                 .arg("--out")
@@ -309,6 +372,7 @@ pub struct Distributed {
     serve_opts: crate::transport::ServeOptions,
     self_spawn: Option<SelfSpawn>,
     journal: Option<JournalSpec>,
+    cache: Option<PathBuf>,
 }
 
 /// Write-ahead journal configuration for [`Distributed`]: where the
@@ -360,7 +424,19 @@ impl Distributed {
             serve_opts,
             self_spawn: None,
             journal: None,
+            cache: None,
         }
+    }
+
+    /// Consults (and populates) the result cache at `dir`: cached plan
+    /// indices are admitted — and journaled — at plan time, before any
+    /// lease is issued, so workers only ever simulate the remainder;
+    /// every live record they stream back is stored for the next
+    /// campaign (builder-style).
+    #[must_use]
+    pub fn cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache = Some(dir.into());
+        self
     }
 
     /// Additionally serve the HTTP control plane (`GET /status`, `GET
@@ -491,6 +567,12 @@ impl Executor for Distributed {
             Some(spec) => Some(self.open_journal(spec, &header, specs)?),
             None => None,
         };
+        let cache = match &self.cache {
+            Some(dir) => Some(crate::cache::Cache::open(dir).map_err(|e| {
+                ExecutorError::io(format!("cannot open cache {}", dir.display()), e)
+            })?),
+            None => None,
+        };
 
         let mut children: Vec<std::process::Child> = Vec::new();
         if let Some(sp) = &self.self_spawn {
@@ -550,6 +632,7 @@ impl Executor for Distributed {
                 opts: &self.serve_opts,
                 signals: &signals,
                 journal,
+                cache: cache.as_ref(),
                 supervise,
             })
         };
@@ -584,11 +667,70 @@ pub fn run_shard<W: Write>(
     jobs: usize,
     out: &mut W,
 ) -> io::Result<()> {
+    run_shard_cached(header, specs, jobs, None, out)
+}
+
+/// [`run_shard`] with an optional result cache: this shard's indices
+/// are looked up first, only the misses are simulated, and fresh
+/// results are stored back — the emitted shard file is byte-identical
+/// either way. Records one cache session (`shard I/N`) per invocation.
+///
+/// # Errors
+///
+/// Propagates write failures.
+///
+/// # Panics
+///
+/// Panics if `header.runs` does not match `specs.len()` (the caller
+/// built the header from the same plan).
+pub fn run_shard_cached<W: Write>(
+    header: &CampaignHeader,
+    specs: &[&RunSpec],
+    jobs: usize,
+    cache: Option<&crate::cache::Cache>,
+    out: &mut W,
+) -> io::Result<()> {
     assert_eq!(header.runs, specs.len(), "header must describe this plan");
     let mine: Vec<usize> = (0..specs.len()).filter(|i| i % header.of == header.shard).collect();
-    let results = par_indexed(mine.len(), jobs, |k| specs[mine[k]].run());
+    let mut slots: Vec<Option<RunResult>> = match cache {
+        Some(cache) => mine.iter().map(|&i| cache.lookup(specs[i])).collect(),
+        None => mine.iter().map(|_| None).collect(),
+    };
+    let hits = slots.iter().filter(|s| s.is_some()).count();
+    let misses: Vec<usize> =
+        slots.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(k, _)| k).collect();
+    let fresh = par_indexed(misses.len(), jobs, |j| specs[mine[misses[j]]].run());
+    let mut stores = 0u64;
+    for (&k, result) in misses.iter().zip(&fresh) {
+        if let Some(cache) = cache {
+            match cache.store(specs[mine[k]], result) {
+                Ok(()) => stores += 1,
+                Err(e) => eprintln!("[cache: warning: cannot store result {}: {e}]", mine[k]),
+            }
+        }
+        slots[k] = Some(result.clone());
+    }
+    if let Some(cache) = cache {
+        let session = crate::cache::CacheSession::now(
+            format!("shard {}/{}", header.shard, header.of),
+            mine.len() as u64,
+            hits as u64,
+            stores,
+        );
+        if let Err(e) = cache.record_session(&session) {
+            eprintln!("[cache: warning: cannot record the session: {e}]");
+        }
+        if hits > 0 {
+            eprintln!(
+                "[cache: {hits} of {} run(s) served from {}]",
+                mine.len(),
+                cache.dir().display()
+            );
+        }
+    }
     writeln!(out, "{}", header.to_line())?;
-    for (&index, result) in mine.iter().zip(&results) {
+    for (&index, slot) in mine.iter().zip(&slots) {
+        let result = slot.as_ref().expect("miss slots were filled above");
         let record = ShardRecord::from_result(index, specs[index].fingerprint(), result);
         writeln!(out, "{}", record.to_line())?;
     }

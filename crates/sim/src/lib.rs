@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 mod conn;
 mod csv;
 pub mod executor;
@@ -34,13 +35,14 @@ pub mod scenario;
 mod table;
 pub mod transport;
 
+pub use cache::{Cache, CacheSession, CacheStats};
 pub use csv::write_csv;
 pub use executor::{Distributed, Executor, ExecutorError, InProcess, JournalSpec, Subprocess};
 pub use json::{parse_json, write_json, JsonParseError, JsonValue};
 pub use means::{geometric_mean, harmonic_mean};
 pub use rfcache_area::{pareto_frontier, ParetoPoint};
 pub use run::{
-    campaign_fingerprint, par_indexed, run_suite, run_suite_jobs, RunResult, RunSpec,
+    campaign_fingerprint, fnv1a_64, par_indexed, run_suite, run_suite_jobs, RunResult, RunSpec,
     DEFAULT_INSTS, DEFAULT_WARMUP,
 };
 pub use scenario::{

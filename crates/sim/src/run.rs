@@ -89,26 +89,22 @@ impl RunSpec {
         self
     }
 
-    /// A stable 64-bit fingerprint over every field of the spec (FNV-1a
-    /// of the `Debug` rendering, which covers profile, architecture,
-    /// pipeline, instruction budget, warmup and seed).
+    /// A stable 64-bit fingerprint over every field of the spec
+    /// ([`fnv1a_64`] of the `Debug` rendering, which covers profile,
+    /// architecture, pipeline, instruction budget, warmup and seed).
     ///
     /// Shard workers stamp each emitted result with the fingerprint of
     /// the spec that produced it, so the merge path can detect *plan
     /// drift* — a coordinator and a worker that derived different
     /// campaign plans (mismatched options, binary versions, or registry
-    /// order) — before folding results into the wrong report. The value
-    /// is only meaningful between processes built from the same sources:
-    /// it is not a persistent format.
+    /// order) — before folding results into the wrong report. The result
+    /// cache ([`crate::cache`]) uses the same value as its shard key, but
+    /// pairs it with the full `Debug` rendering for exact-match
+    /// verification, so a collision is never a correctness hazard. The
+    /// value is only meaningful between processes built from the same
+    /// sources: it is not a persistent format.
     pub fn fingerprint(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut hash = FNV_OFFSET;
-        for byte in format!("{self:?}").bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(FNV_PRIME);
-        }
-        hash
+        fnv1a_64(format!("{self:?}").bytes())
     }
 
     /// Simulates the spec and returns the result.
@@ -124,6 +120,22 @@ impl RunSpec {
     }
 }
 
+/// The 64-bit FNV-1a hash of a byte stream: the repo's one content
+/// fingerprint, shared by [`RunSpec::fingerprint`],
+/// [`campaign_fingerprint`] and the result cache's entry checksums
+/// ([`crate::cache`]), so every layer agrees on what a spec's identity
+/// hashes to.
+pub fn fnv1a_64<I: IntoIterator<Item = u8>>(bytes: I) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 /// A stable fingerprint of an entire campaign plan: FNV-1a folded over
 /// every spec's [`RunSpec::fingerprint`] in plan order.
 ///
@@ -134,16 +146,7 @@ impl RunSpec {
 /// fingerprint, the value is only meaningful between processes built
 /// from the same sources.
 pub fn campaign_fingerprint(specs: &[&RunSpec]) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = FNV_OFFSET;
-    for spec in specs {
-        for byte in spec.fingerprint().to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(FNV_PRIME);
-        }
-    }
-    hash
+    fnv1a_64(specs.iter().flat_map(|spec| spec.fingerprint().to_le_bytes()))
 }
 
 /// Result of one simulation.

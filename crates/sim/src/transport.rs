@@ -217,9 +217,10 @@ impl JournalWriter {
 
 /// Makes a freshly created file's *directory entry* durable: `fsync`
 /// on the file alone does not guarantee the file is findable after a
-/// power failure.
+/// power failure. Shared with the result cache's atomic rename writes
+/// ([`crate::cache`]).
 #[cfg(unix)]
-fn sync_parent_dir(path: &Path) -> io::Result<()> {
+pub(crate) fn sync_parent_dir(path: &Path) -> io::Result<()> {
     let parent = match path.parent() {
         Some(dir) if !dir.as_os_str().is_empty() => dir,
         _ => Path::new("."),
@@ -230,7 +231,7 @@ fn sync_parent_dir(path: &Path) -> io::Result<()> {
 /// Directories cannot be opened as files off Unix; the rename-style
 /// durability guarantee is best-effort there.
 #[cfg(not(unix))]
-fn sync_parent_dir(_path: &Path) -> io::Result<()> {
+pub(crate) fn sync_parent_dir(_path: &Path) -> io::Result<()> {
     Ok(())
 }
 
@@ -495,6 +496,11 @@ pub struct ServeConfig<'a> {
     /// Optional write-ahead journal: the open sink plus any records
     /// replayed from an interrupted run.
     pub journal: Option<Journal>,
+    /// Optional result cache: unfilled plan indices it can satisfy are
+    /// admitted (and journaled) *before* any lease is issued — so they
+    /// are never leased — and every live record admitted afterwards is
+    /// stored back.
+    pub cache: Option<&'a crate::cache::Cache>,
     /// Called from the loop roughly every poll tick; returning a reason
     /// aborts the campaign. This is how the `Distributed` executor
     /// supervises self-spawned workers without a watcher thread.
@@ -603,6 +609,7 @@ pub fn serve(
         opts,
         signals,
         journal,
+        cache: None,
         supervise: None,
     })
 }
@@ -619,7 +626,8 @@ pub fn serve(
 ///
 /// As [`serve`].
 pub fn serve_with(cfg: ServeConfig<'_>) -> Result<Vec<RunResult>, ExecutorError> {
-    let ServeConfig { listener, http, header, specs, opts, signals, journal, mut supervise } = cfg;
+    let ServeConfig { listener, http, header, specs, opts, signals, journal, cache, mut supervise } =
+        cfg;
     let mut state = ServeState {
         table: LeaseTable::new(specs.len(), opts.chunk, opts.lease_timeout),
         slots: (0..specs.len()).map(|_| None).collect(),
@@ -638,6 +646,33 @@ pub fn serve_with(cfg: ServeConfig<'_>) -> Result<Vec<RunResult>, ExecutorError>
         if replayed > 0 {
             eprintln!(
                 "[serve: replayed {replayed} of {} plan index(es) from the journal]",
+                specs.len()
+            );
+        }
+    }
+    // Cache pre-fill: every unfilled index the cache can satisfy goes
+    // through the same admission path as a live record frame — verified,
+    // journaled, counted — and then leaves the pending queue, so it is
+    // never leased to a worker.
+    let mut cached = 0usize;
+    let mut cache_lookups = 0u64;
+    let mut cache_stores = 0u64;
+    if let Some(cache) = cache {
+        for index in 0..specs.len() {
+            if state.table.is_filled(index) {
+                continue;
+            }
+            cache_lookups += 1;
+            let Some(result) = cache.lookup(specs[index]) else { continue };
+            let record = ShardRecord::from_result(index, specs[index].fingerprint(), &result);
+            if state.admit(specs, record, true)? {
+                cached += 1;
+            }
+        }
+        state.table.prune_pending();
+        if cached > 0 {
+            eprintln!(
+                "[serve: {cached} of {} plan index(es) satisfied from the cache]",
                 specs.len()
             );
         }
@@ -820,8 +855,25 @@ pub fn serve_with(cfg: ServeConfig<'_>) -> Result<Vec<RunResult>, ExecutorError>
                     }
                     (WorkerPhase::Streaming, Frame::Record(record)) => {
                         conn.records += 1;
-                        if let Err(e) = state.admit(specs, *record, true) {
-                            state.fatal.get_or_insert(e);
+                        let index = record.index;
+                        match state.admit(specs, *record, true) {
+                            Ok(true) => {
+                                if let Some(cache) = cache {
+                                    let result = state.slots[index]
+                                        .as_ref()
+                                        .expect("admitted slot is filled");
+                                    match cache.store(specs[index], result) {
+                                        Ok(()) => cache_stores += 1,
+                                        Err(e) => eprintln!(
+                                            "[serve: warning: cannot cache result {index}: {e}]"
+                                        ),
+                                    }
+                                }
+                            }
+                            Ok(false) => {}
+                            Err(e) => {
+                                state.fatal.get_or_insert(e);
+                            }
                         }
                     }
                     (WorkerPhase::Streaming, Frame::Done) => {
@@ -921,6 +973,7 @@ pub fn serve_with(cfg: ServeConfig<'_>) -> Result<Vec<RunResult>, ExecutorError>
                                     joined_total,
                                     started,
                                     replayed,
+                                    cached,
                                 )),
                                 _ => http::respond(
                                     404,
@@ -1024,6 +1077,17 @@ pub fn serve_with(cfg: ServeConfig<'_>) -> Result<Vec<RunResult>, ExecutorError>
             eprintln!("[serve: warning: cannot sync the campaign journal: {e}]");
         }
     }
+    if let Some(cache) = cache {
+        let session = crate::cache::CacheSession::now(
+            "distributed",
+            cache_lookups,
+            cached as u64,
+            cache_stores,
+        );
+        if let Err(e) = cache.record_session(&session) {
+            eprintln!("[serve: warning: cannot record the cache session: {e}]");
+        }
+    }
     Ok(state
         .slots
         .into_iter()
@@ -1032,7 +1096,9 @@ pub fn serve_with(cfg: ServeConfig<'_>) -> Result<Vec<RunResult>, ExecutorError>
 }
 
 /// Renders the `/status` document: campaign identity, progress
-/// counters, the per-worker roster, and the journal position.
+/// counters (cache pre-fills included), the per-worker roster, and the
+/// journal position.
+#[allow(clippy::too_many_arguments)] // one render site; a struct would only move the list
 fn status_json(
     header: &CampaignHeader,
     fingerprint: u64,
@@ -1041,6 +1107,7 @@ fn status_json(
     joined_total: usize,
     started: Instant,
     replayed: usize,
+    cached: usize,
 ) -> String {
     let (completed, leased, pending) = state.table.counts();
     let scenarios: Vec<String> =
@@ -1073,7 +1140,7 @@ fn status_json(
     format!(
         "{{\"schema\": \"rfcache-coordinator/v1\", \"fingerprint\": \"{fingerprint:016x}\", \
          \"scenarios\": [{}], \"runs\": {}, \"completed\": {completed}, \"leased\": {leased}, \
-         \"pending\": {pending}, \"complete\": {}, \"elapsed_secs\": {:.3}, \
+         \"pending\": {pending}, \"cached\": {cached}, \"complete\": {}, \"elapsed_secs\": {:.3}, \
          \"workers_joined\": {joined_total}, \"workers_connected\": {}, \"workers\": [{}], \
          \"journal\": {journal}}}\n",
         scenarios.join(", "),
@@ -1534,6 +1601,7 @@ mod tests {
                     opts: &ServeOptions::default(),
                     signals: &signals,
                     journal: None,
+                    cache: None,
                     supervise: None,
                 })
             });

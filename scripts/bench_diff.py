@@ -11,11 +11,18 @@ are printed, and the exit status is nonzero when any scenario present
 in both snapshots regressed by more than ``--tolerance`` (a fraction:
 ``0.10`` tolerates a 10% slowdown).
 
+``--before LABEL`` / ``--after LABEL`` select a snapshot from a
+trajectory by label instead of taking the last one (the **last**
+snapshot carrying that label wins, so re-running a bench supersedes
+earlier points). A missing label is an error that lists the labels the
+file does carry.
+
 Usage::
 
     experiments bench --out BENCH_new.json
     python3 scripts/bench_diff.py BENCH_cycle_loop.json BENCH_new.json
     python3 scripts/bench_diff.py old.json new.json --tolerance 0.25
+    python3 scripts/bench_diff.py BENCH.json BENCH.json --before cold --after warm
 """
 
 import argparse
@@ -32,8 +39,13 @@ def fail(msg):
     sys.exit(2)
 
 
-def load_snapshot(path):
-    """Loads and validates the (last) snapshot of ``path``."""
+def load_snapshot(path, label=None):
+    """Loads and validates a snapshot of ``path``.
+
+    From a trajectory file, takes the last snapshot — or, when ``label``
+    is given, the last snapshot carrying that label. A ``label`` on a
+    bare snapshot file must match its ``label`` key.
+    """
     try:
         with open(path) as f:
             data = json.load(f)
@@ -44,9 +56,23 @@ def load_snapshot(path):
             fail(f"{path}: schema {data.get('schema')!r}, want {SCHEMA!r}")
         if not data["snapshots"]:
             fail(f"{path}: empty trajectory")
-        snapshot = data["snapshots"][-1]
+        if label is None:
+            snapshot = data["snapshots"][-1]
+        else:
+            matching = [s for s in data["snapshots"] if s.get("label") == label]
+            if not matching:
+                available = ", ".join(
+                    sorted({repr(s.get("label", "?")) for s in data["snapshots"]})
+                )
+                fail(f"{path}: no snapshot labeled {label!r} (has: {available})")
+            snapshot = matching[-1]
     else:
         snapshot = data
+        if label is not None and snapshot.get("label") != label:
+            fail(
+                f"{path}: snapshot is labeled {snapshot.get('label')!r}, "
+                f"not {label!r}"
+            )
     for key in SNAPSHOT_KEYS:
         if key not in snapshot:
             fail(f"{path}: snapshot missing key {key!r}")
@@ -81,10 +107,20 @@ def main():
         default=0.10,
         help="tolerated fractional slowdown per scenario (default 0.10)",
     )
+    parser.add_argument(
+        "--before",
+        metavar="LABEL",
+        help="pick the baseline by snapshot label instead of taking the last",
+    )
+    parser.add_argument(
+        "--after",
+        metavar="LABEL",
+        help="pick the candidate by snapshot label instead of taking the last",
+    )
     args = parser.parse_args()
 
-    old = load_snapshot(args.old)
-    new = load_snapshot(args.new)
+    old = load_snapshot(args.old, args.before)
+    new = load_snapshot(args.new, args.after)
     old_by_name = {s["name"]: s for s in old["scenarios"]}
 
     print(
