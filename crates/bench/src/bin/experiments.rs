@@ -11,6 +11,12 @@
 //! experiments serve --bind ADDR [--http ADDR] [--expect K] [--lease-timeout SECS]
 //!                   [--chunk N] [--journal FILE [--journal-sync N]] [--cache DIR]
 //!                   <name>... | all [opts] [--csv DIR] [--json DIR]
+//! experiments serve --bind ADDR --http ADDR [--lease-timeout SECS] [--chunk N]
+//!                   [--journal DIR [--journal-sync N]] [--cache DIR]
+//!                   [--max-campaigns N]
+//! experiments submit --connect ADDR <name>... | all [--insts N] [--warmup N]
+//!                    [--seed N] [--quick] [--json]
+//! experiments fetch --connect ADDR --id N [--timeout SECS] [--csv DIR] [--json DIR]
 //! experiments work --connect ADDR [--jobs N] [--connect-timeout SECS]
 //!                  [--quit-after-leases N]
 //! experiments resume --journal FILE --bind ADDR [--http ADDR] [--expect K]
@@ -68,6 +74,26 @@
 //! `GET /healthz` answers liveness probes. `status --connect ADDR`
 //! fetches `/status` and renders it as a table (`--json` passes the raw
 //! JSON through for scripts).
+//!
+//! **The campaign service.** `serve` with **no scenario names** runs the
+//! multi-campaign coordinator service (`rfcache_sim::service`) instead
+//! of a single campaign: campaigns arrive over HTTP (`--http` is
+//! mandatory) as `POST /campaigns` submissions and move through a
+//! queued → serving → complete → fetched lifecycle while workers lease
+//! from whichever campaign is serving — one coordinator process, any
+//! number of campaigns, no restarts. `submit --connect ADDR <name>...`
+//! POSTs a description (printing the campaign id to stdout) and `fetch
+//! --connect ADDR --id N` polls until the campaign completes, prints
+//! the reports, and writes `--csv`/`--json` exports — all byte-identical
+//! to running the same scenarios in process. In service mode
+//! `--journal` names a *directory* (each campaign write-ahead journals
+//! to `campaign-<id>.journal` inside it), `--cache` pre-fills each
+//! campaign at admission (so one submission's results satisfy the
+//! next), `--max-campaigns N` exits cleanly after `N` campaigns are
+//! fetched (CI and scripts), and a worker that connects between
+//! campaigns is told to retry shortly rather than left hanging.
+//! `status --connect` recognises the service's `/status` schema and
+//! renders the campaign table.
 //!
 //! **Crash-durable campaigns.** `--journal FILE` (on `serve` and
 //! `--dist-workers`) write-ahead journals the campaign: the header line
@@ -136,6 +162,12 @@ const USAGE: &str = "usage: experiments --list
        experiments serve --bind ADDR [--http ADDR] [--expect K] [--lease-timeout SECS]
                          [--chunk N] [--journal FILE [--journal-sync N]] [--cache DIR]
                          <name>... | all [opts] [--csv DIR] [--json DIR]
+       experiments serve --bind ADDR --http ADDR [--lease-timeout SECS] [--chunk N]
+                         [--journal DIR [--journal-sync N]] [--cache DIR]
+                         [--max-campaigns N]
+       experiments submit --connect ADDR <name>... | all [--insts N] [--warmup N]
+                          [--seed N] [--quick] [--json]
+       experiments fetch --connect ADDR --id N [--timeout SECS] [--csv DIR] [--json DIR]
        experiments work --connect ADDR [--jobs N] [--connect-timeout SECS]
                         [--quit-after-leases N]
        experiments resume --journal FILE --bind ADDR [--http ADDR] [--expect K]
@@ -160,6 +192,8 @@ fn main() {
     match args[0].as_str() {
         "merge" => merge_main(&args[1..]),
         "serve" => serve_main(&args[1..]),
+        "submit" => submit_main(&args[1..]),
+        "fetch" => fetch_main(&args[1..]),
         "work" => work_main(&args[1..]),
         "resume" => resume_main(&args[1..]),
         "status" => status_main(&args[1..]),
@@ -384,12 +418,16 @@ fn serve_main(args: &[String]) {
     let mut journal: Option<PathBuf> = None;
     let mut journal_sync: Option<usize> = None;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut max_campaigns: Option<usize> = None;
     let mut names: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--bind" => bind = Some(parse_value("--bind", it.next())),
             "--http" => http = Some(parse_value("--http", it.next())),
+            "--max-campaigns" => {
+                max_campaigns = Some(parse_positive("--max-campaigns", it.next()));
+            }
             "--expect" => serve_opts.expect = parse_num("--expect", it.next()) as usize,
             "--lease-timeout" => {
                 serve_opts.lease_timeout =
@@ -423,6 +461,41 @@ fn serve_main(args: &[String]) {
     if journal_sync.is_some() && journal.is_none() {
         usage_error("--journal-sync requires --journal");
     }
+    if names.is_empty() {
+        // No campaign on the command line: run the multi-campaign
+        // service and take campaigns over the control plane instead.
+        if csv_dir.is_some() || json_dir.is_some() {
+            usage_error(
+                "the campaign service streams results over HTTP (use `fetch --csv/--json`): \
+                 drop --csv/--json",
+            );
+        }
+        if opts != ExperimentOpts::default() {
+            usage_error(
+                "the campaign service takes its options per submission: move \
+                 --insts/--warmup/--seed/--quick onto `submit`",
+            );
+        }
+        let Some(http) = http else {
+            usage_error(
+                "serve without scenario names runs the campaign service and needs \
+                 --http ADDR to accept submissions (or name scenarios for a single campaign)",
+            );
+        };
+        serve_service_main(
+            &bind,
+            &http,
+            serve_opts,
+            journal.as_deref(),
+            journal_sync.unwrap_or(1),
+            cache_dir.as_deref(),
+            max_campaigns,
+        );
+        return;
+    }
+    if max_campaigns.is_some() {
+        usage_error("--max-campaigns is a campaign-service flag: drop the scenario names");
+    }
     let selected = select_scenarios(&names);
     let plans: Vec<_> = selected.iter().map(|s| s.plan(&opts)).collect();
     let runs: usize = plans.iter().map(Vec::len).sum();
@@ -455,6 +528,223 @@ fn serve_main(args: &[String]) {
         runs,
         start.elapsed().as_secs_f64()
     );
+}
+
+/// Runs the multi-campaign coordinator service: binds the worker and
+/// control-plane listeners, then hands the loop to
+/// `rfcache_sim::service::serve_service` until `--max-campaigns`
+/// campaigns have been fetched (or forever).
+fn serve_service_main(
+    bind: &str,
+    http_bind: &str,
+    serve_opts: ServeOptions,
+    journal_dir: Option<&Path>,
+    journal_sync: usize,
+    cache_dir: Option<&Path>,
+    max_campaigns: Option<usize>,
+) {
+    let listener = std::net::TcpListener::bind(bind)
+        .unwrap_or_else(|e| die(&format!("cannot bind {bind}: {e}")));
+    let addr = listener
+        .local_addr()
+        .unwrap_or_else(|e| die(&format!("cannot read the bound address: {e}")));
+    let http_listener = std::net::TcpListener::bind(http_bind)
+        .unwrap_or_else(|e| die(&format!("cannot bind {http_bind}: {e}")));
+    let http_addr = http_listener
+        .local_addr()
+        .unwrap_or_else(|e| die(&format!("cannot read the control-plane address: {e}")));
+    eprintln!("[service: workers on {addr}, submissions on http://{http_addr}/campaigns]");
+    let cache = cache_dir.map(open_cache);
+    let signals = rfcache_sim::transport::ServeSignals::new();
+    let start = Instant::now();
+    let summary = rfcache_sim::service::serve_service(rfcache_sim::ServiceConfig {
+        listener: &listener,
+        http: &http_listener,
+        opts: &serve_opts,
+        signals: &signals,
+        cache: cache.as_ref(),
+        journal_dir,
+        journal_sync,
+        max_campaigns,
+    })
+    .unwrap_or_else(|e| die(&e.to_string()));
+    eprintln!(
+        "[service: {} campaign(s) submitted, {} completed, {} fetched, {} failed, {:.1}s]",
+        summary.submitted,
+        summary.completed,
+        summary.fetched,
+        summary.failed,
+        start.elapsed().as_secs_f64()
+    );
+    if summary.failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Submits a campaign description to a running campaign service and
+/// prints the assigned campaign id to stdout (everything else goes to
+/// stderr, so `ID=$(experiments submit ...)` just works).
+fn submit_main(args: &[String]) {
+    let mut opts = ExperimentOpts::default();
+    let mut connect: Option<String> = None;
+    let mut raw = false;
+    let mut names: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = Some(parse_value("--connect", it.next())),
+            "--insts" => opts.insts = parse_num("--insts", it.next()),
+            "--warmup" => opts.warmup = parse_num("--warmup", it.next()),
+            "--seed" => opts.seed = parse_num("--seed", it.next()),
+            "--quick" => opts.quick = true,
+            "--json" => raw = true,
+            flag if flag.starts_with("--") => usage_error(&format!("unknown option {flag}")),
+            name => {
+                if names.contains(&name) {
+                    eprintln!("warning: duplicate scenario name {name} ignored");
+                } else {
+                    names.push(name);
+                }
+            }
+        }
+    }
+    let Some(addr) = connect else {
+        usage_error("submit needs --connect ADDR (the service's --http address)");
+    };
+    let selected = select_scenarios(&names);
+    let request =
+        scenario::CampaignRequest::new(selected.iter().map(|s| s.name.to_string()).collect(), opts);
+    let (code, body) = http::post(
+        &addr,
+        "/campaigns",
+        "application/json",
+        &request.to_json(),
+        Duration::from_secs(5),
+    )
+    .unwrap_or_else(|e| die(&e));
+    if code != 201 {
+        die(&format!("{addr}: POST /campaigns answered {code}: {}", body.trim()));
+    }
+    if raw {
+        print!("{body}");
+        return;
+    }
+    let accepted = parse_json(&body)
+        .unwrap_or_else(|e| die(&format!("{addr}: malformed submission response: {e}")));
+    let id = accepted
+        .get("id")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| die(&format!("{addr}: submission response carries no id: {body}")));
+    eprintln!(
+        "[submit: campaign {id} queued: {} run(s), fingerprint {}]",
+        accepted.get("runs").and_then(JsonValue::as_u64).unwrap_or(0),
+        accepted.get("fingerprint").and_then(JsonValue::as_str).unwrap_or("?"),
+    );
+    println!("{id}");
+}
+
+/// Polls a submitted campaign until it completes, then prints its
+/// reports (and writes `--csv`/`--json` exports) byte-identically to an
+/// in-process run of the same description.
+fn fetch_main(args: &[String]) {
+    let mut connect: Option<String> = None;
+    let mut id: Option<u64> = None;
+    let mut timeout = Duration::from_secs(120);
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut json_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = Some(parse_value("--connect", it.next())),
+            "--id" => id = Some(parse_num("--id", it.next())),
+            "--timeout" => {
+                timeout = Duration::from_secs(parse_positive("--timeout", it.next()) as u64);
+            }
+            "--csv" => csv_dir = Some(parse_path("--csv", it.next())),
+            "--json" => json_dir = Some(parse_path("--json", it.next())),
+            flag if flag.starts_with("--") => usage_error(&format!("unknown option {flag}")),
+            other => usage_error(&format!("unexpected argument {other} (fetch takes only flags)")),
+        }
+    }
+    let Some(addr) = connect else {
+        usage_error("fetch needs --connect ADDR (the service's --http address)");
+    };
+    let Some(id) = id else {
+        usage_error("fetch needs --id N (the id `submit` printed)");
+    };
+
+    // Poll the lifecycle until the campaign is fetchable (or doomed).
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (code, body) = http::get(&addr, &format!("/campaigns/{id}"), Duration::from_secs(5))
+            .unwrap_or_else(|e| die(&e));
+        if code != 200 {
+            die(&format!("{addr}: GET /campaigns/{id} answered {code}: {}", body.trim()));
+        }
+        let status = parse_json(&body)
+            .unwrap_or_else(|e| die(&format!("{addr}: malformed campaign status: {e}")));
+        match status.get("state").and_then(JsonValue::as_str).unwrap_or("?") {
+            "complete" | "fetched" => break,
+            "failed" => die(&format!(
+                "campaign {id} failed: {}",
+                status.get("failure").and_then(JsonValue::as_str).unwrap_or("(no reason)")
+            )),
+            state => {
+                if Instant::now() >= deadline {
+                    die(&format!(
+                        "campaign {id} still {state} after {}s (is a worker connected? \
+                         raise --timeout)",
+                        timeout.as_secs()
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        }
+    }
+
+    let (code, body) =
+        http::get(&addr, &format!("/campaigns/{id}/results"), Duration::from_secs(5))
+            .unwrap_or_else(|e| die(&e));
+    if code != 200 {
+        die(&format!("{addr}: GET /campaigns/{id}/results answered {code}: {}", body.trim()));
+    }
+    let doc = parse_json(&body)
+        .unwrap_or_else(|e| die(&format!("{addr}: malformed results document: {e}")));
+    let entries = doc
+        .get("scenarios")
+        .and_then(JsonValue::as_array)
+        .unwrap_or_else(|| die(&format!("{addr}: results document carries no scenarios: {body}")));
+    for entry in entries {
+        let name = entry
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_else(|| die("results entry carries no scenario name"));
+        let field = |key: &str| {
+            entry
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .unwrap_or_else(|| die(&format!("results entry {name} carries no {key}")))
+        };
+        // Byte-for-byte what `emit_reports` produces in process: the
+        // report to stdout, the table renders to DIR/<name>.{csv,json}.
+        println!("{}", field("report"));
+        if let Some(dir) = &csv_dir {
+            write_fetched(dir, name, "csv", field("csv"));
+        }
+        if let Some(dir) = &json_dir {
+            write_fetched(dir, name, "json", field("json"));
+        }
+    }
+    eprintln!("[fetch: campaign {id}: {} scenario report(s)]", entries.len());
+}
+
+/// Writes one fetched export exactly as the in-process exporters would.
+fn write_fetched(dir: &Path, name: &str, ext: &str, content: &str) {
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+    let path = dir.join(format!("{name}.{ext}"));
+    std::fs::write(&path, content)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
 }
 
 /// Resumes an interrupted journaled campaign: the plan is re-derived
@@ -631,6 +921,10 @@ fn status_main(args: &[String]) {
     }
     let status = parse_json(&body)
         .unwrap_or_else(|e| die(&format!("{addr}: malformed /status response: {e}")));
+    if status.get("schema").and_then(JsonValue::as_str) == Some("rfcache-service/v1") {
+        render_service_status(&status);
+        return;
+    }
     let count = |key: &str| status.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
     let scenarios: Vec<&str> = status
         .get("scenarios")
@@ -686,6 +980,51 @@ fn status_main(args: &[String]) {
                     .get("lease_age_secs")
                     .and_then(JsonValue::as_f64)
                     .map_or("-".to_string(), |age| format!("{age:.1}s")),
+            ]);
+        }
+        println!("\n{table}");
+    }
+}
+
+/// Renders a campaign service's `/status` snapshot: one row per
+/// submitted campaign plus the connected-worker roster.
+fn render_service_status(status: &JsonValue) {
+    let count = |key: &str| status.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+    let serving = status
+        .get("serving")
+        .and_then(JsonValue::as_u64)
+        .map_or("-".to_string(), |id| id.to_string());
+    println!(
+        "campaign service: {} campaign(s) submitted, serving {serving}, \
+         {} worker(s) connected, {:.1}s up",
+        count("submitted"),
+        count("workers_connected"),
+        status.get("elapsed_secs").and_then(JsonValue::as_f64).unwrap_or(0.0)
+    );
+    let campaigns = status.get("campaigns").and_then(JsonValue::as_array).unwrap_or(&[]);
+    if !campaigns.is_empty() {
+        let mut table = TextTable::new(
+            ["id", "state", "scenarios", "runs", "completed", "cached"]
+                .map(String::from)
+                .into_iter()
+                .collect(),
+        );
+        for campaign in campaigns {
+            let cell = |key: &str| {
+                campaign.get(key).and_then(JsonValue::as_u64).map_or("?".into(), |n| n.to_string())
+            };
+            let names: Vec<&str> = campaign
+                .get("scenarios")
+                .and_then(JsonValue::as_array)
+                .map(|names| names.iter().filter_map(JsonValue::as_str).collect())
+                .unwrap_or_default();
+            table.row(vec![
+                cell("id"),
+                campaign.get("state").and_then(JsonValue::as_str).unwrap_or("?").to_string(),
+                names.join(" "),
+                cell("runs"),
+                cell("completed"),
+                cell("cached"),
             ]);
         }
         println!("\n{table}");
@@ -812,7 +1151,7 @@ fn run_worker(
     out_file: Option<PathBuf>,
     cache_dir: Option<&Path>,
 ) {
-    let flat: Vec<&RunSpec> = plans.iter().flatten().collect();
+    let flat = rfcache_sim::flatten_plans(plans);
     let names = selected.iter().map(|s| s.name.to_string()).collect();
     let header = CampaignHeader::new(names, opts, index, count, flat.len());
     let cache = cache_dir.map(open_cache);
@@ -906,7 +1245,7 @@ fn merge_main(args: &[String]) {
             ))
         });
     let plans: Vec<_> = selected.iter().map(|s| s.plan(&opts)).collect();
-    let flat: Vec<&RunSpec> = plans.iter().flatten().collect();
+    let flat = rfcache_sim::flatten_plans(&plans);
     if flat.len() != campaign.runs {
         die(&format!(
             "shard headers describe a {}-run campaign but this binary plans {} runs \

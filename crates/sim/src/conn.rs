@@ -100,6 +100,12 @@ pub(crate) struct WorkerConn {
     pub out: WriteBuf,
     pub phase: WorkerPhase,
     pub lease: Option<ActiveLease>,
+    /// The campaign this worker handshook against (`None` for the
+    /// single-campaign loop, and for service connections that arrived
+    /// between campaigns and are only draining a `retry` frame). A
+    /// lease may only be issued to — and records only admitted from —
+    /// the campaign the connection is bound to.
+    pub campaign: Option<u64>,
     /// Leases this worker completed (for the status roster).
     pub leases_done: usize,
     /// Record frames this worker streamed (for the status roster).
@@ -128,6 +134,7 @@ impl WorkerConn {
             out: WriteBuf::default(),
             phase: WorkerPhase::Handshake { deadline },
             lease: None,
+            campaign: None,
             leases_done: 0,
             records: 0,
             dead: None,

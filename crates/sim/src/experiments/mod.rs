@@ -41,7 +41,7 @@ use rfcache_core::{
 };
 
 /// Common experiment options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExperimentOpts {
     /// Measured instructions per benchmark.
     pub insts: u64,

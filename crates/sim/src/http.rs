@@ -3,12 +3,13 @@
 //! coordinator's readiness loop wants byte-level control anyway).
 //!
 //! The server half is deliberately tiny: [`parse_request`] recognises a
-//! request head fed to it in arbitrary byte chunks (TCP reads stop at
+//! request head — and, when a `Content-Length` header announces one, a
+//! request body — fed to it in arbitrary byte chunks (TCP reads stop at
 //! packet boundaries, not header boundaries — property-tested in
 //! `tests/http_codec.rs`), and [`respond`] renders a complete
 //! `Connection: close` response, so every exchange is one request, one
-//! response, one connection. The client half ([`get`]) is just enough
-//! for `experiments status` and the tests to fetch `/status`.
+//! response, one connection. The client half ([`get`] / [`post`]) is
+//! just enough for `experiments status`/`submit`/`fetch` and the tests.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -19,14 +20,24 @@ use std::time::Duration;
 /// headers).
 pub const MAX_HEAD: usize = 8 * 1024;
 
-/// One parsed HTTP request line (headers are accepted and ignored — the
-/// control plane's routing needs nothing from them).
+/// The most body bytes a request may declare before it is rejected as
+/// oversized (`413`): a campaign description is a page of JSON, so this
+/// bounds buffering per control-plane connection without crowding any
+/// legitimate submission.
+pub const MAX_BODY: usize = 64 * 1024;
+
+/// One parsed HTTP request: the request line plus any `Content-Length`
+/// body (all other headers are accepted and ignored — the control
+/// plane's routing needs nothing from them).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
-    /// The request method (`GET`, `HEAD`, ...), as sent.
+    /// The request method (`GET`, `POST`, ...), as sent.
     pub method: String,
     /// The request target, query string included (`/status?x=1`).
     pub target: String,
+    /// The request body, exactly `Content-Length` bytes (empty when the
+    /// header is absent).
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -39,15 +50,20 @@ impl Request {
 /// What [`parse_request`] made of the bytes so far.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Parse {
-    /// No complete head yet — read more and call again. Any prefix of a
-    /// valid request within [`MAX_HEAD`] parses as `Incomplete`, never
-    /// as `Invalid`.
+    /// No complete request yet — read more and call again. Any prefix
+    /// of a valid request within [`MAX_HEAD`]/[`MAX_BODY`] parses as
+    /// `Incomplete`, never as `Invalid`.
     Incomplete,
-    /// A complete, well-formed request head.
+    /// A complete, well-formed request (head plus any declared body).
     Ready(Request),
     /// The bytes can never become a valid request (the connection
     /// should get a `400` and close).
     Invalid(String),
+    /// The head is well-formed but declares a body beyond [`MAX_BODY`]
+    /// (the connection should get a `413` and close — distinct from
+    /// `Invalid` so the server never buffers toward a bound it already
+    /// knows is unreachable).
+    TooLarge(String),
 }
 
 /// Finds the end of the request head: the byte index just past the
@@ -67,8 +83,28 @@ fn head_end(buf: &[u8]) -> Option<usize> {
     None
 }
 
-/// Incrementally parses an HTTP/1.1 request head from however many
-/// bytes have arrived so far.
+/// Extracts the declared body length from the head's header lines.
+///
+/// `Ok(None)` = no `Content-Length` header (no body); duplicate or
+/// unparsable declarations are malformed.
+fn content_length(head: &str) -> Result<Option<usize>, String> {
+    let mut declared = None;
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        if !name.trim().eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        let value = value.trim();
+        let n: usize = value.parse().map_err(|_| format!("unparsable Content-Length {value:?}"))?;
+        if declared.replace(n).is_some() {
+            return Err("duplicate Content-Length headers".to_string());
+        }
+    }
+    Ok(declared)
+}
+
+/// Incrementally parses an HTTP/1.1 request (head plus any
+/// `Content-Length` body) from however many bytes have arrived so far.
 pub fn parse_request(buf: &[u8]) -> Parse {
     let Some(end) = head_end(buf) else {
         if buf.len() > MAX_HEAD {
@@ -89,7 +125,21 @@ pub fn parse_request(buf: &[u8]) -> Parse {
     if !version.starts_with("HTTP/") {
         return Parse::Invalid(format!("unsupported protocol {version:?}"));
     }
-    Parse::Ready(Request { method: method.to_string(), target: target.to_string() })
+    let body_len = match content_length(&head) {
+        Ok(n) => n.unwrap_or(0),
+        Err(reason) => return Parse::Invalid(reason),
+    };
+    if body_len > MAX_BODY {
+        return Parse::TooLarge(format!("request body of {body_len} bytes exceeds {MAX_BODY}"));
+    }
+    if buf.len() < end + body_len {
+        return Parse::Incomplete;
+    }
+    Parse::Ready(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        body: buf[end..end + body_len].to_vec(),
+    })
 }
 
 /// Renders a complete `Connection: close` response.
@@ -116,12 +166,41 @@ pub fn json_ok(body: &str) -> Vec<u8> {
 /// Returns a human-readable message when the server is unreachable, the
 /// exchange times out, or the response is malformed.
 pub fn get(addr: &str, target: &str, timeout: Duration) -> Result<(u16, String), String> {
+    let request = format!("GET {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    roundtrip(addr, request.as_bytes(), timeout)
+}
+
+/// A one-shot HTTP POST: like [`get`], but ships a request body (the
+/// `submit` subcommand and the service tests use it to file campaign
+/// descriptions).
+///
+/// # Errors
+///
+/// Returns a human-readable message when the server is unreachable, the
+/// exchange times out, or the response is malformed.
+pub fn post(
+    addr: &str,
+    target: &str,
+    content_type: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<(u16, String), String> {
+    let request = format!(
+        "POST {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    roundtrip(addr, request.as_bytes(), timeout)
+}
+
+/// Sends one rendered request and reads the one response the server
+/// will send before closing.
+fn roundtrip(addr: &str, request: &[u8], timeout: Duration) -> Result<(u16, String), String> {
     let mut stream =
         TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     stream.set_read_timeout(Some(timeout)).map_err(|e| format!("{addr}: {e}"))?;
     stream.set_write_timeout(Some(timeout)).map_err(|e| format!("{addr}: {e}"))?;
-    let request = format!("GET {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
-    stream.write_all(request.as_bytes()).map_err(|e| format!("{addr}: cannot send: {e}"))?;
+    stream.write_all(request).map_err(|e| format!("{addr}: cannot send: {e}"))?;
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw).map_err(|e| format!("{addr}: cannot read response: {e}"))?;
     let text = String::from_utf8_lossy(&raw);
@@ -193,6 +272,52 @@ mod tests {
         let mut huge_but_terminated = vec![b'a'; MAX_HEAD];
         huge_but_terminated.extend_from_slice(b"\r\n\r\n");
         assert!(matches!(parse_request(&huge_but_terminated), Parse::Invalid(_)));
+    }
+
+    #[test]
+    fn bodies_are_collected_exactly_to_content_length() {
+        let raw = b"POST /campaigns HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\n{\"a\": true}";
+        for cut in 0..raw.len() {
+            assert_eq!(
+                parse_request(&raw[..cut]),
+                Parse::Incomplete,
+                "prefix of {cut} bytes must not resolve early"
+            );
+        }
+        let Parse::Ready(req) = parse_request(raw) else {
+            panic!("expected ready, got {:?}", parse_request(raw));
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\": true}");
+        // Case-insensitive header name, tolerated whitespace.
+        let lenient = b"POST /c HTTP/1.1\ncontent-length:  2 \n\nok";
+        let Parse::Ready(req) = parse_request(lenient) else {
+            panic!("expected ready, got {:?}", parse_request(lenient));
+        };
+        assert_eq!(req.body, b"ok");
+        // No Content-Length: empty body, ready at head end.
+        let Parse::Ready(req) = parse_request(b"GET /status HTTP/1.1\r\n\r\n") else {
+            panic!("headless GET stays ready");
+        };
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_and_oversized_bodies_are_distinct_rejections() {
+        assert!(matches!(
+            parse_request(b"POST /c HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Parse::Invalid(_)
+        ));
+        assert!(matches!(
+            parse_request(b"POST /c HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n"),
+            Parse::Invalid(_)
+        ));
+        // An oversized declaration is rejected from the head alone — no
+        // body bytes need ever arrive.
+        let huge = format!("POST /c HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(parse_request(huge.as_bytes()), Parse::TooLarge(_)));
+        let exact = format!("POST /c HTTP/1.1\r\nContent-Length: {MAX_BODY}\r\n\r\n");
+        assert_eq!(parse_request(exact.as_bytes()), Parse::Incomplete, "at-cap bodies are legal");
     }
 
     #[test]

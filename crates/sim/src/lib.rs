@@ -32,6 +32,7 @@ pub mod metrics_codec;
 mod readiness;
 mod run;
 pub mod scenario;
+pub mod service;
 mod table;
 pub mod transport;
 
@@ -42,13 +43,14 @@ pub use json::{parse_json, write_json, JsonParseError, JsonValue};
 pub use means::{geometric_mean, harmonic_mean};
 pub use rfcache_area::{pareto_frontier, ParetoPoint};
 pub use run::{
-    campaign_fingerprint, fnv1a_64, par_indexed, run_suite, run_suite_jobs, RunResult, RunSpec,
-    DEFAULT_INSTS, DEFAULT_WARMUP,
+    campaign_fingerprint, flatten_plans, fnv1a_64, par_indexed, run_suite, run_suite_jobs,
+    RunResult, RunSpec, DEFAULT_INSTS, DEFAULT_WARMUP,
 };
 pub use scenario::{
     run_campaign, run_campaign_from_parts, run_campaign_planned, run_campaign_planned_with,
-    Scenario, ScenarioReport,
+    CampaignRequest, Scenario, ScenarioReport,
 };
+pub use service::{ServiceConfig, ServiceSummary};
 pub use table::TextTable;
 
 pub use rfcache_area as area;

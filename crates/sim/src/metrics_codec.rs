@@ -553,6 +553,15 @@ pub enum Frame {
     /// Worker → coordinator: the current lease's records are all sent.
     /// Coordinator → worker: no work remains, disconnect cleanly.
     Done,
+    /// Coordinator → worker, instead of a hello: no campaign is being
+    /// served right now — disconnect and try again after `after_ms`
+    /// milliseconds (the multi-campaign service sends this to workers
+    /// that arrive between campaigns, so they never sit in a handshake
+    /// that cannot progress).
+    Retry {
+        /// Suggested reconnect delay, in milliseconds.
+        after_ms: u64,
+    },
 }
 
 impl Frame {
@@ -575,6 +584,9 @@ impl Frame {
             // the two codecs cannot drift apart.
             Frame::Record(record) => format!("{{\"type\": \"record\", {}", &record.to_line()[1..]),
             Frame::Done => "{\"type\": \"done\"}".to_string(),
+            Frame::Retry { after_ms } => {
+                format!("{{\"type\": \"retry\", \"after_ms\": {after_ms}}}")
+            }
         }
     }
 
@@ -611,6 +623,7 @@ impl Frame {
             }
             "record" => Ok(Frame::Record(Box::new(ShardRecord::from_value(&v)?))),
             "done" => Ok(Frame::Done),
+            "retry" => Ok(Frame::Retry { after_ms: u64_field(&v, "after_ms")? }),
             other => Err(CodecError::new(format!("unknown frame type `{other}`"))),
         }
     }
@@ -793,6 +806,7 @@ mod tests {
             Frame::Lease { id: 8, indices: vec![] },
             Frame::Record(Box::new(record)),
             Frame::Done,
+            Frame::Retry { after_ms: 500 },
         ];
         for frame in &frames {
             let line = frame.to_line();

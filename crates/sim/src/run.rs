@@ -149,6 +149,15 @@ pub fn campaign_fingerprint(specs: &[&RunSpec]) -> u64 {
     fnv1a_64(specs.iter().flat_map(|spec| spec.fingerprint().to_le_bytes()))
 }
 
+/// Flattens per-scenario plans into the campaign's single spec list, in
+/// plan order — the shape every executor, the lease table, and
+/// [`campaign_fingerprint`] agree on. One helper instead of four
+/// inlined `flatten().collect()` sites keeps "what order is the flat
+/// plan in" defined exactly once.
+pub fn flatten_plans(plans: &[Vec<RunSpec>]) -> Vec<&RunSpec> {
+    plans.iter().flatten().collect()
+}
+
 /// Result of one simulation.
 #[derive(Debug, Clone)]
 pub struct RunResult {

@@ -195,7 +195,7 @@ pub fn run_campaign_planned_with(
     plans: Vec<Vec<RunSpec>>,
 ) -> Result<Vec<Box<dyn ScenarioReport>>, ExecutorError> {
     assert_eq!(plans.len(), scenarios.len(), "one plan per scenario");
-    let flat: Vec<&RunSpec> = plans.iter().flatten().collect();
+    let flat = crate::run::flatten_plans(&plans);
     let results = executor.execute(&flat)?;
     Ok(run_campaign_from_parts(scenarios, opts, &plans, results))
 }
@@ -273,6 +273,117 @@ pub fn resolve(names: &[String]) -> Result<Vec<&'static Scenario>, String> {
     names.iter().map(|name| find(name).ok_or_else(|| name.clone())).collect()
 }
 
+/// A campaign description submitted to the multi-campaign coordinator
+/// service (`POST /campaigns`): which scenarios to run and the
+/// [`ExperimentOpts`] to plan them under.
+///
+/// The wire format is one JSON object — `{"scenarios": ["fig1", ...],
+/// "insts": N, "warmup": N, "seed": N, "quick": bool}` with everything
+/// but `scenarios` optional — parsed by the same literal-preserving
+/// [`crate::parse_json`] reader the metrics codec uses, and validated
+/// against the registry so an unknown scenario is rejected at admission
+/// instead of surfacing as plan drift mid-campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRequest {
+    /// Registered scenario names, in run order (`all` already expanded
+    /// by the submitting client).
+    pub scenarios: Vec<String>,
+    /// The options every scenario is planned and assembled with
+    /// (`jobs` stays at its default: worker-side parallelism is the
+    /// workers' business, not the description's).
+    pub opts: ExperimentOpts,
+}
+
+impl CampaignRequest {
+    /// Builds a description for registered scenario names.
+    pub fn new(scenarios: Vec<String>, opts: ExperimentOpts) -> Self {
+        CampaignRequest { scenarios, opts }
+    }
+
+    /// Renders the JSON document the `submit` subcommand POSTs.
+    pub fn to_json(&self) -> String {
+        let names: Vec<String> =
+            self.scenarios.iter().map(|s| format!("\"{}\"", crate::json::escape(s))).collect();
+        format!(
+            "{{\"scenarios\": [{}], \"insts\": {}, \"warmup\": {}, \"seed\": {}, \"quick\": {}}}",
+            names.join(", "),
+            self.opts.insts,
+            self.opts.warmup,
+            self.opts.seed,
+            self.opts.quick
+        )
+    }
+
+    /// Parses and validates one submitted campaign description.
+    ///
+    /// Strict on shape: unknown top-level keys are rejected (a typo'd
+    /// option must not silently plan a default campaign), `scenarios`
+    /// must name at least one registered scenario, and every name must
+    /// resolve against the registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason fit for a `400` response body.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let v = crate::parse_json(body).map_err(|e| e.to_string())?;
+        let crate::JsonValue::Object(fields) = &v else {
+            return Err("campaign description must be a JSON object".to_string());
+        };
+        for (key, _) in fields {
+            if !matches!(key.as_str(), "scenarios" | "insts" | "warmup" | "seed" | "quick") {
+                return Err(format!("unknown campaign field `{key}`"));
+            }
+        }
+        let scenarios = v
+            .get("scenarios")
+            .ok_or("campaign description lacks `scenarios`")?
+            .as_array()
+            .ok_or("`scenarios` must be an array of scenario names")?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "non-string entry in `scenarios`".to_string())
+            })
+            .collect::<Result<Vec<String>, String>>()?;
+        if scenarios.is_empty() {
+            return Err("`scenarios` must name at least one scenario".to_string());
+        }
+        for name in &scenarios {
+            if find(name).is_none() {
+                return Err(format!("unknown scenario `{name}` (see experiments --list)"));
+            }
+        }
+        let mut opts = ExperimentOpts::default();
+        let number = |key: &str| -> Result<Option<u64>, String> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(n) => {
+                    n.as_u64().map(Some).ok_or_else(|| format!("`{key}` must be a whole number"))
+                }
+            }
+        };
+        if let Some(n) = number("insts")? {
+            opts.insts = n;
+        }
+        if let Some(n) = number("warmup")? {
+            opts.warmup = n;
+        }
+        if let Some(n) = number("seed")? {
+            opts.seed = n;
+        }
+        if let Some(q) = v.get("quick") {
+            opts.quick = q.as_bool().ok_or("`quick` must be a boolean")?;
+        }
+        Ok(CampaignRequest { scenarios, opts })
+    }
+
+    /// Resolves the (already validated) names to registry entries.
+    pub fn resolve(&self) -> Vec<&'static Scenario> {
+        resolve(&self.scenarios).expect("names were validated at parse time")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,5 +451,42 @@ mod tests {
         assert_eq!(t.header_cells(), &["series", "index", "value"]);
         assert_eq!(t.len(), 3);
         assert_eq!(t.data_rows()[2], vec!["b".to_string(), "0".into(), "3".into()]);
+    }
+
+    #[test]
+    fn campaign_request_round_trips_and_defaults_omitted_options() {
+        let opts = ExperimentOpts { insts: 9_000, quick: true, ..Default::default() };
+        let req = CampaignRequest::new(vec!["fig6".into(), "table2".into()], opts);
+        let parsed = CampaignRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(parsed.scenarios, req.scenarios);
+        assert_eq!(parsed.opts.insts, 9_000);
+        assert!(parsed.opts.quick);
+        assert_eq!(parsed.resolve()[1].name, "table2");
+
+        let minimal = CampaignRequest::from_json("{\"scenarios\": [\"fig6\"]}").unwrap();
+        assert_eq!(minimal.opts.insts, ExperimentOpts::default().insts);
+        assert_eq!(minimal.opts.seed, 42);
+        assert!(!minimal.opts.quick);
+    }
+
+    #[test]
+    fn campaign_request_rejects_bad_descriptions_with_useful_reasons() {
+        let unknown = CampaignRequest::from_json("{\"scenarios\": [\"fig4\"]}").unwrap_err();
+        assert!(unknown.contains("fig4"), "{unknown}");
+        let typo =
+            CampaignRequest::from_json("{\"scenarios\": [\"fig6\"], \"inst\": 5}").unwrap_err();
+        assert!(typo.contains("inst"), "{typo}");
+        assert!(CampaignRequest::from_json("{\"scenarios\": []}").is_err(), "empty campaign");
+        assert!(CampaignRequest::from_json("{}").is_err(), "missing scenarios");
+        assert!(CampaignRequest::from_json("[1, 2]").is_err(), "non-object");
+        assert!(CampaignRequest::from_json("{not json").is_err());
+        assert!(
+            CampaignRequest::from_json("{\"scenarios\": [\"fig6\"], \"quick\": 1}").is_err(),
+            "non-boolean quick"
+        );
+        assert!(
+            CampaignRequest::from_json("{\"scenarios\": [\"fig6\"], \"seed\": -1}").is_err(),
+            "negative seed"
+        );
     }
 }

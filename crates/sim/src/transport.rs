@@ -72,14 +72,14 @@ use std::time::{Duration, Instant};
 /// Socket read timeout on the worker side, and the coordinator loop's
 /// poll timeout: the granularity at which quiet periods re-check
 /// signals, supervision and lease deadlines.
-const READ_TICK: Duration = Duration::from_millis(100);
+pub(crate) const READ_TICK: Duration = Duration::from_millis(100);
 /// How long the coordinator waits for a connecting worker's hello.
-const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(30);
+pub(crate) const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(30);
 /// How long the completed coordinator keeps flushing final `done`
 /// frames to workers whose sockets are backpressured.
-const DRAIN_WINDOW: Duration = Duration::from_secs(5);
+pub(crate) const DRAIN_WINDOW: Duration = Duration::from_secs(5);
 /// How long an HTTP client may dribble its request before being reaped.
-const HTTP_CLIENT_WINDOW: Duration = Duration::from_secs(10);
+pub(crate) const HTTP_CLIENT_WINDOW: Duration = Duration::from_secs(10);
 /// First retry delay after a failed worker connect.
 const CONNECT_BACKOFF_FLOOR: Duration = Duration::from_millis(25);
 /// Retry delay cap: a thousand workers re-finding a restarted
@@ -203,12 +203,12 @@ impl JournalWriter {
 
     /// Journal position for the status endpoint: records appended this
     /// session and the durable byte length of the file.
-    fn position(&self) -> (usize, u64) {
+    pub(crate) fn position(&self) -> (usize, u64) {
         (self.appended, self.bytes)
     }
 
     /// Forces everything appended so far onto the disk.
-    fn sync(&mut self) -> io::Result<()> {
+    pub(crate) fn sync(&mut self) -> io::Result<()> {
         self.file.sync_data()?;
         self.unsynced = 0;
         Ok(())
@@ -283,9 +283,9 @@ pub struct Journal {
 /// One issued lease: the id the coordinator assigned and the plan
 /// indices the worker must simulate.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Lease {
-    id: u64,
-    indices: Vec<usize>,
+pub(crate) struct Lease {
+    pub(crate) id: u64,
+    pub(crate) indices: Vec<usize>,
 }
 
 #[derive(Debug)]
@@ -299,7 +299,7 @@ struct InFlight {
 /// and re-issue on timeout. Time is injected, so the straggler logic is
 /// unit-testable without waiting.
 #[derive(Debug)]
-struct LeaseTable {
+pub(crate) struct LeaseTable {
     chunk: usize,
     timeout: Duration,
     pending: VecDeque<usize>,
@@ -311,7 +311,7 @@ struct LeaseTable {
 
 impl LeaseTable {
     /// `chunk` = indices per lease (0 = auto: ~64 leases per campaign).
-    fn new(runs: usize, chunk: usize, timeout: Duration) -> Self {
+    pub(crate) fn new(runs: usize, chunk: usize, timeout: Duration) -> Self {
         let chunk = if chunk == 0 { (runs / 64).max(1) } else { chunk };
         LeaseTable {
             chunk,
@@ -328,7 +328,7 @@ impl LeaseTable {
     /// unfilled remainder of the most overdue timed-out lease (straggler
     /// re-issue — the original worker keeps streaming, duplicates are
     /// dropped by [`record`](Self::record)'s filled check).
-    fn grab(&mut self, now: Instant) -> Option<Lease> {
+    pub(crate) fn grab(&mut self, now: Instant) -> Option<Lease> {
         let indices: Vec<usize> = if self.pending.is_empty() {
             let overdue = self
                 .in_flight
@@ -356,7 +356,7 @@ impl LeaseTable {
 
     /// Marks a plan index as completed. Returns `false` for a duplicate
     /// (already filled — e.g. a straggler finishing re-issued work).
-    fn record(&mut self, index: usize) -> bool {
+    pub(crate) fn record(&mut self, index: usize) -> bool {
         if self.filled[index] {
             return false;
         }
@@ -368,7 +368,7 @@ impl LeaseTable {
     }
 
     /// Re-queues a disconnected worker's unfinished lease indices.
-    fn release(&mut self, id: u64) -> usize {
+    pub(crate) fn release(&mut self, id: u64) -> usize {
         let Some(at) = self.in_flight.iter().position(|l| l.id == id) else {
             return 0; // already satisfied or superseded
         };
@@ -387,16 +387,16 @@ impl LeaseTable {
     /// replay marks indices filled *before* any lease is issued; without
     /// this, the initial queue would lease (and re-simulate) work the
     /// interrupted run already finished.
-    fn prune_pending(&mut self) {
+    pub(crate) fn prune_pending(&mut self) {
         let filled = &self.filled;
         self.pending.retain(|&i| !filled[i]);
     }
 
-    fn is_filled(&self, index: usize) -> bool {
+    pub(crate) fn is_filled(&self, index: usize) -> bool {
         self.filled[index]
     }
 
-    fn complete(&self) -> bool {
+    pub(crate) fn complete(&self) -> bool {
         self.completed == self.filled.len()
     }
 
@@ -405,7 +405,7 @@ impl LeaseTable {
     /// size. `leased` is derived (plan − completed − pending) because a
     /// partially-completed in-flight lease still holds its filled
     /// indices.
-    fn counts(&self) -> (usize, usize, usize) {
+    pub(crate) fn counts(&self) -> (usize, usize, usize) {
         let completed = self.completed;
         let pending = self.pending.len();
         (completed, (self.filled.len() - completed).saturating_sub(pending), pending)
@@ -467,12 +467,16 @@ impl ServeSignals {
         self.finished.load(Ordering::SeqCst)
     }
 
-    fn aborted(&self) -> bool {
+    pub(crate) fn aborted(&self) -> bool {
         self.abort.load(Ordering::SeqCst)
     }
 
-    fn abort_reason(&self) -> String {
+    pub(crate) fn abort_reason(&self) -> String {
         self.reason.lock().unwrap().clone().unwrap_or_else(|| "aborted".into())
+    }
+
+    pub(crate) fn mark_finished(&self) {
+        self.finished.store(true, Ordering::SeqCst);
     }
 }
 
@@ -507,14 +511,25 @@ pub struct ServeConfig<'a> {
     pub supervise: Option<&'a mut dyn FnMut() -> Option<String>>,
 }
 
-struct ServeState {
-    table: LeaseTable,
-    slots: Vec<Option<RunResult>>,
-    fatal: Option<ExecutorError>,
-    journal: Option<JournalWriter>,
+pub(crate) struct ServeState {
+    pub(crate) table: LeaseTable,
+    pub(crate) slots: Vec<Option<RunResult>>,
+    pub(crate) fatal: Option<ExecutorError>,
+    pub(crate) journal: Option<JournalWriter>,
 }
 
 impl ServeState {
+    /// Fresh bookkeeping for a `runs`-spec plan (the multi-campaign
+    /// service builds one per submitted campaign).
+    pub(crate) fn new(runs: usize, chunk: usize, lease_timeout: Duration) -> Self {
+        ServeState {
+            table: LeaseTable::new(runs, chunk, lease_timeout),
+            slots: (0..runs).map(|_| None).collect(),
+            fatal: None,
+            journal: None,
+        }
+    }
+
     fn stop(&self) -> bool {
         self.fatal.is_some() || self.table.complete()
     }
@@ -524,7 +539,7 @@ impl ServeState {
     /// which skips re-appending what was just read back). Out-of-plan
     /// indices, fingerprint mismatches and journal-append failures are
     /// fatal; duplicates are silently dropped (`Ok(false)`).
-    fn admit(
+    pub(crate) fn admit(
         &mut self,
         specs: &[&RunSpec],
         record: ShardRecord,
@@ -628,12 +643,7 @@ pub fn serve(
 pub fn serve_with(cfg: ServeConfig<'_>) -> Result<Vec<RunResult>, ExecutorError> {
     let ServeConfig { listener, http, header, specs, opts, signals, journal, cache, mut supervise } =
         cfg;
-    let mut state = ServeState {
-        table: LeaseTable::new(specs.len(), opts.chunk, opts.lease_timeout),
-        slots: (0..specs.len()).map(|_| None).collect(),
-        fatal: None,
-        journal: None,
-    };
+    let mut state = ServeState::new(specs.len(), opts.chunk, opts.lease_timeout);
     let mut replayed = 0usize;
     if let Some(journal) = journal {
         state.journal = Some(journal.writer);
@@ -1002,6 +1012,19 @@ pub fn serve_with(cfg: ServeConfig<'_>) -> Result<Vec<RunResult>, ExecutorError>
                             conn.dead = true;
                         }
                     }
+                    http::Parse::TooLarge(detail) => {
+                        let body = format!("{detail}\n");
+                        conn.out.queue_bytes(&http::respond(
+                            413,
+                            "Payload Too Large",
+                            "text/plain",
+                            &body,
+                        ));
+                        conn.responded = true;
+                        if conn.out.flush(&mut conn.stream).is_err() {
+                            conn.dead = true;
+                        }
+                    }
                 }
             }
             if conn.responded && !conn.out.pending() {
@@ -1061,7 +1084,7 @@ pub fn serve_with(cfg: ServeConfig<'_>) -> Result<Vec<RunResult>, ExecutorError>
             }
         }
     }
-    signals.finished.store(true, Ordering::SeqCst);
+    signals.mark_finished();
 
     if let Some(e) = state.fatal {
         return Err(e);
@@ -1112,7 +1135,30 @@ fn status_json(
     let (completed, leased, pending) = state.table.counts();
     let scenarios: Vec<String> =
         header.scenarios.iter().map(|s| format!("\"{}\"", json::escape(s))).collect();
-    let roster: Vec<String> = workers
+    let roster = worker_roster_json(workers);
+    let journal = state.journal.as_ref().map_or("null".to_string(), |writer| {
+        let (records, bytes) = writer.position();
+        format!("{{\"records\": {records}, \"replayed\": {replayed}, \"bytes\": {bytes}}}")
+    });
+    format!(
+        "{{\"schema\": \"rfcache-coordinator/v1\", \"fingerprint\": \"{fingerprint:016x}\", \
+         \"scenarios\": [{}], \"runs\": {}, \"completed\": {completed}, \"leased\": {leased}, \
+         \"pending\": {pending}, \"cached\": {cached}, \"complete\": {}, \"elapsed_secs\": {:.3}, \
+         \"workers_joined\": {joined_total}, \"workers_connected\": {}, \"workers\": [{}], \
+         \"journal\": {journal}}}\n",
+        scenarios.join(", "),
+        state.slots.len(),
+        state.table.complete(),
+        started.elapsed().as_secs_f64(),
+        workers.iter().filter(|c| c.dead.is_none()).count(),
+        roster.join(", ")
+    )
+}
+
+/// Renders the per-worker roster entries shared by the single-campaign
+/// `/status` document and the multi-campaign service's status pages.
+pub(crate) fn worker_roster_json(workers: &[WorkerConn]) -> Vec<String> {
+    workers
         .iter()
         .map(|conn| {
             let phase = match conn.phase {
@@ -1132,24 +1178,7 @@ fn status_json(
                 conn.records
             )
         })
-        .collect();
-    let journal = state.journal.as_ref().map_or("null".to_string(), |writer| {
-        let (records, bytes) = writer.position();
-        format!("{{\"records\": {records}, \"replayed\": {replayed}, \"bytes\": {bytes}}}")
-    });
-    format!(
-        "{{\"schema\": \"rfcache-coordinator/v1\", \"fingerprint\": \"{fingerprint:016x}\", \
-         \"scenarios\": [{}], \"runs\": {}, \"completed\": {completed}, \"leased\": {leased}, \
-         \"pending\": {pending}, \"cached\": {cached}, \"complete\": {}, \"elapsed_secs\": {:.3}, \
-         \"workers_joined\": {joined_total}, \"workers_connected\": {}, \"workers\": [{}], \
-         \"journal\": {journal}}}\n",
-        scenarios.join(", "),
-        state.slots.len(),
-        state.table.complete(),
-        started.elapsed().as_secs_f64(),
-        workers.iter().filter(|c| c.dead.is_none()).count(),
-        roster.join(", ")
-    )
+        .collect()
 }
 
 fn send_line(stream: &mut TcpStream, frame: &Frame) -> io::Result<()> {
@@ -1245,24 +1274,61 @@ pub struct WorkSummary {
 /// unreachable, the handshake reveals plan drift, or the connection
 /// breaks mid-campaign.
 pub fn work(addr: &str, opts: &WorkOptions) -> Result<WorkSummary, String> {
-    let mut stream = connect_retry(addr, opts.connect_timeout)?;
-    stream.set_nodelay(true).ok();
-    let mut buf = LineBuffer::new();
     let read_err = |e: io::Error| format!("coordinator {addr}: {e}");
 
-    // Handshake: campaign in, our fingerprint of the re-derived plan out.
-    let first = read_frame(&mut stream, &mut buf, Instant::now() + HANDSHAKE_DEADLINE, &|| false)
-        .map_err(read_err)?
-        .ok_or_else(|| format!("coordinator {addr}: no hello before deadline"))?;
-    let Frame::Hello { campaign: Some(header), fingerprint: coordinator_fp } = first else {
-        return Err(format!("coordinator {addr}: expected hello with campaign, got {first:?}"));
+    // Handshake: campaign in, our fingerprint of the re-derived plan
+    // out. A multi-campaign service that has nothing to lease answers
+    // with `retry` instead of a hello — back off and reconnect until a
+    // campaign is being served or the connect window runs out (the
+    // window that used to cover only the initial connect now covers
+    // campaign acquisition too, so a worker never wedges in a handshake
+    // that cannot progress).
+    let acquire_deadline = Instant::now() + opts.connect_timeout;
+    let (mut stream, mut buf, header, coordinator_fp) = loop {
+        let window = acquire_deadline.saturating_duration_since(Instant::now());
+        let mut stream = connect_retry(addr, window)?;
+        stream.set_nodelay(true).ok();
+        let mut buf = LineBuffer::new();
+        let first =
+            read_frame(&mut stream, &mut buf, Instant::now() + HANDSHAKE_DEADLINE, &|| false)
+                .map_err(read_err)?
+                .ok_or_else(|| format!("coordinator {addr}: no hello before deadline"))?;
+        match first {
+            Frame::Hello { campaign: Some(header), fingerprint } => {
+                break (stream, buf, header, fingerprint)
+            }
+            Frame::Retry { after_ms } => {
+                drop(stream);
+                let now = Instant::now();
+                if now >= acquire_deadline {
+                    return Err(format!(
+                        "coordinator {addr} has no campaign to serve (kept retrying for \
+                         {:.1}s; submit one or raise --connect-timeout)",
+                        opts.connect_timeout.as_secs_f64()
+                    ));
+                }
+                let pause = Duration::from_millis(after_ms)
+                    .min(acquire_deadline.saturating_duration_since(now));
+                eprintln!(
+                    "[work: coordinator {addr} has no campaign to serve; retrying in {} ms]",
+                    pause.as_millis()
+                );
+                std::thread::sleep(pause);
+                continue;
+            }
+            first => {
+                return Err(format!(
+                    "coordinator {addr}: expected hello with campaign, got {first:?}"
+                ))
+            }
+        }
     };
     let scenarios = scenario::resolve(&header.scenarios).map_err(|name| {
         format!("coordinator campaign references unknown scenario {name} (different binary?)")
     })?;
     let exp_opts = header.opts();
     let plans: Vec<Vec<RunSpec>> = scenarios.iter().map(|s| s.plan(&exp_opts)).collect();
-    let flat: Vec<&RunSpec> = plans.iter().flatten().collect();
+    let flat = crate::run::flatten_plans(&plans);
     let fingerprint = campaign_fingerprint(&flat);
     send_line(&mut stream, &Frame::Hello { campaign: None, fingerprint }).map_err(read_err)?;
     if flat.len() != header.runs || fingerprint != coordinator_fp {

@@ -91,6 +91,9 @@ proptest! {
                 Parse::Invalid(why) => {
                     prop_assert!(false, "valid request rejected: {}", why);
                 }
+                Parse::TooLarge(why) => {
+                    prop_assert!(false, "bodyless request rejected as oversized: {}", why);
+                }
             }
         }
         let req = resolved.expect("the complete head parses Ready");
@@ -111,5 +114,72 @@ proptest! {
         let junk = vec![b'a'; MAX_HEAD + beyond];
         prop_assert!(matches!(parse_request(&junk), Parse::Invalid(_)));
         prop_assert_eq!(parse_request(&junk[..MAX_HEAD]), Parse::Incomplete);
+    }
+}
+
+proptest! {
+    /// Request bodies under arbitrary TCP chunking: a POST whose
+    /// `Content-Length` covers an arbitrary byte body must stay
+    /// `Incomplete` on every strict prefix (of head *and* body), resolve
+    /// `Ready` with the body collected exactly, and parse identically no
+    /// matter where the chunk boundaries land — including boundaries
+    /// that split the blank line or the body itself.
+    #[test]
+    fn chunked_bodies_are_collected_exactly_and_never_resolve_early(
+        target_idx in proptest::collection::vec(0usize..40, 0..24),
+        body_bytes in proptest::collection::vec(0usize..256, 0..512),
+        bare_lf in 0u32..2,
+        cuts in proptest::collection::vec(0usize..4096, 0..16),
+    ) {
+        let target = format!("/{}", from_charset(TARGET_CHARS, &target_idx));
+        let body: Vec<u8> = body_bytes.iter().map(|&b| b as u8).collect();
+        let eol = if bare_lf == 1 { "\n" } else { "\r\n" };
+        let mut raw = format!(
+            "POST {target} HTTP/1.1{eol}Content-Length: {}{eol}{eol}",
+            body.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&body);
+
+        // Every strict prefix — mid-head, mid-blank-line, or mid-body —
+        // must stay Incomplete.
+        for cut in 0..raw.len() {
+            prop_assert_eq!(
+                parse_request(&raw[..cut]),
+                Parse::Incomplete,
+                "prefix of {} bytes resolved early",
+                cut
+            );
+        }
+
+        // Chunked accumulation must land on the same Ready parse.
+        let mut points: Vec<usize> = if raw.is_empty() {
+            Vec::new()
+        } else {
+            cuts.iter().map(|c| c % raw.len()).collect()
+        };
+        points.sort_unstable();
+        points.dedup();
+        points.push(raw.len());
+        let mut buf: Vec<u8> = Vec::new();
+        let mut start = 0;
+        let mut resolved = None;
+        for end in points {
+            buf.extend_from_slice(&raw[start..end]);
+            start = end;
+            match parse_request(&buf) {
+                Parse::Incomplete => prop_assert!(end < raw.len(), "full request must resolve"),
+                Parse::Ready(req) => {
+                    prop_assert_eq!(end, raw.len(), "resolved before the body was complete");
+                    resolved = Some(req);
+                }
+                Parse::Invalid(why) => prop_assert!(false, "valid POST rejected: {}", why),
+                Parse::TooLarge(why) => prop_assert!(false, "small body rejected: {}", why),
+            }
+        }
+        let req = resolved.expect("the complete request parses Ready");
+        prop_assert_eq!(req.method, "POST");
+        prop_assert_eq!(req.target, target);
+        prop_assert_eq!(req.body, body, "the body must be collected byte-exactly");
     }
 }
