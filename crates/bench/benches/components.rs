@@ -111,7 +111,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cpu_20k_insts_li_1cycle", |b| {
         b.iter(|| {
-            rfcache_sim::RunSpec::new(
+            rfcache_sim::RunSpec::known(
                 "li",
                 rfcache_core::RegFileConfig::Single(SingleBankConfig::one_cycle()),
             )
@@ -124,7 +124,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     });
     group.bench_function("cpu_20k_insts_li_rfc", |b| {
         b.iter(|| {
-            rfcache_sim::RunSpec::new(
+            rfcache_sim::RunSpec::known(
                 "li",
                 rfcache_core::RegFileConfig::Cache(RegFileCacheConfig::paper_default()),
             )

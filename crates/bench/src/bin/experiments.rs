@@ -144,29 +144,31 @@ use rfcache_sim::executor::{
 };
 use rfcache_sim::experiments::ExperimentOpts;
 use rfcache_sim::metrics_codec::CampaignHeader;
+use rfcache_sim::sweep::SweepDef;
 use rfcache_sim::transport::{self, ServeOptions, WorkOptions};
 use rfcache_sim::{
     http, parse_json, run_campaign_from_parts, run_campaign_planned, run_campaign_planned_with,
-    scenario, write_csv, write_json, JsonValue, RunSpec, ScenarioReport, TextTable,
+    scenario, write_csv, write_json, JsonValue, Registry, RunSpec, ScenarioReport, TextTable,
 };
 use std::io::{BufRead as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-const USAGE: &str = "usage: experiments --list
+const USAGE: &str = "usage: experiments --list [--sweep FILE]
        experiments <name>... | all [--insts N] [--warmup N] [--seed N] [--quick] [--jobs N]
                                    [--csv DIR] [--json DIR] [--workers N] [--dist-workers N]
-                                   [--cache DIR]
+                                   [--cache DIR] [--sweep FILE]
        experiments <name>... | all [opts] --shard I/N [--out FILE] [--cache DIR]
+       experiments sweep FILE... [same options as a named campaign]
        experiments merge FILE... [--csv DIR] [--json DIR]
        experiments serve --bind ADDR [--http ADDR] [--expect K] [--lease-timeout SECS]
                          [--chunk N] [--journal FILE [--journal-sync N]] [--cache DIR]
-                         <name>... | all [opts] [--csv DIR] [--json DIR]
+                         <name>... | all [opts] [--csv DIR] [--json DIR] [--sweep FILE]
        experiments serve --bind ADDR --http ADDR [--lease-timeout SECS] [--chunk N]
                          [--journal DIR [--journal-sync N]] [--cache DIR]
                          [--max-campaigns N]
        experiments submit --connect ADDR <name>... | all [--insts N] [--warmup N]
-                          [--seed N] [--quick] [--json]
+                          [--seed N] [--quick] [--json] [--sweep FILE]
        experiments fetch --connect ADDR --id N [--timeout SECS] [--csv DIR] [--json DIR]
        experiments work --connect ADDR [--jobs N] [--connect-timeout SECS]
                         [--quit-after-leases N]
@@ -186,7 +188,7 @@ fn main() {
         std::process::exit(2);
     }
     if args.iter().any(|a| a == "--list") {
-        list();
+        list(&args);
         return;
     }
     match args[0].as_str() {
@@ -199,8 +201,38 @@ fn main() {
         "status" => status_main(&args[1..]),
         "cache" => cache_main(&args[1..]),
         "bench" => bench_main(&args[1..]),
+        "sweep" => sweep_main(&args[1..]),
         _ => run_main(&args),
     }
+}
+
+/// `experiments sweep FILE...`: shorthand for a campaign whose
+/// positional arguments are sweep definition files instead of scenario
+/// names — every flag a named campaign takes works here too.
+fn sweep_main(args: &[String]) {
+    let mut rewritten: Vec<String> = Vec::new();
+    let mut files = 0usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--quick" {
+            rewritten.push(arg.clone());
+        } else if arg.starts_with("--") {
+            // Every other run_main flag takes a value; carry it through
+            // so its value is not mistaken for a sweep file.
+            rewritten.push(arg.clone());
+            if let Some(value) = it.next() {
+                rewritten.push(value.clone());
+            }
+        } else {
+            files += 1;
+            rewritten.push("--sweep".to_string());
+            rewritten.push(arg.clone());
+        }
+    }
+    if files == 0 {
+        usage_error("sweep needs at least one definition file: sweep FILE...");
+    }
+    run_main(&rewritten);
 }
 
 fn run_main(args: &[String]) {
@@ -215,6 +247,7 @@ fn run_main(args: &[String]) {
     let mut journal_sync: Option<usize> = None;
     let mut http: Option<String> = None;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut sweep_files: Vec<PathBuf> = Vec::new();
     let mut names: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -228,6 +261,7 @@ fn run_main(args: &[String]) {
             "--json" => json_dir = Some(parse_path("--json", it.next())),
             "--shard" => shard = Some(parse_shard(it.next())),
             "--out" => out_file = Some(parse_path("--out", it.next())),
+            "--sweep" => sweep_files.push(parse_path("--sweep", it.next())),
             "--workers" => {
                 workers = Some(parse_positive("--workers", it.next()));
             }
@@ -271,16 +305,27 @@ fn run_main(args: &[String]) {
         usage_error("--http requires --dist-workers (or the serve/resume subcommands)");
     }
 
-    let selected = select_scenarios(&names);
+    let registry = load_registry(&sweep_files);
+    let names = with_sweep_names(names, &registry);
+    let selected = select_scenarios(&registry, &names);
 
     // One flat work queue across every selected scenario: the tail of
-    // one sweep overlaps the head of the next.
+    // one scenario's runs overlaps the head of the next.
     let plans: Vec<_> = selected.iter().map(|s| s.plan(&opts)).collect();
     let runs: usize = plans.iter().map(Vec::len).sum();
     let start = Instant::now();
 
     if let Some((index, count)) = shard {
-        run_worker(&selected, &opts, &plans, index, count, out_file, cache_dir.as_deref());
+        run_worker(
+            &selected,
+            &registry,
+            &opts,
+            &plans,
+            index,
+            count,
+            out_file,
+            cache_dir.as_deref(),
+        );
         eprintln!(
             "[shard {index}/{count}: {} of {runs} simulation(s), {:.1}s]",
             (0..runs).filter(|i| i % count == index).count(),
@@ -294,8 +339,12 @@ fn run_main(args: &[String]) {
             .unwrap_or_else(|e| die(&format!("cannot locate this executable: {e}")));
         let scratch = std::env::temp_dir().join(format!("rfcache_shards_{}", std::process::id()));
         let worker_opts = ExperimentOpts { jobs: split_jobs(opts.jobs, count), ..opts };
-        let mut executor =
-            Subprocess::new(exe, campaign_args(&selected, &worker_opts), count, &scratch);
+        let mut executor = Subprocess::new(
+            exe,
+            campaign_args(&selected, &worker_opts, &sweep_files),
+            count,
+            &scratch,
+        );
         if let Some(dir) = &cache_dir {
             executor = executor.cache(dir);
         }
@@ -313,6 +362,7 @@ fn run_main(args: &[String]) {
             &opts,
             serve_opts,
         )
+        .sweeps(registry.sweep_texts().to_vec())
         .self_spawn(exe, count, split_jobs(opts.jobs, count));
         if let Some(path) = journal {
             executor = executor.journal(JournalSpec {
@@ -419,11 +469,13 @@ fn serve_main(args: &[String]) {
     let mut journal_sync: Option<usize> = None;
     let mut cache_dir: Option<PathBuf> = None;
     let mut max_campaigns: Option<usize> = None;
+    let mut sweep_files: Vec<PathBuf> = Vec::new();
     let mut names: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--bind" => bind = Some(parse_value("--bind", it.next())),
+            "--sweep" => sweep_files.push(parse_path("--sweep", it.next())),
             "--http" => http = Some(parse_value("--http", it.next())),
             "--max-campaigns" => {
                 max_campaigns = Some(parse_positive("--max-campaigns", it.next()));
@@ -461,7 +513,7 @@ fn serve_main(args: &[String]) {
     if journal_sync.is_some() && journal.is_none() {
         usage_error("--journal-sync requires --journal");
     }
-    if names.is_empty() {
+    if names.is_empty() && sweep_files.is_empty() {
         // No campaign on the command line: run the multi-campaign
         // service and take campaigns over the control plane instead.
         if csv_dir.is_some() || json_dir.is_some() {
@@ -496,7 +548,9 @@ fn serve_main(args: &[String]) {
     if max_campaigns.is_some() {
         usage_error("--max-campaigns is a campaign-service flag: drop the scenario names");
     }
-    let selected = select_scenarios(&names);
+    let registry = load_registry(&sweep_files);
+    let names = with_sweep_names(names, &registry);
+    let selected = select_scenarios(&registry, &names);
     let plans: Vec<_> = selected.iter().map(|s| s.plan(&opts)).collect();
     let runs: usize = plans.iter().map(Vec::len).sum();
     let start = Instant::now();
@@ -505,7 +559,8 @@ fn serve_main(args: &[String]) {
         selected.iter().map(|s| s.name.to_string()).collect(),
         &opts,
         serve_opts,
-    );
+    )
+    .sweeps(registry.sweep_texts().to_vec());
     if let Some(path) = journal {
         executor = executor.journal(JournalSpec {
             path,
@@ -588,11 +643,13 @@ fn submit_main(args: &[String]) {
     let mut opts = ExperimentOpts::default();
     let mut connect: Option<String> = None;
     let mut raw = false;
+    let mut sweep_files: Vec<PathBuf> = Vec::new();
     let mut names: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--connect" => connect = Some(parse_value("--connect", it.next())),
+            "--sweep" => sweep_files.push(parse_path("--sweep", it.next())),
             "--insts" => opts.insts = parse_num("--insts", it.next()),
             "--warmup" => opts.warmup = parse_num("--warmup", it.next()),
             "--seed" => opts.seed = parse_num("--seed", it.next()),
@@ -611,9 +668,12 @@ fn submit_main(args: &[String]) {
     let Some(addr) = connect else {
         usage_error("submit needs --connect ADDR (the service's --http address)");
     };
-    let selected = select_scenarios(&names);
+    let registry = load_registry(&sweep_files);
+    let names = with_sweep_names(names, &registry);
+    let selected = select_scenarios(&registry, &names);
     let request =
-        scenario::CampaignRequest::new(selected.iter().map(|s| s.name.to_string()).collect(), opts);
+        scenario::CampaignRequest::new(selected.iter().map(|s| s.name.to_string()).collect(), opts)
+            .with_sweeps(registry.sweep_texts().to_vec());
     let (code, body) = http::post(
         &addr,
         "/campaigns",
@@ -809,11 +869,11 @@ fn resume_main(args: &[String]) {
     let header = CampaignHeader::parse(header_line.trim_end())
         .unwrap_or_else(|e| die(&format!("corrupt journal {}: line 1: {e}", journal.display())));
     let opts = header.opts();
-    let selected = scenario::resolve(&header.scenarios).unwrap_or_else(|name| {
-        die(&format!(
-            "journal references unknown scenario {name} (written by a different binary version?)"
-        ))
-    });
+    let registry = Registry::from_texts(&header.sweeps)
+        .unwrap_or_else(|e| die(&format!("journal carries an invalid sweep definition: {e}")));
+    let selected = registry
+        .resolve(&header.scenarios)
+        .unwrap_or_else(|e| die(&format!("journal {e} (written by a different binary version?)")));
     let plans: Vec<_> = selected.iter().map(|s| s.plan(&opts)).collect();
     let runs: usize = plans.iter().map(Vec::len).sum();
     if runs != header.runs {
@@ -830,6 +890,7 @@ fn resume_main(args: &[String]) {
         &opts,
         serve_opts,
     )
+    .sweeps(header.sweeps.clone())
     .journal(JournalSpec {
         path: journal,
         sync_every: journal_sync.unwrap_or(1),
@@ -1142,8 +1203,10 @@ fn cache_main(args: &[String]) {
 }
 
 /// Executes one shard of the campaign and writes the shard file.
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
-    selected: &[&'static scenario::Scenario],
+    selected: &[&scenario::Scenario],
+    registry: &Registry,
     opts: &ExperimentOpts,
     plans: &[Vec<RunSpec>],
     index: usize,
@@ -1153,7 +1216,8 @@ fn run_worker(
 ) {
     let flat = rfcache_sim::flatten_plans(plans);
     let names = selected.iter().map(|s| s.name.to_string()).collect();
-    let header = CampaignHeader::new(names, opts, index, count, flat.len());
+    let header = CampaignHeader::new(names, opts, index, count, flat.len())
+        .with_sweeps(registry.sweep_texts().to_vec());
     let cache = cache_dir.map(open_cache);
     let result = match &out_file {
         Some(path) => {
@@ -1236,13 +1300,13 @@ fn merge_main(args: &[String]) {
     }
 
     // Re-derive the plan the workers executed and verify it matches.
+    // Any declarative sweeps travelled inline in the shard headers.
     let opts = campaign.opts();
-    let selected: Vec<&'static scenario::Scenario> = scenario::resolve(&campaign.scenarios)
-        .unwrap_or_else(|name| {
-            die(&format!(
-                "shard files reference unknown scenario {name} (written by a different \
-                 binary version?)"
-            ))
+    let registry = Registry::from_texts(&campaign.sweeps)
+        .unwrap_or_else(|e| die(&format!("shard files carry an invalid sweep definition: {e}")));
+    let selected: Vec<&scenario::Scenario> =
+        registry.resolve(&campaign.scenarios).unwrap_or_else(|e| {
+            die(&format!("shard files {e} (written by a different binary version?)"))
         });
     let plans: Vec<_> = selected.iter().map(|s| s.plan(&opts)).collect();
     let flat = rfcache_sim::flatten_plans(&plans);
@@ -1266,18 +1330,44 @@ fn merge_main(args: &[String]) {
     );
 }
 
+/// Loads `--sweep` definition files into a scenario registry (dying
+/// with a usage error on an invalid definition or duplicate name).
+fn load_registry(files: &[PathBuf]) -> Registry {
+    let defs: Vec<SweepDef> = files
+        .iter()
+        .map(|path| SweepDef::load(&path.display().to_string()).unwrap_or_else(|e| usage_error(&e)))
+        .collect();
+    Registry::with_sweeps(defs).unwrap_or_else(|e| usage_error(&e))
+}
+
+/// Appends loaded sweep names to the selection so `--sweep FILE` runs
+/// the sweep without repeating its name (explicit names, including
+/// `all`, already cover it through the registry).
+fn with_sweep_names<'a>(mut names: Vec<&'a str>, registry: &'a Registry) -> Vec<&'a str> {
+    if names.contains(&"all") {
+        return names;
+    }
+    for s in registry.sweeps() {
+        if !names.contains(&s.name.as_str()) {
+            names.push(&s.name);
+        }
+    }
+    names
+}
+
 /// Resolves scenario names (or `all`) against the registry.
-fn select_scenarios(names: &[&str]) -> Vec<&'static scenario::Scenario> {
-    let selected: Vec<&'static scenario::Scenario> = if names.contains(&"all") {
+fn select_scenarios<'r>(registry: &'r Registry, names: &[&str]) -> Vec<&'r scenario::Scenario> {
+    let selected: Vec<&scenario::Scenario> = if names.contains(&"all") {
         if names.len() > 1 {
             usage_error("`all` cannot be combined with scenario names");
         }
-        scenario::registry().iter().collect()
+        registry.iter().collect()
     } else {
         names
             .iter()
             .map(|name| {
-                scenario::find(name)
+                registry
+                    .find(name)
                     .unwrap_or_else(|| usage_error(&format!("unknown experiment {name}")))
             })
             .collect()
@@ -1290,7 +1380,7 @@ fn select_scenarios(names: &[&str]) -> Vec<&'static scenario::Scenario> {
 
 /// Prints each report to stdout and writes the requested exports.
 fn emit_reports(
-    selected: &[&'static scenario::Scenario],
+    selected: &[&scenario::Scenario],
     reports: &[Box<dyn ScenarioReport>],
     csv_dir: Option<&std::path::Path>,
     json_dir: Option<&std::path::Path>,
@@ -1299,12 +1389,12 @@ fn emit_reports(
         println!("{report}");
         let table = report.to_table();
         if let Some(dir) = csv_dir {
-            write_csv(dir, s.name, &table).unwrap_or_else(|e| {
+            write_csv(dir, &s.name, &table).unwrap_or_else(|e| {
                 die(&format!("cannot write {}/{}.csv: {e}", dir.display(), s.name))
             });
         }
         if let Some(dir) = json_dir {
-            write_json(dir, s.name, &table).unwrap_or_else(|e| {
+            write_json(dir, &s.name, &table).unwrap_or_else(|e| {
                 die(&format!("cannot write {}/{}.json: {e}", dir.display(), s.name))
             });
         }
@@ -1312,8 +1402,16 @@ fn emit_reports(
 }
 
 /// The arguments a shard worker needs to re-derive this campaign's plan.
-fn campaign_args(selected: &[&'static scenario::Scenario], opts: &ExperimentOpts) -> Vec<String> {
+fn campaign_args(
+    selected: &[&scenario::Scenario],
+    opts: &ExperimentOpts,
+    sweep_files: &[PathBuf],
+) -> Vec<String> {
     let mut args: Vec<String> = selected.iter().map(|s| s.name.to_string()).collect();
+    for file in sweep_files {
+        args.push("--sweep".to_string());
+        args.push(file.display().to_string());
+    }
     for (flag, value) in [
         ("--insts", opts.insts),
         ("--warmup", opts.warmup),
@@ -1329,10 +1427,28 @@ fn campaign_args(selected: &[&'static scenario::Scenario], opts: &ExperimentOpts
     args
 }
 
-fn list() {
-    let width = scenario::registry().iter().map(|s| s.name.len()).max().unwrap_or(0);
+/// `--list`: the built-in scenarios, plus any `--sweep FILE` sweeps
+/// rendered with their axis summaries.
+fn list(args: &[String]) {
+    let mut sweep_files: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sweep" => sweep_files.push(parse_path("--sweep", it.next())),
+            "--list" => {}
+            other => usage_error(&format!("--list takes only --sweep FILE, not {other}")),
+        }
+    }
+    let registry = load_registry(&sweep_files);
+    let width = registry.iter().map(|s| s.name.len()).max().unwrap_or(0);
     for s in scenario::registry() {
         println!("{:width$}  {}", s.name, s.description);
+    }
+    if !registry.sweeps().is_empty() {
+        println!("\nsweeps (runtime-loaded):");
+        for s in registry.sweeps() {
+            println!("{:width$}  {}", s.name, s.description);
+        }
     }
 }
 

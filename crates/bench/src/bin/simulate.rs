@@ -185,6 +185,7 @@ fn main() {
         cpu.run(args.insts)
     } else {
         RunSpec::new(&args.bench, rf)
+            .unwrap_or_else(|e| bail(&e))
             .pipeline(pipeline)
             .insts(args.insts)
             .warmup(args.warmup)

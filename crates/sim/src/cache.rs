@@ -54,7 +54,6 @@ use crate::json::{escape, parse_json, JsonValue};
 use crate::metrics_codec::{decode_metrics, encode_metrics};
 use crate::run::{fnv1a_64, RunResult, RunSpec};
 use rfcache_pipeline::SimMetrics;
-use rfcache_workload::BenchProfile;
 use std::fmt;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
@@ -182,17 +181,25 @@ struct Entry {
 
 impl Entry {
     /// Resolves the entry back into the [`RunResult`] the original
-    /// simulation produced.
-    fn into_run_result(self) -> Result<RunResult, String> {
-        let profile = BenchProfile::by_name(&self.bench)
-            .ok_or_else(|| format!("unknown benchmark `{}`", self.bench))?;
-        if profile.fp != self.fp {
+    /// simulation of `spec` produced, verifying the stored workload
+    /// identity against the spec being served.
+    fn into_run_result(self, spec: &RunSpec) -> Result<RunResult, String> {
+        if self.bench != spec.workload.label() {
             return Err(format!(
-                "benchmark `{}` has fp={} but the entry says fp={}",
-                self.bench, profile.fp, self.fp
+                "entry is for workload `{}` but the spec is `{}`",
+                self.bench,
+                spec.workload.label()
             ));
         }
-        Ok(RunResult { bench: profile.name, fp: profile.fp, metrics: self.metrics })
+        if self.fp != spec.workload.fp() {
+            return Err(format!(
+                "workload `{}` has fp={} but the entry says fp={}",
+                self.bench,
+                spec.workload.fp(),
+                self.fp
+            ));
+        }
+        Ok(RunResult { bench: self.bench, fp: self.fp, metrics: self.metrics })
     }
 }
 
@@ -202,7 +209,7 @@ fn render_entry(spec_text: &str, fingerprint: u64, result: &RunResult) -> String
         "{{\"schema\": \"{ENTRY_SCHEMA}\", \"fingerprint\": \"{fingerprint:016x}\", \
          \"spec\": \"{}\", \"bench\": \"{}\", \"fp\": {}, \"metrics\": {}}}",
         escape(spec_text),
-        escape(result.bench),
+        escape(&result.bench),
         result.fp,
         encode_metrics(&result.metrics),
     );
@@ -363,7 +370,7 @@ impl Cache {
         for line in complete_lines(&data) {
             let Ok(entry) = parse_entry(line) else { continue };
             if entry.fingerprint == fingerprint && entry.spec == spec_text {
-                return entry.into_run_result().ok();
+                return entry.into_run_result(spec).ok();
             }
         }
         None
@@ -515,11 +522,12 @@ impl Cache {
                 });
             }
             for (n, line) in complete_lines(&data).enumerate() {
+                // Workload identity can only be checked against a live
+                // spec at lookup time; verify covers everything
+                // self-contained (framing, checksum, schema, fingerprint
+                // vs. stored spec text, metrics decode).
                 let detail = match parse_entry(line) {
-                    Ok(entry) => match entry.into_run_result() {
-                        Ok(_) => continue,
-                        Err(e) => e,
-                    },
+                    Ok(_) => continue,
                     Err(e) => e,
                 };
                 problems.push(CacheProblem { file: path.clone(), line: n + 1, detail });
@@ -565,7 +573,7 @@ mod tests {
     }
 
     fn spec(bench: &str) -> RunSpec {
-        RunSpec::new(bench, RegFileConfig::Single(SingleBankConfig::one_cycle()))
+        RunSpec::known(bench, RegFileConfig::Single(SingleBankConfig::one_cycle()))
             .insts(1_500)
             .warmup(300)
     }

@@ -368,6 +368,10 @@ pub struct Distributed {
     bind: String,
     http_bind: Option<String>,
     scenarios: Vec<String>,
+    /// Canonical JSON texts of any declarative sweeps the scenario
+    /// names refer to — carried in the campaign header so workers can
+    /// rebuild the namespace.
+    sweeps: Vec<String>,
     opts: ExperimentOpts,
     serve_opts: crate::transport::ServeOptions,
     self_spawn: Option<SelfSpawn>,
@@ -420,12 +424,22 @@ impl Distributed {
             bind: bind.into(),
             http_bind: None,
             scenarios,
+            sweeps: Vec::new(),
             opts: *opts,
             serve_opts,
             self_spawn: None,
             journal: None,
             cache: None,
         }
+    }
+
+    /// Embeds declarative sweep definitions (canonical JSON texts) in
+    /// the campaign header, so every worker re-derives the same plan
+    /// for sweep scenarios (builder-style).
+    #[must_use]
+    pub fn sweeps(mut self, sweeps: Vec<String>) -> Self {
+        self.sweeps = sweeps;
+        self
     }
 
     /// Consults (and populates) the result cache at `dir`: cached plan
@@ -562,7 +576,8 @@ impl Executor for Distributed {
             }
             None => None,
         };
-        let header = CampaignHeader::new(self.scenarios.clone(), &self.opts, 0, 1, specs.len());
+        let header = CampaignHeader::new(self.scenarios.clone(), &self.opts, 0, 1, specs.len())
+            .with_sweeps(self.sweeps.clone());
         let journal = match &self.journal {
             Some(spec) => Some(self.open_journal(spec, &header, specs)?),
             None => None,
@@ -796,7 +811,7 @@ pub fn assemble_shard_results(
             continue;
         }
         let result = record
-            .into_run_result()
+            .into_run_result(specs[index])
             .map_err(|e| ExecutorError::PlanDrift { index, detail: e.to_string() })?;
         slots[index] = Some(result);
     }
@@ -858,7 +873,7 @@ mod tests {
         ["li", "go", "swim"]
             .iter()
             .map(|b| {
-                RunSpec::new(b, RegFileConfig::Single(SingleBankConfig::one_cycle()))
+                RunSpec::known(b, RegFileConfig::Single(SingleBankConfig::one_cycle()))
                     .insts(1_500)
                     .warmup(300)
             })

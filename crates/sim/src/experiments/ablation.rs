@@ -60,7 +60,7 @@ pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
     for (_, cfg) in &variants() {
         for b in int.iter().chain(fp.iter()) {
             specs.push(
-                RunSpec::new(b, RegFileConfig::Cache(*cfg))
+                RunSpec::known(b, RegFileConfig::Cache(*cfg))
                     .insts(opts.insts)
                     .warmup(opts.warmup)
                     .seed(opts.seed),
@@ -137,12 +137,14 @@ impl fmt::Display for AblationData {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario = Scenario::new(
-    "ablation",
-    "beyond the paper: upper-bank size, replacement, buses",
-    plan,
-    |opts, results| Box::new(assemble(opts, results)),
-);
+pub fn scenario() -> Scenario {
+    Scenario::new(
+        "ablation",
+        "beyond the paper: upper-bank size, replacement, buses",
+        plan,
+        |opts, results| Box::new(assemble(opts, results)),
+    )
+}
 
 impl ScenarioReport for AblationData {
     fn to_table(&self) -> TextTable {

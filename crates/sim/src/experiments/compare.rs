@@ -33,7 +33,7 @@ pub fn plan_archs(opts: &ExperimentOpts, archs: &[(&str, RegFileConfig)]) -> Vec
     for bench in int.iter().chain(fp.iter()) {
         for &(_, rf) in archs {
             specs.push(
-                RunSpec::new(bench, rf).insts(opts.insts).warmup(opts.warmup).seed(opts.seed),
+                RunSpec::known(bench, rf).insts(opts.insts).warmup(opts.warmup).seed(opts.seed),
             );
         }
     }

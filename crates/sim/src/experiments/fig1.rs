@@ -44,7 +44,7 @@ pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
         let pipeline = PipelineConfig::default().with_window(256).with_phys_regs(size);
         for b in int.iter().chain(fp.iter()) {
             specs.push(
-                RunSpec::new(b, one_cycle())
+                RunSpec::known(b, one_cycle())
                     .pipeline(pipeline)
                     .insts(opts.insts)
                     .warmup(opts.warmup)
@@ -103,10 +103,11 @@ impl fmt::Display for Fig1Data {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario =
+pub fn scenario() -> Scenario {
     Scenario::new("fig1", "IPC vs number of physical registers (48-256)", plan, |opts, results| {
         Box::new(assemble(opts, results))
-    });
+    })
+}
 
 impl ScenarioReport for Fig1Data {
     fn to_table(&self) -> TextTable {

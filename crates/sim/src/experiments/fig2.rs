@@ -41,12 +41,14 @@ pub fn run(opts: &ExperimentOpts) -> CompareData {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario = Scenario::new(
-    "fig2",
-    "1-cycle vs 2-cycle register files, bypass levels",
-    plan,
-    |opts, results| Box::new(assemble(opts, results)),
-);
+pub fn scenario() -> Scenario {
+    Scenario::new(
+        "fig2",
+        "1-cycle vs 2-cycle register files, bypass levels",
+        plan,
+        |opts, results| Box::new(assemble(opts, results)),
+    )
+}
 
 #[cfg(test)]
 mod tests {

@@ -37,7 +37,7 @@ pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
     int.iter()
         .chain(fp.iter())
         .map(|b| {
-            RunSpec::new(b, one_cycle())
+            RunSpec::known(b, one_cycle())
                 .pipeline(pipeline)
                 .insts(opts.insts)
                 .warmup(opts.warmup)
@@ -107,12 +107,14 @@ impl fmt::Display for Fig3Data {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario = Scenario::new(
-    "fig3",
-    "cumulative distribution of live/needed register values",
-    plan,
-    |opts, results| Box::new(assemble(opts, results)),
-);
+pub fn scenario() -> Scenario {
+    Scenario::new(
+        "fig3",
+        "cumulative distribution of live/needed register values",
+        plan,
+        |opts, results| Box::new(assemble(opts, results)),
+    )
+}
 
 impl ScenarioReport for Fig3Data {
     fn to_table(&self) -> TextTable {

@@ -43,10 +43,11 @@ pub fn run(opts: &ExperimentOpts) -> CompareData {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario =
+pub fn scenario() -> Scenario {
     Scenario::new("fig5", "register-file-cache caching x fetch policies", plan, |opts, results| {
         Box::new(assemble(opts, results))
-    });
+    })
+}
 
 #[cfg(test)]
 mod tests {

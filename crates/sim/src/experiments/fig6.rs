@@ -36,12 +36,14 @@ pub fn run(opts: &ExperimentOpts) -> CompareData {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario = Scenario::new(
-    "fig6",
-    "register file cache vs single bank, one bypass level",
-    plan,
-    |opts, results| Box::new(assemble(opts, results)),
-);
+pub fn scenario() -> Scenario {
+    Scenario::new(
+        "fig6",
+        "register file cache vs single bank, one bypass level",
+        plan,
+        |opts, results| Box::new(assemble(opts, results)),
+    )
+}
 
 #[cfg(test)]
 mod tests {

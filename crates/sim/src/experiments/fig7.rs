@@ -35,10 +35,11 @@ pub fn run(opts: &ExperimentOpts) -> CompareData {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario =
+pub fn scenario() -> Scenario {
     Scenario::new("fig7", "register file cache vs two-cycle full bypass", plan, |opts, results| {
         Box::new(assemble(opts, results))
-    });
+    })
+}
 
 #[cfg(test)]
 mod tests {

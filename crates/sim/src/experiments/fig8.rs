@@ -110,13 +110,18 @@ pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
     let mut specs: Vec<RunSpec> = int
         .iter()
         .chain(fp.iter())
-        .map(|b| RunSpec::new(b, one_cycle()).insts(opts.insts).warmup(opts.warmup).seed(opts.seed))
+        .map(|b| {
+            RunSpec::known(b, one_cycle()).insts(opts.insts).warmup(opts.warmup).seed(opts.seed)
+        })
         .collect();
     for (_, candidates) in arch_candidates(opts.quick) {
         for cand in &candidates {
             for b in int.iter().chain(fp.iter()) {
                 specs.push(
-                    RunSpec::new(b, cand.rf).insts(opts.insts).warmup(opts.warmup).seed(opts.seed),
+                    RunSpec::known(b, cand.rf)
+                        .insts(opts.insts)
+                        .warmup(opts.warmup)
+                        .seed(opts.seed),
                 );
             }
         }
@@ -222,12 +227,14 @@ impl fmt::Display for Fig8Data {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario = Scenario::new(
-    "fig8",
-    "relative performance vs area (Pareto frontiers)",
-    plan,
-    |opts, results| Box::new(assemble(opts, results)),
-);
+pub fn scenario() -> Scenario {
+    Scenario::new(
+        "fig8",
+        "relative performance vs area (Pareto frontiers)",
+        plan,
+        |opts, results| Box::new(assemble(opts, results)),
+    )
+}
 
 impl ScenarioReport for Fig8Data {
     fn to_table(&self) -> TextTable {

@@ -89,7 +89,8 @@ pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
     let mut specs = Vec::new();
     for (_, _, rf, _) in &setups() {
         for b in int.iter().chain(fp.iter()) {
-            specs.push(RunSpec::new(b, *rf).insts(opts.insts).warmup(opts.warmup).seed(opts.seed));
+            specs
+                .push(RunSpec::known(b, *rf).insts(opts.insts).warmup(opts.warmup).seed(opts.seed));
         }
     }
     specs
@@ -188,12 +189,14 @@ impl fmt::Display for Fig9Data {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario = Scenario::new(
-    "fig9",
-    "instruction throughput with cycle time factored in",
-    plan,
-    |opts, results| Box::new(assemble(opts, results)),
-);
+pub fn scenario() -> Scenario {
+    Scenario::new(
+        "fig9",
+        "instruction throughput with cycle time factored in",
+        plan,
+        |opts, results| Box::new(assemble(opts, results)),
+    )
+}
 
 impl ScenarioReport for Fig9Data {
     fn to_table(&self) -> TextTable {

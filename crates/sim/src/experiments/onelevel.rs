@@ -96,7 +96,8 @@ pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
     let mut specs = Vec::new();
     for (_, rf, _, _) in &setups(opts.quick) {
         for b in int.iter().chain(fp.iter()) {
-            specs.push(RunSpec::new(b, *rf).insts(opts.insts).warmup(opts.warmup).seed(opts.seed));
+            specs
+                .push(RunSpec::known(b, *rf).insts(opts.insts).warmup(opts.warmup).seed(opts.seed));
         }
     }
     specs
@@ -173,12 +174,14 @@ impl fmt::Display for OneLevelData {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario = Scenario::new(
-    "onelevel",
-    "beyond the paper: one-level banked organization",
-    plan,
-    |opts, results| Box::new(assemble(opts, results)),
-);
+pub fn scenario() -> Scenario {
+    Scenario::new(
+        "onelevel",
+        "beyond the paper: one-level banked organization",
+        plan,
+        |opts, results| Box::new(assemble(opts, results)),
+    )
+}
 
 impl ScenarioReport for OneLevelData {
     fn to_table(&self) -> TextTable {

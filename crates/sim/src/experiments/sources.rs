@@ -40,7 +40,9 @@ pub fn plan(opts: &ExperimentOpts) -> Vec<RunSpec> {
     let (int, fp) = super::sweep_suites(opts);
     int.iter()
         .chain(fp.iter())
-        .map(|b| RunSpec::new(b, rfc_best()).insts(opts.insts).warmup(opts.warmup).seed(opts.seed))
+        .map(|b| {
+            RunSpec::known(b, rfc_best()).insts(opts.insts).warmup(opts.warmup).seed(opts.seed)
+        })
         .collect()
 }
 
@@ -118,12 +120,14 @@ impl fmt::Display for SourcesData {
 }
 
 /// Registry entry for the scenario engine.
-pub const SCENARIO: Scenario = Scenario::new(
-    "sources",
-    "beyond the paper: operand sources and transfer traffic",
-    plan,
-    |opts, results| Box::new(assemble(opts, results)),
-);
+pub fn scenario() -> Scenario {
+    Scenario::new(
+        "sources",
+        "beyond the paper: operand sources and transfer traffic",
+        plan,
+        |opts, results| Box::new(assemble(opts, results)),
+    )
+}
 
 impl ScenarioReport for SourcesData {
     fn to_table(&self) -> TextTable {

@@ -58,12 +58,14 @@ impl fmt::Display for Table2Data {
 
 /// Registry entry for the scenario engine (the assembler ignores the
 /// options and results: the area model has no simulation inputs).
-pub const SCENARIO: Scenario = Scenario::new(
-    "table2",
-    "C1-C4 port configurations: area and cycle time vs the paper",
-    plan,
-    |_opts, _results| Box::new(run()),
-);
+pub fn scenario() -> Scenario {
+    Scenario::new(
+        "table2",
+        "C1-C4 port configurations: area and cycle time vs the paper",
+        plan,
+        |_opts, _results| Box::new(run()),
+    )
+}
 
 impl ScenarioReport for Table2Data {
     fn to_table(&self) -> TextTable {

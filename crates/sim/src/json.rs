@@ -159,6 +159,35 @@ impl JsonValue {
     }
 }
 
+/// Renders a parsed value back to canonical one-line JSON text: object
+/// keys in source order, `", "` between elements, `": "` after keys,
+/// number literals preserved verbatim.
+///
+/// Canonical rendering gives every process the *same* text for the same
+/// document, so a sweep definition embedded in a `POST /campaigns` body
+/// and the same definition read from a file on another machine produce
+/// identical [`crate::CampaignHeader`] sweep texts — which is what the
+/// campaign fingerprint machinery compares.
+pub fn render_json(value: &JsonValue) -> String {
+    match value {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Number(n) => n.clone(),
+        JsonValue::String(s) => format!("\"{}\"", escape(s)),
+        JsonValue::Array(items) => {
+            let parts: Vec<String> = items.iter().map(render_json).collect();
+            format!("[{}]", parts.join(", "))
+        }
+        JsonValue::Object(fields) => {
+            let parts: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\": {}", escape(k), render_json(v)))
+                .collect();
+            format!("{{{}}}", parts.join(", "))
+        }
+    }
+}
+
 /// A JSON parse failure: what went wrong and the byte offset it was
 /// detected at.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -540,6 +569,16 @@ mod tests {
         let rows = v.get("rows").unwrap().as_array().unwrap();
         assert_eq!(rows[0].as_array().unwrap()[0].as_str(), Some("quote\"back\\slash"));
         assert_eq!(rows[0].as_array().unwrap()[1].as_str(), Some("line\nbreak\r\ttab"));
+    }
+
+    #[test]
+    fn render_json_is_canonical_and_round_trips() {
+        let text = "{\"b\":  1,\n \"a\": [true, null, \"x\\\"y\", 1.5, 18446744073709551615]}";
+        let v = parse_json(text).unwrap();
+        let canon = render_json(&v);
+        assert_eq!(canon, "{\"b\": 1, \"a\": [true, null, \"x\\\"y\", 1.5, 18446744073709551615]}");
+        // A canonical text is a fixed point.
+        assert_eq!(render_json(&parse_json(&canon).unwrap()), canon);
     }
 
     #[test]

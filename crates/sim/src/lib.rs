@@ -12,6 +12,7 @@
 //! use rfcache_sim::RunSpec;
 //!
 //! let spec = RunSpec::new("li", RegFileConfig::Single(SingleBankConfig::one_cycle()))
+//!     .expect("li is a known benchmark")
 //!     .insts(5_000)
 //!     .warmup(1_000);
 //! let result = spec.run();
@@ -33,6 +34,7 @@ mod readiness;
 mod run;
 pub mod scenario;
 pub mod service;
+pub mod sweep;
 mod table;
 pub mod transport;
 
@@ -44,13 +46,14 @@ pub use means::{geometric_mean, harmonic_mean};
 pub use rfcache_area::{pareto_frontier, ParetoPoint};
 pub use run::{
     campaign_fingerprint, flatten_plans, fnv1a_64, par_indexed, run_suite, run_suite_jobs,
-    RunResult, RunSpec, DEFAULT_INSTS, DEFAULT_WARMUP,
+    RunResult, RunSpec, TraceWorkload, WorkloadSource, DEFAULT_INSTS, DEFAULT_WARMUP,
 };
 pub use scenario::{
     run_campaign, run_campaign_from_parts, run_campaign_planned, run_campaign_planned_with,
-    CampaignRequest, Scenario, ScenarioReport,
+    CampaignRequest, Registry, Scenario, ScenarioReport,
 };
 pub use service::{ServiceConfig, ServiceSummary};
+pub use sweep::{SweepDef, SweepReport};
 pub use table::TextTable;
 
 pub use rfcache_area as area;

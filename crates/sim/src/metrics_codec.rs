@@ -13,11 +13,10 @@
 
 use crate::experiments::ExperimentOpts;
 use crate::json::{escape, parse_json, JsonValue};
-use crate::run::RunResult;
+use crate::run::{RunResult, RunSpec};
 use rfcache_core::RegFileStats;
 use rfcache_frontend::FetchStats;
 use rfcache_pipeline::{OccupancyHistogram, SimMetrics};
-use rfcache_workload::BenchProfile;
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -190,7 +189,8 @@ pub struct ShardRecord {
     /// [`RunSpec::fingerprint`](crate::RunSpec::fingerprint) of the spec
     /// that produced the result.
     pub fingerprint: u64,
-    /// Benchmark name (resolvable via `BenchProfile::by_name`).
+    /// Workload label (a benchmark name, trace label, or family member
+    /// label — whatever the spec's workload reports).
     pub bench: String,
     /// Whether the benchmark belongs to SpecFP95.
     pub fp: bool,
@@ -250,23 +250,31 @@ impl ShardRecord {
     }
 
     /// Converts the record back into the [`RunResult`] the worker
-    /// observed, resolving the benchmark against the built-in profiles.
+    /// observed, verifying the recorded workload identity against the
+    /// campaign spec the record claims to answer.
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError`] for an unknown benchmark name or an `fp`
-    /// flag that contradicts the profile (both indicate a record from an
-    /// incompatible binary).
-    pub fn into_run_result(self) -> Result<RunResult, CodecError> {
-        let profile = BenchProfile::by_name(&self.bench)
-            .ok_or_else(|| CodecError::new(format!("unknown benchmark `{}`", self.bench)))?;
-        if profile.fp != self.fp {
+    /// Returns [`CodecError`] when the recorded workload label or `fp`
+    /// flag contradicts the spec (both indicate a record from an
+    /// incompatible binary or a drifted plan).
+    pub fn into_run_result(self, spec: &RunSpec) -> Result<RunResult, CodecError> {
+        if self.bench != spec.workload.label() {
             return Err(CodecError::new(format!(
-                "benchmark `{}` has fp={} but the record says fp={}",
-                self.bench, profile.fp, self.fp
+                "record is for workload `{}` but the spec is `{}`",
+                self.bench,
+                spec.workload.label()
             )));
         }
-        Ok(RunResult { bench: profile.name, fp: profile.fp, metrics: self.metrics })
+        if self.fp != spec.workload.fp() {
+            return Err(CodecError::new(format!(
+                "workload `{}` has fp={} but the record says fp={}",
+                self.bench,
+                spec.workload.fp(),
+                self.fp
+            )));
+        }
+        Ok(RunResult { bench: self.bench, fp: self.fp, metrics: self.metrics })
     }
 }
 
@@ -277,6 +285,15 @@ impl ShardRecord {
 pub struct CampaignHeader {
     /// Scenario names, in campaign order (`all` already expanded).
     pub scenarios: Vec<String>,
+    /// Canonical JSON texts of runtime-loaded sweep definitions
+    /// (empty for campaigns built purely from built-in scenarios).
+    ///
+    /// Runtime sweeps have no registry entry another process could
+    /// resolve their names against, so the definitions themselves travel
+    /// in the header: workers, `merge` and `resume` rebuild a
+    /// [`Registry`](crate::scenario::Registry) from these texts before
+    /// resolving `scenarios`.
+    pub sweeps: Vec<String>,
     /// Measured instructions per benchmark.
     pub insts: u64,
     /// Warmup instructions per benchmark.
@@ -306,6 +323,7 @@ impl CampaignHeader {
     ) -> Self {
         CampaignHeader {
             scenarios,
+            sweeps: Vec::new(),
             insts: opts.insts,
             warmup: opts.warmup,
             seed: opts.seed,
@@ -314,6 +332,14 @@ impl CampaignHeader {
             of,
             runs,
         }
+    }
+
+    /// Attaches runtime sweep definitions (canonical JSON texts) to the
+    /// header (builder-style).
+    #[must_use]
+    pub fn with_sweeps(mut self, sweeps: Vec<String>) -> Self {
+        self.sweeps = sweeps;
+        self
     }
 
     /// The options the campaign was planned under (worker threads reset
@@ -332,6 +358,7 @@ impl CampaignHeader {
     /// the shard index must agree for their files to be mergeable).
     pub fn same_campaign(&self, other: &CampaignHeader) -> bool {
         self.scenarios == other.scenarios
+            && self.sweeps == other.sweeps
             && self.insts == other.insts
             && self.warmup == other.warmup
             && self.seed == other.seed
@@ -352,11 +379,23 @@ impl CampaignHeader {
     }
 
     /// Encodes the header as one JSON line (no trailing newline).
+    ///
+    /// The `sweeps` field is only emitted when non-empty, so headers of
+    /// campaigns without runtime sweeps render exactly as they did
+    /// before the field existed (and old binaries, which ignore unknown
+    /// fields, still parse headers that do carry sweeps).
     pub fn to_line(&self) -> String {
         let names: Vec<String> =
             self.scenarios.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+        let sweeps = if self.sweeps.is_empty() {
+            String::new()
+        } else {
+            let texts: Vec<String> =
+                self.sweeps.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+            format!("\"sweeps\": [{}], ", texts.join(", "))
+        };
         format!(
-            "{{\"scenarios\": [{}], \"insts\": {}, \"warmup\": {}, \"seed\": {}, \"quick\": {}, \"shard\": {}, \"of\": {}, \"runs\": {}}}",
+            "{{\"scenarios\": [{}], {sweeps}\"insts\": {}, \"warmup\": {}, \"seed\": {}, \"quick\": {}, \"shard\": {}, \"of\": {}, \"runs\": {}}}",
             names.join(", "),
             self.insts,
             self.warmup,
@@ -396,8 +435,22 @@ impl CampaignHeader {
                     .ok_or_else(|| CodecError::new("non-string entry in `scenarios`"))
             })
             .collect::<Result<Vec<_>, _>>()?;
+        let sweeps = match v.get("sweeps") {
+            None => Vec::new(),
+            Some(s) => s
+                .as_array()
+                .ok_or_else(|| CodecError::new("field `sweeps` is not an array"))?
+                .iter()
+                .map(|t| {
+                    t.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| CodecError::new("non-string entry in `sweeps`"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         let header = CampaignHeader {
             scenarios,
+            sweeps,
             insts: u64_field(v, "insts")?,
             warmup: u64_field(v, "warmup")?,
             seed: u64_field(v, "seed")?,
@@ -636,7 +689,7 @@ mod tests {
     use rfcache_core::{RegFileConfig, SingleBankConfig};
 
     fn simulated_metrics() -> SimMetrics {
-        let spec = RunSpec::new("li", RegFileConfig::Single(SingleBankConfig::one_cycle()))
+        let spec = RunSpec::known("li", RegFileConfig::Single(SingleBankConfig::one_cycle()))
             .insts(2_000)
             .warmup(400);
         spec.run().metrics
@@ -685,21 +738,22 @@ mod tests {
 
     #[test]
     fn shard_record_round_trips_and_resolves_the_profile() {
-        let spec = RunSpec::new("swim", RegFileConfig::Single(SingleBankConfig::one_cycle()))
+        let spec = RunSpec::known("swim", RegFileConfig::Single(SingleBankConfig::one_cycle()))
             .insts(1_500)
             .warmup(300);
         let result = spec.run();
         let record = ShardRecord::from_result(7, spec.fingerprint(), &result);
         let parsed = ShardRecord::parse(&record.to_line()).unwrap();
         assert_eq!(record, parsed);
-        let back = parsed.into_run_result().unwrap();
+        let back = parsed.into_run_result(&spec).unwrap();
         assert_eq!(back.bench, "swim");
         assert!(back.fp);
         assert_eq!(back.metrics, result.metrics);
     }
 
     #[test]
-    fn shard_record_rejects_unknown_bench_and_fp_mismatch() {
+    fn shard_record_rejects_bench_and_fp_disagreeing_with_the_spec() {
+        let spec = RunSpec::known("li", RegFileConfig::Single(SingleBankConfig::one_cycle()));
         let mut record = ShardRecord {
             index: 0,
             fingerprint: 1,
@@ -707,10 +761,12 @@ mod tests {
             fp: false,
             metrics: SimMetrics::default(),
         };
-        assert!(record.clone().into_run_result().is_err());
+        assert!(record.clone().into_run_result(&spec).is_err());
         record.bench = "li".into();
         record.fp = true; // li is SpecInt95
-        assert!(record.into_run_result().is_err());
+        assert!(record.clone().into_run_result(&spec).is_err());
+        record.fp = false;
+        assert!(record.into_run_result(&spec).is_ok());
     }
 
     #[test]
@@ -739,7 +795,7 @@ mod tests {
     fn record_file_parses_shard_and_journal_shapes() {
         let opts = ExperimentOpts::smoke();
         let header = CampaignHeader::new(vec!["fig6".into()], &opts, 0, 1, 2);
-        let spec = RunSpec::new("li", RegFileConfig::Single(SingleBankConfig::one_cycle()))
+        let spec = RunSpec::known("li", RegFileConfig::Single(SingleBankConfig::one_cycle()))
             .insts(1_500)
             .warmup(300);
         let record = ShardRecord::from_result(0, spec.fingerprint(), &spec.run());
@@ -795,7 +851,7 @@ mod tests {
     fn every_frame_kind_round_trips() {
         let opts = ExperimentOpts::smoke();
         let header = CampaignHeader::new(vec!["fig6".into()], &opts, 0, 1, 12);
-        let spec = RunSpec::new("li", RegFileConfig::Single(SingleBankConfig::one_cycle()))
+        let spec = RunSpec::known("li", RegFileConfig::Single(SingleBankConfig::one_cycle()))
             .insts(1_500)
             .warmup(300);
         let record = ShardRecord::from_result(3, spec.fingerprint(), &spec.run());

@@ -1,9 +1,12 @@
 //! Single-run and suite-run drivers.
 
 use rfcache_core::RegFileConfig;
+use rfcache_isa::TraceInst;
 use rfcache_pipeline::{Cpu, PipelineConfig, SimMetrics};
-use rfcache_workload::{BenchProfile, TraceGenerator};
+use rfcache_workload::{family_member, read_trace, BenchProfile, TraceGenerator};
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Default measured instructions per simulation (the paper simulates
 /// 100M; the synthetic traces converge well before 200k).
@@ -16,12 +19,121 @@ pub const DEFAULT_INSTS: u64 = 200_000;
 /// so every path warms up identically.
 pub const DEFAULT_WARMUP: u64 = 60_000;
 
-/// Everything needed to simulate one benchmark on one register file
+/// A recorded trace workload: the instructions of an RFCT trace file,
+/// loaded once and replayed (cyclically) instead of generated.
+///
+/// The spec identity captures the file's *content* (a [`fnv1a_64`] of
+/// the raw bytes), not just its path, so a fingerprint match between
+/// processes means they really simulated the same instructions.
+#[derive(Clone)]
+pub struct TraceWorkload {
+    /// Path the trace was loaded from (diagnostic only; identity is the
+    /// content hash).
+    pub path: String,
+    /// Label the trace's results report as their benchmark name.
+    pub label: String,
+    /// Whether results should be grouped with the FP suite.
+    pub fp: bool,
+    /// [`fnv1a_64`] of the raw trace file bytes.
+    pub content: u64,
+    /// The decoded instruction stream (shared, never mutated).
+    pub insts: Arc<Vec<TraceInst>>,
+}
+
+impl TraceWorkload {
+    /// Loads an RFCT trace file as a replayable workload.
+    ///
+    /// `label` defaults to the file stem when `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file cannot be read, is not a valid
+    /// RFCT trace, or contains no instructions.
+    pub fn load(path: &str, label: Option<&str>, fp: bool) -> Result<Self, String> {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read trace file {path}: {e}"))?;
+        let content = fnv1a_64(bytes.iter().copied());
+        let insts =
+            read_trace(&mut bytes.as_slice()).map_err(|e| format!("bad trace file {path}: {e}"))?;
+        if insts.is_empty() {
+            return Err(format!("trace file {path} contains no instructions"));
+        }
+        let label = match label {
+            Some(l) => l.to_string(),
+            None => std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.to_string()),
+        };
+        Ok(TraceWorkload { path: path.to_string(), label, fp, content, insts: Arc::new(insts) })
+    }
+}
+
+impl fmt::Debug for TraceWorkload {
+    /// Renders identity (path, label, fp flag, content hash, length) and
+    /// never the instruction data — the `Debug` text feeds
+    /// [`RunSpec::fingerprint`] and the cache's exact-match key, which
+    /// must stay cheap and stable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceWorkload")
+            .field("path", &self.path)
+            .field("label", &self.label)
+            .field("fp", &self.fp)
+            .field("content", &format_args!("{:016x}", self.content))
+            .field("len", &self.insts.len())
+            .finish()
+    }
+}
+
+/// Where a run's instruction stream comes from.
+///
+/// The scenario layer plans over all three kinds interchangeably: the
+/// synthetic generator (the 18 built-in SPEC95 profiles and ad-hoc
+/// profiles), recorded RFCT traces, and seeded families of
+/// near-neighbour profiles derived from a base
+/// ([`family_member`]).
+#[derive(Debug, Clone)]
+pub enum WorkloadSource {
+    /// Generate instructions from a benchmark profile.
+    Synthetic(BenchProfile),
+    /// Replay a recorded trace (cyclically, to fill any budget).
+    Trace(TraceWorkload),
+    /// Member `member` of the seeded family rooted at `base`.
+    Family {
+        /// The base profile the family jitters.
+        base: BenchProfile,
+        /// Which family member to derive (0 is the base itself).
+        member: u32,
+    },
+}
+
+impl WorkloadSource {
+    /// The name results report as their benchmark (`go`, `li-trace`,
+    /// `go~3`, ...).
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSource::Synthetic(p) => p.name.to_string(),
+            WorkloadSource::Trace(t) => t.label.clone(),
+            WorkloadSource::Family { base, member } => format!("{}~{member}", base.name),
+        }
+    }
+
+    /// Whether results group with the FP suite.
+    pub fn fp(&self) -> bool {
+        match self {
+            WorkloadSource::Synthetic(p) => p.fp,
+            WorkloadSource::Trace(t) => t.fp,
+            WorkloadSource::Family { base, .. } => base.fp,
+        }
+    }
+}
+
+/// Everything needed to simulate one workload on one register file
 /// architecture.
 #[derive(Debug, Clone)]
 pub struct RunSpec {
-    /// The benchmark profile.
-    pub profile: BenchProfile,
+    /// Where the instruction stream comes from.
+    pub workload: WorkloadSource,
     /// The register file architecture under study.
     pub rf: RegFileConfig,
     /// Core configuration.
@@ -40,19 +152,43 @@ impl RunSpec {
     /// [`DEFAULT_INSTS`] measured instructions and [`DEFAULT_WARMUP`]
     /// warmup.
     ///
+    /// # Errors
+    ///
+    /// Returns a message naming the benchmark when it is not a SPEC95
+    /// program name, so frontends can turn user input into a usage error
+    /// (CLI exit 2, service 400) instead of a panic.
+    pub fn new(bench: &str, rf: RegFileConfig) -> Result<Self, String> {
+        let profile =
+            BenchProfile::by_name(bench).ok_or_else(|| format!("unknown benchmark {bench}"))?;
+        Ok(Self::from_profile(profile, rf))
+    }
+
+    /// [`RunSpec::new`] for compiled-in benchmark names: panics instead
+    /// of returning an error, with the caller's location in the message.
+    ///
+    /// Experiment tables and tests use this for names that are string
+    /// literals; anything user-supplied must go through [`RunSpec::new`].
+    ///
     /// # Panics
     ///
     /// Panics if `bench` is not a SPEC95 program name.
-    pub fn new(bench: &str, rf: RegFileConfig) -> Self {
-        let profile =
-            BenchProfile::by_name(bench).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
-        Self::from_profile(profile, rf)
+    #[track_caller]
+    pub fn known(bench: &str, rf: RegFileConfig) -> Self {
+        match Self::new(bench, rf) {
+            Ok(spec) => spec,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Creates a spec from a profile value.
     pub fn from_profile(profile: BenchProfile, rf: RegFileConfig) -> Self {
+        Self::from_workload(WorkloadSource::Synthetic(profile), rf)
+    }
+
+    /// Creates a spec from any workload source.
+    pub fn from_workload(workload: WorkloadSource, rf: RegFileConfig) -> Self {
         RunSpec {
-            profile,
+            workload,
             rf,
             pipeline: PipelineConfig::default(),
             insts: DEFAULT_INSTS,
@@ -90,8 +226,10 @@ impl RunSpec {
     }
 
     /// A stable 64-bit fingerprint over every field of the spec
-    /// ([`fnv1a_64`] of the `Debug` rendering, which covers profile,
-    /// architecture, pipeline, instruction budget, warmup and seed).
+    /// ([`fnv1a_64`] of the `Debug` rendering, which covers the workload
+    /// source — profile parameters, trace content hash, or family
+    /// base+member — architecture, pipeline, instruction budget, warmup
+    /// and seed).
     ///
     /// Shard workers stamp each emitted result with the fingerprint of
     /// the spec that produced it, so the merge path can detect *plan
@@ -109,14 +247,26 @@ impl RunSpec {
 
     /// Simulates the spec and returns the result.
     pub fn run(&self) -> RunResult {
-        let trace = TraceGenerator::new(self.profile, self.seed);
+        let metrics = match &self.workload {
+            WorkloadSource::Synthetic(p) => self.measure(TraceGenerator::new(*p, self.seed)),
+            WorkloadSource::Family { base, member } => {
+                // Fold the member into the seed so siblings decorrelate
+                // even when the jitter leaves a parameter unchanged.
+                let seed = self.seed ^ u64::from(*member).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                self.measure(TraceGenerator::new(family_member(base, *member), seed))
+            }
+            WorkloadSource::Trace(t) => self.measure(t.insts.iter().cycle().cloned()),
+        };
+        RunResult { bench: self.workload.label(), fp: self.workload.fp(), metrics }
+    }
+
+    fn measure<I: Iterator<Item = TraceInst>>(&self, trace: I) -> SimMetrics {
         let mut cpu = Cpu::new(self.pipeline, self.rf, trace);
         if self.warmup > 0 {
             cpu.run(self.warmup);
             cpu.reset_metrics(); // counters restart at zero
         }
-        let metrics = cpu.run(self.insts);
-        RunResult { bench: self.profile.name, fp: self.profile.fp, metrics }
+        cpu.run(self.insts)
     }
 }
 
@@ -161,8 +311,8 @@ pub fn flatten_plans(plans: &[Vec<RunSpec>]) -> Vec<&RunSpec> {
 /// Result of one simulation.
 #[derive(Debug, Clone)]
 pub struct RunResult {
-    /// Benchmark name.
-    pub bench: &'static str,
+    /// Benchmark name (a workload label for traces and family members).
+    pub bench: String,
     /// Whether the benchmark belongs to SpecFP95.
     pub fp: bool,
     /// The metrics of the measured phase.
@@ -248,7 +398,7 @@ mod tests {
 
     #[test]
     fn run_with_warmup_measures_requested_instructions() {
-        let r = RunSpec::new("li", one_cycle()).insts(4_000).warmup(2_000).run();
+        let r = RunSpec::known("li", one_cycle()).insts(4_000).warmup(2_000).run();
         assert!(r.metrics.committed >= 4_000);
         assert!(r.metrics.committed < 4_000 + 16);
     }
@@ -257,7 +407,7 @@ mod tests {
     fn suite_preserves_order_and_parallelism_is_deterministic() {
         let specs: Vec<_> = ["li", "go", "swim"]
             .iter()
-            .map(|b| RunSpec::new(b, one_cycle()).insts(2_000).warmup(500))
+            .map(|b| RunSpec::known(b, one_cycle()).insts(2_000).warmup(500))
             .collect();
         let a = run_suite(&specs);
         let b = run_suite(&specs);
@@ -273,7 +423,7 @@ mod tests {
     fn default_warmup_and_insts_are_shared_with_experiment_opts() {
         // Regression: ad-hoc specs used to warm up 50k while the
         // experiment sweeps (and the CLI docs) said 60k.
-        let spec = RunSpec::new("li", one_cycle());
+        let spec = RunSpec::known("li", one_cycle());
         let opts = crate::experiments::ExperimentOpts::default();
         assert_eq!(spec.warmup, DEFAULT_WARMUP);
         assert_eq!(spec.warmup, opts.warmup);
@@ -283,30 +433,103 @@ mod tests {
 
     #[test]
     fn fingerprint_is_stable_and_field_sensitive() {
-        let spec = RunSpec::new("li", one_cycle());
+        let spec = RunSpec::known("li", one_cycle());
         assert_eq!(spec.fingerprint(), spec.clone().fingerprint(), "clone must agree");
         // Every field participates: flipping any one changes the hash.
+        let base = BenchProfile::by_name("li").unwrap();
         let variants = [
-            RunSpec::new("go", one_cycle()),
+            RunSpec::known("go", one_cycle()),
             spec.clone().insts(spec.insts + 1),
             spec.clone().warmup(spec.warmup + 1),
             spec.clone().seed(spec.seed + 1),
+            RunSpec::from_workload(WorkloadSource::Family { base, member: 1 }, one_cycle()),
+            RunSpec::from_workload(WorkloadSource::Family { base, member: 2 }, one_cycle()),
         ];
         for v in &variants {
             assert_ne!(spec.fingerprint(), v.fingerprint(), "{v:?}");
         }
+        for (i, a) in variants.iter().enumerate() {
+            for b in &variants[i + 1..] {
+                assert_ne!(a.fingerprint(), b.fingerprint(), "{a:?} vs {b:?}");
+            }
+        }
     }
 
     #[test]
-    #[should_panic(expected = "unknown benchmark")]
-    fn unknown_bench_panics() {
-        let _ = RunSpec::new("quake", one_cycle());
+    fn unknown_bench_is_an_error_not_a_panic() {
+        let err = RunSpec::new("quake", one_cycle()).unwrap_err();
+        assert!(err.contains("unknown benchmark quake"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark quake")]
+    fn known_panics_on_unknown_bench() {
+        let _ = RunSpec::known("quake", one_cycle());
+    }
+
+    #[test]
+    fn trace_workload_replays_and_fingerprints_content() {
+        let profile = BenchProfile::by_name("li").unwrap();
+        let insts: Vec<_> = TraceGenerator::new(profile, 7).take(3_000).collect();
+        let dir = std::env::temp_dir().join(format!("rfct-run-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("li.rfct");
+        let mut buf = Vec::new();
+        rfcache_workload::write_trace(&mut buf, &insts).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+
+        let path_str = path.to_str().unwrap();
+        let t = TraceWorkload::load(path_str, Some("li-trace"), false).unwrap();
+        assert_eq!(t.insts.len(), 3_000);
+        assert!(!format!("{t:?}").contains("pc"), "debug must not dump instructions");
+
+        let spec = RunSpec::from_workload(WorkloadSource::Trace(t.clone()), one_cycle())
+            .insts(2_000)
+            .warmup(500);
+        let r = spec.run();
+        assert_eq!(r.bench, "li-trace");
+        assert!(r.metrics.committed >= 2_000);
+        let fp_a = spec.fingerprint();
+
+        // Same path, different bytes => different fingerprint.
+        let insts2: Vec<_> = TraceGenerator::new(profile, 8).take(3_000).collect();
+        let mut buf2 = Vec::new();
+        rfcache_workload::write_trace(&mut buf2, &insts2).unwrap();
+        std::fs::write(&path, &buf2).unwrap();
+        let t2 = TraceWorkload::load(path_str, Some("li-trace"), false).unwrap();
+        let spec2 =
+            RunSpec::from_workload(WorkloadSource::Trace(t2), one_cycle()).insts(2_000).warmup(500);
+        assert_ne!(fp_a, spec2.fingerprint(), "content hash must reach the fingerprint");
+
+        // Default label falls back to the file stem; bad paths error.
+        let t3 = TraceWorkload::load(path_str, None, true).unwrap();
+        assert_eq!(t3.label, "li");
+        assert!(t3.fp);
+        assert!(TraceWorkload::load("/nonexistent/x.rfct", None, false).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn family_member_runs_use_the_derived_profile() {
+        let base = BenchProfile::by_name("go").unwrap();
+        let m0 = RunSpec::from_workload(WorkloadSource::Family { base, member: 0 }, one_cycle())
+            .insts(2_000)
+            .warmup(500);
+        let m1 = RunSpec::from_workload(WorkloadSource::Family { base, member: 1 }, one_cycle())
+            .insts(2_000)
+            .warmup(500);
+        let base_run = RunSpec::from_profile(base, one_cycle()).insts(2_000).warmup(500);
+        let (r0, r1, rb) = (m0.run(), m1.run(), base_run.run());
+        assert_eq!(r0.bench, "go~0");
+        assert_eq!(r1.bench, "go~1");
+        assert_ne!(r1.metrics.cycles, rb.metrics.cycles, "member 1 should diverge from the base");
+        assert_eq!(r1.metrics.cycles, m1.run().metrics.cycles, "deterministic");
     }
 
     #[test]
     fn campaign_fingerprint_is_order_and_content_sensitive() {
-        let a = RunSpec::new("li", one_cycle());
-        let b = RunSpec::new("go", one_cycle());
+        let a = RunSpec::known("li", one_cycle());
+        let b = RunSpec::known("go", one_cycle());
         let ab = campaign_fingerprint(&[&a, &b]);
         assert_eq!(ab, campaign_fingerprint(&[&a, &b]), "deterministic");
         assert_ne!(ab, campaign_fingerprint(&[&b, &a]), "plan order matters");
@@ -349,7 +572,7 @@ mod tests {
     fn explicit_jobs_match_serial_results() {
         let specs: Vec<_> = ["li", "go"]
             .iter()
-            .map(|b| RunSpec::new(b, one_cycle()).insts(2_000).warmup(500))
+            .map(|b| RunSpec::known(b, one_cycle()).insts(2_000).warmup(500))
             .collect();
         let serial = run_suite_jobs(&specs, 1);
         let parallel = run_suite_jobs(&specs, 2);

@@ -82,32 +82,46 @@ pub trait ScenarioReport: fmt::Display + Send {
 }
 
 /// Expands the options into the scenario's simulation specs.
-pub type Planner = fn(&ExperimentOpts) -> Vec<RunSpec>;
+pub type Planner = Box<dyn Fn(&ExperimentOpts) -> Vec<RunSpec> + Send + Sync>;
 
 /// Folds the results of the planned specs (same options, same order)
 /// into the scenario's report.
-pub type Assembler = fn(&ExperimentOpts, Vec<RunResult>) -> Box<dyn ScenarioReport>;
+pub type Assembler =
+    Box<dyn Fn(&ExperimentOpts, Vec<RunResult>) -> Box<dyn ScenarioReport> + Send + Sync>;
 
-/// One registered experiment.
+/// One registered experiment: a built-in (the paper's 13 figures and
+/// tables, compiled in) or a runtime-loaded declarative sweep
+/// ([`crate::sweep`]). Both are plain owned values, so a [`Registry`]
+/// can mix them freely.
 pub struct Scenario {
     /// CLI name (`fig1` … `fig9`, `table2`, `ablation`, `onelevel`,
-    /// `sources`, `readstats`).
-    pub name: &'static str,
+    /// `sources`, `readstats`, or a sweep's declared name).
+    pub name: String,
     /// One-line description shown by `experiments --list`.
-    pub description: &'static str,
+    pub description: String,
     planner: Planner,
     assembler: Assembler,
 }
 
 impl Scenario {
-    /// Builds a registry entry (used by the experiment modules).
-    pub const fn new(
-        name: &'static str,
-        description: &'static str,
-        planner: Planner,
-        assembler: Assembler,
-    ) -> Self {
-        Scenario { name, description, planner, assembler }
+    /// Builds a scenario (used by the experiment modules and the sweep
+    /// loader). Plain `fn` items and capturing closures both coerce.
+    pub fn new<P, A>(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        planner: P,
+        assembler: A,
+    ) -> Self
+    where
+        P: Fn(&ExperimentOpts) -> Vec<RunSpec> + Send + Sync + 'static,
+        A: Fn(&ExperimentOpts, Vec<RunResult>) -> Box<dyn ScenarioReport> + Send + Sync + 'static,
+    {
+        Scenario {
+            name: name.into(),
+            description: description.into(),
+            planner: Box::new(planner),
+            assembler: Box::new(assembler),
+        }
     }
 
     /// The scenario's simulation specs for the given options, in the
@@ -234,36 +248,42 @@ pub fn campaign_size(scenarios: &[&Scenario], opts: &ExperimentOpts) -> usize {
     scenarios.iter().map(|s| s.plan(opts).len()).sum()
 }
 
-/// All scenarios, in the canonical run order of `experiments all`.
-static REGISTRY: [Scenario; 13] = [
-    table2::SCENARIO,
-    fig1::SCENARIO,
-    fig2::SCENARIO,
-    fig3::SCENARIO,
-    readstats::SCENARIO,
-    fig5::SCENARIO,
-    fig6::SCENARIO,
-    fig7::SCENARIO,
-    fig8::SCENARIO,
-    fig9::SCENARIO,
-    ablation::SCENARIO,
-    onelevel::SCENARIO,
-    sources::SCENARIO,
-];
-
-/// The scenario registry, in canonical run order.
-pub fn registry() -> &'static [Scenario] {
-    &REGISTRY
+/// The built-in scenarios, in the canonical run order of
+/// `experiments all` (constructed once, on first use).
+fn builtins() -> &'static [Scenario] {
+    static BUILTINS: std::sync::OnceLock<Vec<Scenario>> = std::sync::OnceLock::new();
+    BUILTINS.get_or_init(|| {
+        vec![
+            table2::scenario(),
+            fig1::scenario(),
+            fig2::scenario(),
+            fig3::scenario(),
+            readstats::scenario(),
+            fig5::scenario(),
+            fig6::scenario(),
+            fig7::scenario(),
+            fig8::scenario(),
+            fig9::scenario(),
+            ablation::scenario(),
+            onelevel::scenario(),
+            sources::scenario(),
+        ]
+    })
 }
 
-/// Looks up a scenario by name.
+/// The built-in scenario registry, in canonical run order.
+pub fn registry() -> &'static [Scenario] {
+    builtins()
+}
+
+/// Looks up a built-in scenario by name.
 pub fn find(name: &str) -> Option<&'static Scenario> {
     registry().iter().find(|s| s.name == name)
 }
 
-/// Resolves a list of scenario names against the registry, preserving
-/// input order. Shard-file merging and the distributed transport both
-/// re-derive campaign plans from recorded names through this.
+/// Resolves a list of scenario names against the built-in registry,
+/// preserving input order. Campaigns that may carry runtime sweeps
+/// resolve through a [`Registry`] value instead.
 ///
 /// # Errors
 ///
@@ -273,21 +293,134 @@ pub fn resolve(names: &[String]) -> Result<Vec<&'static Scenario>, String> {
     names.iter().map(|name| find(name).ok_or_else(|| name.clone())).collect()
 }
 
+/// A scenario namespace: the 13 built-ins plus any runtime-loaded
+/// declarative sweeps ([`crate::sweep`]).
+///
+/// Built-ins live in a process-wide static; the registry only owns the
+/// sweeps, so building one is cheap. Every path that resolves campaign
+/// names — the CLI run path, workers, `merge`, `resume`, the submission
+/// service — builds a `Registry` from whatever sweep definitions travel
+/// with the campaign, so a name always means the same plan everywhere.
+#[derive(Default)]
+pub struct Registry {
+    sweeps: Vec<Scenario>,
+    /// Canonical JSON text of each sweep, aligned with `sweeps` — what
+    /// a [`crate::CampaignHeader`] carries so other processes can
+    /// rebuild this registry.
+    texts: Vec<String>,
+}
+
+impl Registry {
+    /// A registry holding only the built-ins.
+    pub fn builtin() -> Self {
+        Registry::default()
+    }
+
+    /// A registry holding the built-ins plus the given sweep
+    /// definitions (in order).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a sweep whose name collides with a built-in scenario or
+    /// another sweep in the list.
+    pub fn with_sweeps(defs: Vec<crate::sweep::SweepDef>) -> Result<Self, String> {
+        let mut registry = Registry::default();
+        for def in defs {
+            if find(&def.name).is_some() {
+                return Err(format!("sweep `{}` collides with a built-in scenario", def.name));
+            }
+            if registry.sweeps.iter().any(|s| s.name == def.name) {
+                return Err(format!("duplicate sweep name `{}`", def.name));
+            }
+            registry.texts.push(def.text.clone());
+            registry.sweeps.push(def.into_scenario());
+        }
+        Ok(registry)
+    }
+
+    /// Rebuilds a registry from the canonical sweep texts a
+    /// [`crate::CampaignHeader`] carries.
+    ///
+    /// # Errors
+    ///
+    /// Returns a reason when a text fails to parse or validate, or when
+    /// names collide.
+    pub fn from_texts(texts: &[String]) -> Result<Self, String> {
+        let defs = texts
+            .iter()
+            .map(|t| crate::sweep::SweepDef::parse(t))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::with_sweeps(defs)
+    }
+
+    /// All scenarios — built-ins first, then sweeps, each in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Scenario> {
+        builtins().iter().chain(self.sweeps.iter())
+    }
+
+    /// The sweep scenarios only (what `--list` renders separately).
+    pub fn sweeps(&self) -> &[Scenario] {
+        &self.sweeps
+    }
+
+    /// The canonical JSON texts of the loaded sweeps, in registry order
+    /// — what campaign headers and submission requests embed.
+    pub fn sweep_texts(&self) -> &[String] {
+        &self.texts
+    }
+
+    /// Looks up a scenario by name (built-ins shadow nothing: sweep
+    /// names are rejected at load time if they collide).
+    pub fn find(&self, name: &str) -> Option<&Scenario> {
+        self.iter().find(|s| s.name == name)
+    }
+
+    /// Resolves a list of scenario names, preserving input order.
+    ///
+    /// # Errors
+    ///
+    /// Names the first unknown scenario.
+    pub fn resolve(&self, names: &[String]) -> Result<Vec<&Scenario>, String> {
+        names
+            .iter()
+            .map(|name| {
+                self.find(name)
+                    .ok_or_else(|| format!("unknown scenario `{name}` (see experiments --list)"))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("builtins", &builtins().len())
+            .field("sweeps", &self.sweeps.iter().map(|s| &s.name).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
 /// A campaign description submitted to the multi-campaign coordinator
 /// service (`POST /campaigns`): which scenarios to run and the
 /// [`ExperimentOpts`] to plan them under.
 ///
 /// The wire format is one JSON object — `{"scenarios": ["fig1", ...],
-/// "insts": N, "warmup": N, "seed": N, "quick": bool}` with everything
-/// but `scenarios` optional — parsed by the same literal-preserving
-/// [`crate::parse_json`] reader the metrics codec uses, and validated
-/// against the registry so an unknown scenario is rejected at admission
-/// instead of surfacing as plan drift mid-campaign.
+/// "sweeps": [{...}, ...], "insts": N, "warmup": N, "seed": N,
+/// "quick": bool}` with everything but `scenarios` optional — parsed by
+/// the same literal-preserving [`crate::parse_json`] reader the metrics
+/// codec uses, and validated against the registry (built-ins plus any
+/// embedded sweep definitions) so an unknown scenario or a malformed
+/// sweep is rejected at admission instead of surfacing as plan drift
+/// mid-campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignRequest {
-    /// Registered scenario names, in run order (`all` already expanded
-    /// by the submitting client).
+    /// Scenario names, in run order (`all` already expanded by the
+    /// submitting client; may name embedded sweeps).
     pub scenarios: Vec<String>,
+    /// Canonical JSON texts of embedded declarative sweep definitions.
+    /// A runtime sweep has no name another process could resolve, so
+    /// the definition itself travels with the request.
+    pub sweeps: Vec<String>,
     /// The options every scenario is planned and assembled with
     /// (`jobs` stays at its default: worker-side parallelism is the
     /// workers' business, not the description's).
@@ -297,15 +430,41 @@ pub struct CampaignRequest {
 impl CampaignRequest {
     /// Builds a description for registered scenario names.
     pub fn new(scenarios: Vec<String>, opts: ExperimentOpts) -> Self {
-        CampaignRequest { scenarios, opts }
+        CampaignRequest { scenarios, sweeps: Vec::new(), opts }
     }
 
-    /// Renders the JSON document the `submit` subcommand POSTs.
+    /// Attaches embedded sweep definitions (canonical JSON texts,
+    /// builder-style).
+    #[must_use]
+    pub fn with_sweeps(mut self, sweeps: Vec<String>) -> Self {
+        self.sweeps = sweeps;
+        self
+    }
+
+    /// Builds the registry this request's names resolve against:
+    /// built-ins plus the embedded sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns a reason when an embedded sweep fails to parse or its
+    /// name collides.
+    pub fn registry(&self) -> Result<Registry, String> {
+        Registry::from_texts(&self.sweeps)
+    }
+
+    /// Renders the JSON document the `submit` subcommand POSTs. Sweep
+    /// definitions embed as raw JSON objects (they are canonical JSON
+    /// texts already).
     pub fn to_json(&self) -> String {
         let names: Vec<String> =
             self.scenarios.iter().map(|s| format!("\"{}\"", crate::json::escape(s))).collect();
+        let sweeps = if self.sweeps.is_empty() {
+            String::new()
+        } else {
+            format!("\"sweeps\": [{}], ", self.sweeps.join(", "))
+        };
         format!(
-            "{{\"scenarios\": [{}], \"insts\": {}, \"warmup\": {}, \"seed\": {}, \"quick\": {}}}",
+            "{{\"scenarios\": [{}], {sweeps}\"insts\": {}, \"warmup\": {}, \"seed\": {}, \"quick\": {}}}",
             names.join(", "),
             self.opts.insts,
             self.opts.warmup,
@@ -318,8 +477,9 @@ impl CampaignRequest {
     ///
     /// Strict on shape: unknown top-level keys are rejected (a typo'd
     /// option must not silently plan a default campaign), `scenarios`
-    /// must name at least one registered scenario, and every name must
-    /// resolve against the registry.
+    /// must name at least one scenario, every embedded sweep must parse
+    /// and validate, and every name must resolve against the registry
+    /// (built-ins plus the embedded sweeps).
     ///
     /// # Errors
     ///
@@ -330,7 +490,10 @@ impl CampaignRequest {
             return Err("campaign description must be a JSON object".to_string());
         };
         for (key, _) in fields {
-            if !matches!(key.as_str(), "scenarios" | "insts" | "warmup" | "seed" | "quick") {
+            if !matches!(
+                key.as_str(),
+                "scenarios" | "sweeps" | "insts" | "warmup" | "seed" | "quick"
+            ) {
                 return Err(format!("unknown campaign field `{key}`"));
             }
         }
@@ -349,11 +512,23 @@ impl CampaignRequest {
         if scenarios.is_empty() {
             return Err("`scenarios` must name at least one scenario".to_string());
         }
-        for name in &scenarios {
-            if find(name).is_none() {
-                return Err(format!("unknown scenario `{name}` (see experiments --list)"));
-            }
-        }
+        let sweeps = match v.get("sweeps") {
+            None => Vec::new(),
+            Some(s) => s
+                .as_array()
+                .ok_or("`sweeps` must be an array of sweep definition objects")?
+                .iter()
+                .map(|def| {
+                    // Re-render canonically, then round the text through
+                    // the full sweep validator: a request is rejected
+                    // whole if any embedded definition is malformed.
+                    let text = crate::json::render_json(def);
+                    crate::sweep::SweepDef::parse(&text).map(|d| d.text)
+                })
+                .collect::<Result<Vec<String>, String>>()?,
+        };
+        let registry = Registry::from_texts(&sweeps)?;
+        registry.resolve(&scenarios)?;
         let mut opts = ExperimentOpts::default();
         let number = |key: &str| -> Result<Option<u64>, String> {
             match v.get(key) {
@@ -375,12 +550,7 @@ impl CampaignRequest {
         if let Some(q) = v.get("quick") {
             opts.quick = q.as_bool().ok_or("`quick` must be a boolean")?;
         }
-        Ok(CampaignRequest { scenarios, opts })
-    }
-
-    /// Resolves the (already validated) names to registry entries.
-    pub fn resolve(&self) -> Vec<&'static Scenario> {
-        resolve(&self.scenarios).expect("names were validated at parse time")
+        Ok(CampaignRequest { scenarios, sweeps, opts })
     }
 }
 
@@ -390,7 +560,7 @@ mod tests {
 
     #[test]
     fn registry_names_are_unique_and_findable() {
-        let names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+        let names: Vec<&str> = registry().iter().map(|s| s.name.as_str()).collect();
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -461,7 +631,8 @@ mod tests {
         assert_eq!(parsed.scenarios, req.scenarios);
         assert_eq!(parsed.opts.insts, 9_000);
         assert!(parsed.opts.quick);
-        assert_eq!(parsed.resolve()[1].name, "table2");
+        let registry = parsed.registry().unwrap();
+        assert_eq!(registry.resolve(&parsed.scenarios).unwrap()[1].name, "table2");
 
         let minimal = CampaignRequest::from_json("{\"scenarios\": [\"fig6\"]}").unwrap();
         assert_eq!(minimal.opts.insts, ExperimentOpts::default().insts);

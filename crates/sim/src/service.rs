@@ -58,7 +58,7 @@ use crate::json;
 use crate::metrics_codec::{CampaignHeader, Frame, ShardRecord};
 use crate::readiness::{listener_fd, stream_fd, PollSet};
 use crate::run::{campaign_fingerprint, flatten_plans, RunSpec};
-use crate::scenario::{self, CampaignRequest, ScenarioReport};
+use crate::scenario::{self, CampaignRequest, Registry, ScenarioReport};
 use crate::transport::{
     worker_roster_json, JournalWriter, ServeOptions, ServeSignals, ServeState, DRAIN_WINDOW,
     HANDSHAKE_DEADLINE, HTTP_CLIENT_WINDOW, READ_TICK,
@@ -148,6 +148,9 @@ impl Lifecycle {
 struct Campaign {
     id: u64,
     request: CampaignRequest,
+    /// The namespace the request's names resolve in: built-ins plus
+    /// any sweep definitions embedded in the submission.
+    registry: Registry,
     header: CampaignHeader,
     plans: Vec<Vec<RunSpec>>,
     fingerprint: u64,
@@ -163,16 +166,25 @@ struct Campaign {
 
 impl Campaign {
     /// Builds a queued campaign from a validated description.
-    fn new(id: u64, request: CampaignRequest, opts: &ServeOptions) -> Campaign {
-        let scenarios = request.resolve();
+    ///
+    /// # Errors
+    ///
+    /// Returns the reason when an embedded sweep definition is invalid
+    /// or a requested scenario is unknown — a `400` for the submitter,
+    /// never a service panic.
+    fn new(id: u64, request: CampaignRequest, opts: &ServeOptions) -> Result<Campaign, String> {
+        let registry = request.registry()?;
+        let scenarios = registry.resolve(&request.scenarios)?;
         let plans: Vec<Vec<RunSpec>> = scenarios.iter().map(|s| s.plan(&request.opts)).collect();
         let flat = flatten_plans(&plans);
         let runs = flat.len();
         let fingerprint = campaign_fingerprint(&flat);
-        let header = CampaignHeader::new(request.scenarios.clone(), &request.opts, 0, 1, runs);
-        Campaign {
+        let header = CampaignHeader::new(request.scenarios.clone(), &request.opts, 0, 1, runs)
+            .with_sweeps(request.sweeps.clone());
+        Ok(Campaign {
             id,
             request,
+            registry,
             header,
             plans,
             fingerprint,
@@ -182,7 +194,7 @@ impl Campaign {
             cached: 0,
             submitted: Instant::now(),
             results: None,
-        }
+        })
     }
 
     fn runs(&self) -> usize {
@@ -263,7 +275,16 @@ impl Campaign {
             .into_iter()
             .map(|slot| slot.expect("complete table implies full slots"))
             .collect();
-        let scenarios = self.request.resolve();
+        // The names resolved at admission; a registry that no longer
+        // resolves them here would be a logic bug, but a service fails
+        // the one campaign instead of panicking.
+        let scenarios = match self.registry.resolve(&self.request.scenarios) {
+            Ok(scenarios) => scenarios,
+            Err(e) => {
+                self.fail(format!("cannot re-resolve scenarios at completion: {e}"));
+                return;
+            }
+        };
         let reports =
             scenario::run_campaign_from_parts(&scenarios, &self.request.opts, &self.plans, results);
         self.results = Some(render_results(self, &reports));
@@ -409,7 +430,12 @@ fn route_request(
             };
             let id = *next_id;
             *next_id += 1;
-            let campaign = Campaign::new(id, request, cfg.opts);
+            let campaign = match Campaign::new(id, request, cfg.opts) {
+                Ok(campaign) => campaign,
+                Err(reason) => {
+                    return http::respond(400, "Bad Request", "text/plain", &format!("{reason}\n"))
+                }
+            };
             eprintln!(
                 "[service: campaign {id} queued: {} ({} run(s))]",
                 campaign.request.scenarios.join(" "),

@@ -570,7 +570,7 @@ impl ServeState {
         // for encoding the full metrics set there.
         let line = (journal && self.journal.is_some()).then(|| record.to_line());
         let result = record
-            .into_run_result()
+            .into_run_result(specs[index])
             .map_err(|e| ExecutorError::PlanDrift { index, detail: e.to_string() })?;
         // Write-ahead: the record reaches the journal before it counts
         // as completed, so a crash never *loses* an accepted record.
@@ -1323,8 +1323,13 @@ pub fn work(addr: &str, opts: &WorkOptions) -> Result<WorkSummary, String> {
             }
         }
     };
-    let scenarios = scenario::resolve(&header.scenarios).map_err(|name| {
-        format!("coordinator campaign references unknown scenario {name} (different binary?)")
+    // The header carries any declarative sweep definitions inline, so
+    // the worker rebuilds the exact namespace the coordinator planned
+    // in — sweeps shard and distribute like built-ins.
+    let registry = scenario::Registry::from_texts(&header.sweeps)
+        .map_err(|e| format!("coordinator campaign carries an invalid sweep: {e}"))?;
+    let scenarios = registry.resolve(&header.scenarios).map_err(|e| {
+        format!("coordinator campaign references an unknown scenario (different binary?): {e}")
     })?;
     let exp_opts = header.opts();
     let plans: Vec<Vec<RunSpec>> = scenarios.iter().map(|s| s.plan(&exp_opts)).collect();
@@ -1574,7 +1579,7 @@ mod tests {
         let specs: Vec<RunSpec> = ["li", "go"]
             .iter()
             .map(|b| {
-                RunSpec::new(b, RegFileConfig::Single(SingleBankConfig::one_cycle()))
+                RunSpec::known(b, RegFileConfig::Single(SingleBankConfig::one_cycle()))
                     .insts(1_000)
                     .warmup(200)
             })
@@ -1641,7 +1646,7 @@ mod tests {
         let specs: Vec<RunSpec> = ["li", "go"]
             .iter()
             .map(|b| {
-                RunSpec::new(b, RegFileConfig::Single(SingleBankConfig::one_cycle()))
+                RunSpec::known(b, RegFileConfig::Single(SingleBankConfig::one_cycle()))
                     .insts(1_000)
                     .warmup(200)
             })

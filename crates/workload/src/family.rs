@@ -1,0 +1,179 @@
+//! Seeded randomized workload families.
+//!
+//! A *family* turns one [`BenchProfile`] into an unbounded set of
+//! near-neighbours: member `k` of the `go` family is `go` with its
+//! behavioural parameters deterministically jittered by a small,
+//! seeded amount. Families let a declarative sweep ask "does this
+//! register-file result hold in a neighbourhood of the published
+//! characterization, or only at the exact point we tuned?" without
+//! hand-writing variant profiles.
+//!
+//! Derivation is a pure function of `(base.name, member)` — no global
+//! state, no floating-point environment dependence beyond IEEE-754
+//! arithmetic — so every process in a distributed campaign derives the
+//! identical member profile and the campaign fingerprint machinery
+//! stays sound. Member `0` is the base profile unchanged; members `1..`
+//! jitter each parameter by at most ±12% and re-clamp into the ranges
+//! [`BenchProfile::validate`] enforces, so a family member can never
+//! panic the generator.
+
+use crate::profile::BenchProfile;
+
+/// Largest relative jitter applied to any parameter (±12%).
+const JITTER: f64 = 0.12;
+
+/// Deterministic per-member parameter jitter stream (xorshift64*,
+/// seeded from the base profile's name and the member index).
+struct Jitter(u64);
+
+impl Jitter {
+    fn new(name: &str, member: u32) -> Self {
+        // FNV-1a over the name, folded with the member index; the
+        // non-zero offset basis keeps xorshift out of its fixed point.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Jitter(h ^ u64::from(member).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A multiplicative factor in `[1 - JITTER, 1 + JITTER]`.
+    fn factor(&mut self) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        1.0 + JITTER * (2.0 * unit - 1.0)
+    }
+}
+
+/// Derives member `member` of the family rooted at `base`.
+///
+/// Member `0` is `base` unchanged. Every derived profile satisfies
+/// [`BenchProfile::validate`]; the profile keeps the base's `name` and
+/// `fp` flag (callers that need to distinguish members label them
+/// externally, e.g. `go~3`).
+///
+/// # Examples
+///
+/// ```
+/// use rfcache_workload::{family_member, BenchProfile};
+///
+/// let base = BenchProfile::by_name("go").unwrap();
+/// let m1 = family_member(&base, 1);
+/// m1.validate(); // always sound
+/// assert_eq!(m1, family_member(&base, 1)); // deterministic
+/// assert_ne!(m1.dep_geom_p, base.dep_geom_p); // but not the base
+/// ```
+pub fn family_member(base: &BenchProfile, member: u32) -> BenchProfile {
+    if member == 0 {
+        return *base;
+    }
+    let mut j = Jitter::new(base.name, member);
+    let mut p = *base;
+
+    // Fractions jitter multiplicatively but stay strictly inside the
+    // validated range; the margin keeps the generator's distributions
+    // non-degenerate (a dep_geom_p of exactly 0 or 1 is legal but
+    // collapses dependence-distance sampling).
+    let mut frac = |v: f64| (v * j.factor()).clamp(0.01, 0.99);
+    p.dep_geom_p = frac(p.dep_geom_p);
+    p.immediate_frac = frac(p.immediate_frac);
+    p.global_src_frac = frac(p.global_src_frac);
+    p.reuse_frac = frac(p.reuse_frac);
+    p.taken_bias = frac(p.taken_bias);
+    p.hot_frac = frac(p.hot_frac);
+    p.stride_frac = frac(p.stride_frac);
+    if p.fp_load_frac > 0.0 {
+        p.fp_load_frac = frac(p.fp_load_frac);
+    }
+
+    // Branch-site fractions must also sum to at most 1 after jitter:
+    // jitter first, then rescale the pair if it overflows.
+    p.loop_site_frac = frac(p.loop_site_frac);
+    p.random_site_frac = frac(p.random_site_frac);
+    let site_sum = p.loop_site_frac + p.random_site_frac;
+    if site_sum > 1.0 {
+        p.loop_site_frac /= site_sum;
+        p.random_site_frac /= site_sum;
+    }
+
+    // The instruction mix only needs a positive total; jitter every
+    // weight independently (zero weights stay zero).
+    for w in [
+        &mut p.mix.int_alu,
+        &mut p.mix.int_mul,
+        &mut p.mix.int_div,
+        &mut p.mix.fp_alu,
+        &mut p.mix.fp_div,
+        &mut p.mix.load,
+        &mut p.mix.store,
+        &mut p.mix.branch,
+    ] {
+        *w *= j.factor();
+    }
+
+    // Integer parameters: jitter and re-clamp to the validated floors.
+    p.mean_trip = (((p.mean_trip as f64) * j.factor()) as u64).max(2);
+    p.branch_sites = (((p.branch_sites as f64) * j.factor()) as usize).max(1);
+    p.stream_count = (((p.stream_count as f64) * j.factor()) as usize).max(1);
+
+    p.validate(); // derivation must never hand the generator a bad profile
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite_all;
+
+    #[test]
+    fn member_zero_is_the_base() {
+        for base in suite_all() {
+            assert_eq!(family_member(&base, 0), base, "{}", base.name);
+        }
+    }
+
+    #[test]
+    fn members_are_deterministic_valid_and_distinct() {
+        for base in suite_all() {
+            let mut seen = Vec::new();
+            for member in 1..=8u32 {
+                let p = family_member(&base, member);
+                p.validate();
+                assert_eq!(p, family_member(&base, member), "{} member {member}", base.name);
+                assert_eq!(p.name, base.name);
+                assert_eq!(p.fp, base.fp);
+                assert!(!seen.contains(&p) && p != base, "{} member {member} collides", base.name);
+                seen.push(p);
+            }
+        }
+    }
+
+    #[test]
+    fn members_stay_in_the_base_neighbourhood() {
+        let base = BenchProfile::by_name("swim").unwrap();
+        for member in 1..=16u32 {
+            let p = family_member(&base, member);
+            assert!((p.dep_geom_p / base.dep_geom_p - 1.0).abs() <= JITTER + 1e-9);
+            assert!(p.mean_trip >= 2);
+            assert!(p.loop_site_frac + p.random_site_frac <= 1.0);
+        }
+    }
+
+    #[test]
+    fn members_generate_distinct_traces() {
+        use crate::TraceGenerator;
+        let base = BenchProfile::by_name("li").unwrap();
+        let a: Vec<_> = TraceGenerator::new(family_member(&base, 1), 7).take(500).collect();
+        let b: Vec<_> = TraceGenerator::new(family_member(&base, 2), 7).take(500).collect();
+        assert_ne!(a, b, "sibling members should not emit identical streams");
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod branches;
+mod family;
 mod gen;
 mod memgen;
 mod profile;
@@ -44,6 +45,7 @@ mod stats;
 mod tracefile;
 
 pub use branches::{BranchBehavior, BranchSite};
+pub use family::family_member;
 pub use gen::TraceGenerator;
 pub use memgen::AddressGenerator;
 pub use profile::{suite_all, suite_fp, suite_int, BenchProfile, OpMix};

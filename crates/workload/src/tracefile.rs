@@ -214,4 +214,84 @@ mod tests {
         let _seq: InstSeq = 0;
         assert_eq!(insts, replay);
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Any register slot: none, or either class at any 5-bit index
+        /// (the encoding's full range).
+        fn arb_reg() -> impl Strategy<Value = Option<ArchReg>> {
+            prop_oneof![
+                proptest::strategy::Just(None),
+                (0u8..2, 0u8..32).prop_map(|(class, index)| {
+                    let class = if class == 0 { RegClass::Int } else { RegClass::Fp };
+                    Some(ArchReg::new(class, index))
+                }),
+            ]
+        }
+
+        /// Arbitrary well-formed instructions: the op picks whether the
+        /// memory-address and branch-outcome fields must be present,
+        /// exactly as the writer requires.
+        fn arb_inst() -> impl Strategy<Value = TraceInst> {
+            (
+                (0usize..OpClass::ALL.len(), arb_reg(), arb_reg(), arb_reg()),
+                (0u64..=u64::MAX, 0u64..=u64::MAX, 0u8..2, 0u64..=u64::MAX),
+            )
+                .prop_map(|((op, dst, src0, src1), (pc, addr, taken, target))| {
+                    let op = OpClass::ALL[op];
+                    TraceInst {
+                        pc,
+                        op,
+                        dst,
+                        srcs: [src0, src1],
+                        mem_addr: op.is_mem().then_some(addr),
+                        branch: op.is_branch().then_some(BranchInfo { taken: taken != 0, target }),
+                    }
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn roundtrip_preserves_arbitrary_streams(
+                insts in proptest::collection::vec(arb_inst(), 0..64),
+            ) {
+                let mut buf = Vec::new();
+                write_trace(&mut buf, &insts).expect("writing to a Vec cannot fail");
+                let back = read_trace(&mut buf.as_slice()).expect("own output must parse");
+                prop_assert_eq!(back, insts);
+            }
+
+            #[test]
+            fn any_truncation_errors_instead_of_mis_parsing(
+                insts in proptest::collection::vec(arb_inst(), 1..16),
+                cut in 0usize..1024,
+            ) {
+                let mut buf = Vec::new();
+                write_trace(&mut buf, &insts).expect("writing to a Vec cannot fail");
+                // Cut strictly inside the stream: every prefix must be
+                // rejected, never silently decoded as a shorter trace.
+                let keep = cut % buf.len();
+                prop_assert!(read_trace(&mut &buf[..keep]).is_err());
+            }
+
+            #[test]
+            fn corrupt_header_bytes_never_panic(
+                insts in proptest::collection::vec(arb_inst(), 1..8),
+                at in 0usize..8,
+                flip in 1u8..=u8::MAX,
+            ) {
+                let mut buf = Vec::new();
+                write_trace(&mut buf, &insts).expect("writing to a Vec cannot fail");
+                buf[at] ^= flip;
+                // Magic or version corruption must error; flipping a
+                // reserved byte may still parse — it just must not panic.
+                let outcome = read_trace(&mut buf.as_slice());
+                if at < 6 {
+                    prop_assert!(outcome.is_err());
+                }
+            }
+        }
+    }
 }

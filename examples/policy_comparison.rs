@@ -30,7 +30,13 @@ fn main() {
 
     let specs: Vec<RunSpec> = configs
         .iter()
-        .map(|(_, rf)| RunSpec::new(&bench, *rf).insts(insts).warmup(insts / 4))
+        .map(|(_, rf)| {
+            let spec = RunSpec::new(&bench, *rf).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            spec.insts(insts).warmup(insts / 4)
+        })
         .collect();
     let results = run_suite(&specs);
 

@@ -1,0 +1,35 @@
+//! Record a benchmark's synthetic instruction stream as an RFCT trace
+//! file — the generator behind the committed `ci/fixtures/li.rfct`
+//! fixture that the declarative-sweep CI job replays.
+//!
+//! ```text
+//! cargo run --release --example record_trace [bench] [insts] [seed] [out.rfct]
+//! ```
+//!
+//! Defaults reproduce the committed fixture exactly:
+//! `record_trace li 4096 42 ci/fixtures/li.rfct`.
+
+use rfcache_workload::{write_trace, BenchProfile, TraceGenerator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = args.first().map(String::as_str).unwrap_or("li");
+    let insts: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4_096);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let out = args.get(3).map(String::as_str).unwrap_or("ci/fixtures/li.rfct");
+
+    let profile = BenchProfile::by_name(bench).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{bench}`");
+        std::process::exit(2);
+    });
+    let trace: Vec<_> = TraceGenerator::new(profile, seed).take(insts).collect();
+    let file = std::fs::File::create(out).unwrap_or_else(|e| {
+        eprintln!("cannot create {out}: {e}");
+        std::process::exit(1);
+    });
+    write_trace(std::io::BufWriter::new(file), &trace).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {} instructions to {out}", trace.len());
+}

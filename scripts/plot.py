@@ -58,6 +58,27 @@ def parse_cell(cell):
         return None
 
 
+def pivot_long(header, rows):
+    """Pivots a long-format ``(series, index, value)`` table to wide form.
+
+    Declarative sweep scenarios export one row per series point; a chart
+    wants one numeric column per series over the shared index axis.
+    Returns ``(header, rows)`` unchanged for any other table shape.
+    """
+    if [h.lower() for h in header] != ["series", "index", "value"]:
+        return header, rows
+    order, cells, indices = [], {}, []
+    for sname, idx, value in rows:
+        if sname not in cells:
+            order.append(sname)
+            cells[sname] = {}
+        cells[sname][idx] = value
+        if idx not in indices:
+            indices.append(idx)
+    wide_rows = [[idx] + [cells[s].get(idx, "n/a") for s in order] for idx in indices]
+    return ["index"] + order, wide_rows
+
+
 def split_columns(header, rows):
     """Splits the table into leading label columns and numeric series.
 
@@ -226,7 +247,7 @@ def main():
     written = 0
     for path in files:
         table = json.loads(path.read_text())
-        header, rows = table["header"], table["rows"]
+        header, rows = pivot_long(table["header"], table["rows"])
         if not rows:
             print(f"{path.name}: empty table, skipped", file=sys.stderr)
             continue

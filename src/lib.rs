@@ -13,6 +13,7 @@
 //! use rfcache_repro::prelude::*;
 //!
 //! let spec = RunSpec::new("li", RegFileConfig::Cache(RegFileCacheConfig::paper_default()))
+//!     .expect("li is a known benchmark")
 //!     .insts(2_000)
 //!     .warmup(500);
 //! assert!(spec.run().ipc() > 0.5);

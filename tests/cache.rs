@@ -94,7 +94,11 @@ fn metrics_from(counters: &[u64], hit_rate: Option<f64>, value_counts: Vec<u64>)
 }
 
 fn spec_for(seed: u64, insts: u64) -> RunSpec {
-    RunSpec::new("li", RegFileConfig::Single(SingleBankConfig::one_cycle()))
+    bench_spec_for("li", seed, insts)
+}
+
+fn bench_spec_for(bench: &str, seed: u64, insts: u64) -> RunSpec {
+    RunSpec::known(bench, RegFileConfig::Single(SingleBankConfig::one_cycle()))
         .insts(insts.max(1))
         .warmup(insts / 4)
         .seed(seed)
@@ -112,9 +116,10 @@ proptest! {
         seed in 0u64..1_000,
         fp_bit in 0u8..2,
     ) {
-        // fp must be consistent with the named benchmark's class —
+        // bench/fp must be consistent with the spec's workload —
         // lookup rejects an entry claiming otherwise — so the draw
-        // selects an integer or an FP benchmark, not a free bit.
+        // selects which benchmark the whole round trip uses, not a
+        // free bit on the stored side.
         let (bench, fp) = if fp_bit == 1 { ("applu", true) } else { ("li", false) };
         let hit_rate = match hit_kind {
             0 => None,
@@ -123,9 +128,9 @@ proptest! {
         };
         let dir = temp_cache("roundtrip");
         let cache = Cache::open(&dir).expect("cache opens");
-        let spec = spec_for(seed, 2_000);
+        let spec = bench_spec_for(bench, seed, 2_000);
         let stored =
-            RunResult { bench, fp, metrics: metrics_from(&counters, hit_rate, value_counts) };
+            RunResult { bench: bench.to_string(), fp, metrics: metrics_from(&counters, hit_rate, value_counts) };
         cache.store(&spec, &stored).expect("store succeeds");
         let fetched = cache.lookup(&spec).expect("fresh store must hit");
         prop_assert_eq!(fetched.bench, stored.bench);
@@ -150,7 +155,7 @@ proptest! {
         let cache = Cache::open(&dir).expect("cache opens");
         let spec = spec_for(1, 2_000);
         let stored = RunResult {
-            bench: "li",
+            bench: "li".to_string(),
             fp: false,
             metrics: metrics_from(&counters, Some(0.5), vec![3, 1]),
         };
@@ -218,16 +223,19 @@ fn colliding_specs_round_trip_via_full_spec_match() {
     let dir = temp_cache("collide");
     let cache = Cache::with_shard_key(&dir, |_| 0x0bad_cafe).expect("cache opens");
     let a = spec_for(1, 2_000);
-    let b = RunSpec::new("compress", RegFileConfig::Cache(RegFileCacheConfig::paper_default()))
+    let b = RunSpec::known("compress", RegFileConfig::Cache(RegFileCacheConfig::paper_default()))
         .insts(1_500)
         .warmup(300)
         .seed(9);
     assert_ne!(format!("{a:?}"), format!("{b:?}"), "specs must differ for the test to mean much");
 
-    let result_a =
-        RunResult { bench: "li", fp: false, metrics: metrics_from(&[1; 50], None, vec![]) };
+    let result_a = RunResult {
+        bench: "li".to_string(),
+        fp: false,
+        metrics: metrics_from(&[1; 50], None, vec![]),
+    };
     let result_b = RunResult {
-        bench: "compress",
+        bench: "compress".to_string(),
         fp: false,
         metrics: metrics_from(&[2; 50], Some(0.25), vec![5]),
     };

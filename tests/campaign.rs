@@ -81,8 +81,8 @@ fn exports_write_one_wellformed_file_per_registered_scenario() {
     for (s, report) in all.iter().zip(&reports) {
         let table = report.to_table();
         assert!(!table.is_empty(), "{}: empty export table", s.name);
-        write_csv(&dir, s.name, &table).unwrap();
-        write_json(&dir, s.name, &table).unwrap();
+        write_csv(&dir, &s.name, &table).unwrap();
+        write_json(&dir, &s.name, &table).unwrap();
     }
 
     let mut csvs = 0;
@@ -98,8 +98,8 @@ fn exports_write_one_wellformed_file_per_registered_scenario() {
     assert_eq!(csvs, all.len(), "one CSV per registered scenario");
     assert_eq!(jsons, all.len(), "one JSON per registered scenario");
     for s in &all {
-        assert_wellformed_csv(&dir.join(format!("{}.csv", s.name)), s.name);
-        assert_wellformed_json(&dir.join(format!("{}.json", s.name)), s.name);
+        assert_wellformed_csv(&dir.join(format!("{}.csv", s.name)), &s.name);
+        assert_wellformed_json(&dir.join(format!("{}.json", s.name)), &s.name);
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -58,7 +58,7 @@ fn goldens() -> Vec<Golden> {
 #[test]
 fn timing_model_is_frozen() {
     for g in goldens() {
-        let m = RunSpec::new(g.bench, g.rf).insts(20_000).warmup(5_000).seed(7).run().metrics;
+        let m = RunSpec::known(g.bench, g.rf).insts(20_000).warmup(5_000).seed(7).run().metrics;
         assert_eq!(
             (m.cycles, m.committed, m.mispredicted),
             (g.cycles, g.committed, g.mispredicted),
@@ -73,12 +73,12 @@ fn timing_model_is_frozen() {
 fn misprediction_counts_are_architecture_independent() {
     // The front end sees the same trace whatever the register file is;
     // only the *penalty* differs. Same seed ⇒ same mispredict count.
-    let a = RunSpec::new("li", RegFileConfig::Single(SingleBankConfig::one_cycle()))
+    let a = RunSpec::known("li", RegFileConfig::Single(SingleBankConfig::one_cycle()))
         .insts(20_000)
         .warmup(5_000)
         .seed(7)
         .run();
-    let b = RunSpec::new("li", RegFileConfig::Cache(RegFileCacheConfig::paper_default()))
+    let b = RunSpec::known("li", RegFileConfig::Cache(RegFileCacheConfig::paper_default()))
         .insts(20_000)
         .warmup(5_000)
         .seed(7)

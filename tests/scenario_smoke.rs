@@ -22,7 +22,7 @@ fn every_registered_scenario_runs_to_completion() {
         "onelevel",
         "sources",
     ];
-    let names: Vec<&str> = scenario::registry().iter().map(|s| s.name).collect();
+    let names: Vec<&str> = scenario::registry().iter().map(|s| s.name.as_str()).collect();
     assert_eq!(names, expected, "registry must cover the paper's 13 experiments in run order");
 
     let opts = ExperimentOpts::smoke();
